@@ -1,0 +1,617 @@
+package tracefw
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablation benchmarks for the design decisions DESIGN.md calls out. The
+// full-size Table 1 sweep (up to 11.2M raw events) lives in
+// cmd/experiments; the benchmarks here use sizes that keep `go test
+// -bench=.` snappy while preserving the comparisons.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"runtime"
+	"sort"
+	"testing"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/cluster"
+	"tracefw/internal/convert"
+	"tracefw/internal/core"
+	"tracefw/internal/events"
+	"tracefw/internal/interval"
+	"tracefw/internal/merge"
+	"tracefw/internal/mpisim"
+	"tracefw/internal/profile"
+	"tracefw/internal/render"
+	"tracefw/internal/sched"
+	"tracefw/internal/slog"
+	"tracefw/internal/stats"
+	"tracefw/internal/trace"
+	"tracefw/internal/workload"
+)
+
+// --- shared generators -------------------------------------------------
+
+// stormRaws produces raw traces in the paper's Table 1 configuration:
+// 4 MPI tasks (2 nodes × 2), 4 threads each.
+func stormRaws(b *testing.B, iters int) [][]byte {
+	b.Helper()
+	bufs := make([]*bytes.Buffer, 2)
+	writers := make([]io.Writer, 2)
+	for i := range bufs {
+		bufs[i] = &bytes.Buffer{}
+		writers[i] = bufs[i]
+	}
+	w, err := mpisim.New(mpisim.Config{
+		Cluster: cluster.Config{
+			Nodes: 2, CPUsPerNode: 4, Seed: 99,
+			TraceOpts: trace.Options{Enabled: events.MaskAll},
+		},
+		TasksPerNode: 2,
+	}, writers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.Start(workload.Storm{Iters: iters, Threads: 3}.Main())
+	if _, err := w.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return [][]byte{bufs[0].Bytes(), bufs[1].Bytes()}
+}
+
+func rawEventCount(b *testing.B, raws [][]byte) int64 {
+	b.Helper()
+	var n int64
+	for _, raw := range raws {
+		rd, err := trace.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, err := rd.Next(); errors.Is(err, io.EOF) {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+	}
+	return n
+}
+
+func convertedFiles(b *testing.B, raws [][]byte) []*interval.File {
+	b.Helper()
+	outs, _, err := convert.ConvertBuffers(raws, convert.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	files := make([]*interval.File, len(outs))
+	for i, sb := range outs {
+		if files[i], err = interval.ReadHeader(sb); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return files
+}
+
+// --- Table 1: utility speed -------------------------------------------
+
+func benchConvertPerEvent(b *testing.B, iters int) {
+	raws := stormRaws(b, iters)
+	nev := rawEventCount(b, raws)
+	runtime.GC() // drop the generator's garbage; measure the utility
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := convert.ConvertBuffers(raws, convert.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(nev), "ns/event")
+}
+
+func BenchmarkConvertPerEventSmall(b *testing.B)  { benchConvertPerEvent(b, 1000) }
+func BenchmarkConvertPerEventMedium(b *testing.B) { benchConvertPerEvent(b, 4000) }
+func BenchmarkConvertPerEventLarge(b *testing.B)  { benchConvertPerEvent(b, 16000) }
+
+func benchSlogmergePerEvent(b *testing.B, iters int) {
+	raws := stormRaws(b, iters)
+	nev := rawEventCount(b, raws)
+	runtime.GC() // drop the generator's garbage; measure the utility
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		files := convertedFiles(b, raws)
+		runtime.GC()
+		b.StartTimer()
+		dst := interval.NewSeekBuffer()
+		if _, _, err := slog.Slogmerge(files, dst, merge.Options{}, slog.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(nev), "ns/event")
+}
+
+func BenchmarkSlogmergePerEventSmall(b *testing.B)  { benchSlogmergePerEvent(b, 1000) }
+func BenchmarkSlogmergePerEventMedium(b *testing.B) { benchSlogmergePerEvent(b, 4000) }
+func BenchmarkSlogmergePerEventLarge(b *testing.B)  { benchSlogmergePerEvent(b, 16000) }
+
+// --- §2.1: cost of cutting a trace record -------------------------------
+
+func BenchmarkCutTraceRecord(b *testing.B) {
+	f, err := trace.NewFacility(trace.Options{Enabled: events.MaskAll, BufferSize: 1 << 22}, 0, 1, io.Discard)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := &trace.Record{Type: events.EvMPISend, Edge: events.Entry, TID: 1, Args: []uint64{1, 2, 3, 4, 5, 6}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Time = clock.Time(i)
+		f.Cut(rec)
+	}
+}
+
+// --- Figure 1: clock discrepancy series ---------------------------------
+
+func BenchmarkFig1ClockDiscrepancy(b *testing.B) {
+	drifts := []float64{0, 2.5e-5, -3.5e-5, 6e-5}
+	for i := 0; i < b.N; i++ {
+		s := clock.Figure1(drifts, 0, 140*clock.Second, clock.Second, 1)
+		if s.MaxDivergence() == 0 {
+			b.Fatal("no divergence")
+		}
+	}
+}
+
+// --- §2.2: ratio estimators ---------------------------------------------
+
+func BenchmarkClockRatioEstimators(b *testing.B) {
+	c := clock.NewLocal(clock.Second, 8e-5, 500, clock.Microsecond, 3)
+	var pairs []clock.Pair
+	for i := 0; i <= 140; i++ {
+		pairs = append(pairs, clock.SamplePair(c, clock.Time(i)*clock.Second, 0))
+	}
+	b.Run("rms", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			clock.RMSRatio(pairs)
+		}
+	})
+	b.Run("lastpair", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			clock.LastPairRatio(pairs)
+		}
+	})
+	b.Run("piecewise-build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			clock.NewPiecewiseAdjuster(pairs)
+		}
+	})
+	b.Run("filter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			clock.FilterOutliers(pairs, 1e-3)
+		}
+	})
+}
+
+// --- Figures 6-9 --------------------------------------------------------
+
+func flashRunB(b *testing.B) *core.Run {
+	b.Helper()
+	run, err := core.Execute(core.Config{
+		Nodes: 4, CPUsPerNode: 4, TasksPerNode: 1, Seed: 11,
+		Convert: interval.WriterOptions{FrameBytes: 16 << 10},
+		Slog:    slog.Options{FrameBytes: 16 << 10},
+	}, workload.Flash{Iters: 20, RefineEach: 5}.Main())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return run
+}
+
+func sppmRunB(b *testing.B) *core.Run {
+	b.Helper()
+	run, err := core.Execute(core.Config{
+		Nodes: 4, CPUsPerNode: 8, TasksPerNode: 1, Seed: 12,
+		Affinity: sched.AffinityLowestFree,
+	}, workload.SPPM{Iters: 8, ThreadsPerTask: 4}.Main())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return run
+}
+
+func BenchmarkFig6StatsTable(b *testing.B) {
+	run := flashRunB(b)
+	defer run.Close()
+	prog := stats.Predefined(50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables, err := stats.Generate(prog, []*interval.File{run.Merged})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables[0].Rows) == 0 {
+			b.Fatal("empty Figure 6 table")
+		}
+	}
+}
+
+func BenchmarkFig7PreviewAndFrameFetch(b *testing.B) {
+	run := flashRunB(b)
+	defer run.Close()
+	sf := run.Slog
+	mid := (sf.TStart + sf.TEnd) / 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if svg := render.PreviewSVG(sf.Preview); len(svg) == 0 {
+			b.Fatal("empty preview")
+		}
+		fi, ok := sf.FrameAt(mid)
+		if !ok {
+			b.Fatal("no frame")
+		}
+		if _, err := sf.ReadFrame(fi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8ThreadActivityView(b *testing.B) {
+	run := sppmRunB(b)
+	defer run.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := run.View(render.ThreadActivity, render.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(d.SVG()) == 0 {
+			b.Fatal("empty svg")
+		}
+	}
+}
+
+func BenchmarkFig9ProcessorActivityView(b *testing.B) {
+	run := sppmRunB(b)
+	defer run.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := run.View(render.ProcessorActivity, render.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(d.SVG()) == 0 {
+			b.Fatal("empty svg")
+		}
+	}
+}
+
+// --- §4: frame-fetch scalability ----------------------------------------
+
+func BenchmarkFrameFetchScalability(b *testing.B) {
+	for _, iters := range []int{5, 20, 80} {
+		run, err := core.Execute(core.Config{
+			Nodes: 4, CPUsPerNode: 4, TasksPerNode: 1, Seed: 11,
+			Convert: interval.WriterOptions{FrameBytes: 16 << 10},
+			Slog:    slog.Options{FrameBytes: 16 << 10},
+		}, workload.Flash{Iters: iters, RefineEach: 5}.Main())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sf := run.Slog
+		mid := (sf.TStart + sf.TEnd) / 2
+		b.Run(sizeName(iters), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fi, ok := sf.FrameAt(mid)
+				if !ok {
+					b.Fatal("no frame")
+				}
+				if _, err := sf.ReadFrame(fi); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		run.Close()
+	}
+}
+
+func sizeName(iters int) string {
+	switch iters {
+	case 5:
+		return "small"
+	case 20:
+		return "medium"
+	default:
+		return "large"
+	}
+}
+
+// --- ablations -----------------------------------------------------------
+
+// BenchmarkMergeLoserTreeVsLinear compares the paper's balanced-tree
+// k-way merge against a naive linear minimum scan, with many inputs so
+// the O(log k) vs O(k) difference shows.
+func BenchmarkMergeLoserTreeVsLinear(b *testing.B) {
+	const nodes = 16
+	bufs := make([]*bytes.Buffer, nodes)
+	writers := make([]io.Writer, nodes)
+	for i := range bufs {
+		bufs[i] = &bytes.Buffer{}
+		writers[i] = bufs[i]
+	}
+	w, err := mpisim.New(mpisim.Config{
+		Cluster: cluster.Config{
+			Nodes: nodes, CPUsPerNode: 2, Seed: 5,
+			TraceOpts: trace.Options{Enabled: events.MaskAll},
+		},
+		TasksPerNode: 1,
+	}, writers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.Start(workload.Storm{Iters: 400, Threads: 1}.Main())
+	if _, err := w.Run(); err != nil {
+		b.Fatal(err)
+	}
+	raws := make([][]byte, nodes)
+	for i, buf := range bufs {
+		raws[i] = buf.Bytes()
+	}
+	for _, variant := range []struct {
+		name   string
+		linear bool
+	}{{"losertree", false}, {"linear", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				files := convertedFiles(b, raws)
+				b.StartTimer()
+				sb := interval.NewSeekBuffer()
+				if _, err := merge.Merge(files, sb, merge.Options{Linear: variant.linear}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSeekFrameDirsVsScan compares locating a late time point via
+// the frame directories against scanning all records — the reason the
+// format has frames and directories at all.
+func BenchmarkSeekFrameDirsVsScan(b *testing.B) {
+	raws := stormRaws(b, 8000)
+	files := convertedFiles(b, raws)
+	sb := interval.NewSeekBuffer()
+	if _, err := merge.Merge(files, sb, merge.Options{Writer: interval.WriterOptions{FrameBytes: 16 << 10}}); err != nil {
+		b.Fatal(err)
+	}
+	mf, err := interval.ReadHeader(sb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, last, _, err := mf.Stats()
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := last - clock.Millisecond
+	b.Run("framedirs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fe, ok, err := mf.FrameContaining(target)
+			if err != nil || !ok {
+				b.Fatalf("ok=%v err=%v", ok, err)
+			}
+			if _, err := mf.FrameRecords(fe); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fullscan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sc := mf.Scan()
+			found := false
+			for {
+				r, err := sc.NextRecord()
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.End() >= target {
+					found = true
+					break
+				}
+			}
+			if !found {
+				b.Fatal("target not found")
+			}
+		}
+	})
+}
+
+// BenchmarkMergePseudoIntervals measures the cost of the paper's §3.3
+// pseudo-interval planting.
+func BenchmarkMergePseudoIntervals(b *testing.B) {
+	raws := stormRaws(b, 4000)
+	for _, variant := range []struct {
+		name     string
+		noPseudo bool
+	}{{"with-pseudo", false}, {"no-pseudo", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				files := convertedFiles(b, raws)
+				b.StartTimer()
+				sb := interval.NewSeekBuffer()
+				opts := merge.Options{
+					Writer:   interval.WriterOptions{FrameBytes: 8 << 10},
+					NoPseudo: variant.noPseudo,
+				}
+				if _, err := merge.Merge(files, sb, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEstimatorAdjustment measures timestamp adjustment throughput
+// per estimator (every record passes through Adjuster.Global twice).
+func BenchmarkEstimatorAdjustment(b *testing.B) {
+	raws := stormRaws(b, 4000)
+	for _, est := range []merge.Estimator{merge.EstimatorRMS, merge.EstimatorPiecewise, merge.EstimatorNone} {
+		b.Run(est.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				files := convertedFiles(b, raws)
+				b.StartTimer()
+				sb := interval.NewSeekBuffer()
+				if _, err := merge.Merge(files, sb, merge.Options{Estimator: est}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEndTimeOrderingAblation quantifies the paper's end-time
+// ordering design decision (§3.1): because every input interval file is
+// already sorted by end time, the merge is a streaming k-way pass. The
+// ablation pretends the inputs were unordered and performs the naive
+// alternative — load everything, sort globally, rewrite — which costs
+// O(n log n) comparisons and peak memory proportional to the whole trace
+// instead of one record per input.
+func BenchmarkEndTimeOrderingAblation(b *testing.B) {
+	raws := stormRaws(b, 8000)
+	b.Run("streaming-merge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			files := convertedFiles(b, raws)
+			b.StartTimer()
+			sb := interval.NewSeekBuffer()
+			if _, err := merge.Merge(files, sb, merge.Options{NoPseudo: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("global-sort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			files := convertedFiles(b, raws)
+			b.StartTimer()
+			// Naive alternative: slurp every record, sort by end time,
+			// write one output file.
+			var all []interval.Record
+			for fi, f := range files {
+				pairs, err := merge.ExtractPairs(f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				adj := clock.NewRatioAdjuster(pairs)
+				recs, err := f.Scan().All()
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = fi
+				for _, r := range recs {
+					if r.Type == events.EvGlobalClock {
+						continue
+					}
+					end := adj.Global(r.End())
+					r.Start = adj.Global(r.Start)
+					r.Dura = end - r.Start
+					all = append(all, r)
+				}
+			}
+			sort.SliceStable(all, func(x, y int) bool { return all[x].End() < all[y].End() })
+			sb := interval.NewSeekBuffer()
+			w, err := interval.NewWriter(sb, interval.Header{
+				ProfileVersion: files[0].Header.ProfileVersion,
+				Markers:        map[uint64]string{},
+			}, interval.WriterOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := range all {
+				if err := w.Add(&all[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkIntervalWriterThroughput measures raw record encode+frame
+// throughput of the interval writer (records/op reported via ns/record).
+func BenchmarkIntervalWriterThroughput(b *testing.B) {
+	rec := interval.Record{
+		Type:   events.EvMPISend,
+		Bebits: profile.Complete,
+		Dura:   1000,
+		Extra:  []uint64{1, 2, 3, 4, 5, 6},
+	}
+	hdr := interval.Header{ProfileVersion: profile.StdVersion, Markers: map[uint64]string{}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	sb := interval.NewSeekBuffer()
+	w, err := interval.NewWriter(sb, hdr, interval.WriterOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		rec.Start = clock.Time(i)
+		if err := w.Add(&rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkIntervalScanThroughput measures sequential record decode
+// throughput through the Scanner.
+func BenchmarkIntervalScanThroughput(b *testing.B) {
+	sb := interval.NewSeekBuffer()
+	hdr := interval.Header{ProfileVersion: profile.StdVersion, Markers: map[uint64]string{}}
+	w, err := interval.NewWriter(sb, hdr, interval.WriterOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 100000
+	rec := interval.Record{Type: events.EvMPISend, Bebits: profile.Complete, Dura: 10, Extra: []uint64{1, 2, 3, 4, 5, 6}}
+	for i := 0; i < n; i++ {
+		rec.Start = clock.Time(i)
+		if err := w.Add(&rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	f, err := interval.ReadHeader(sb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := f.Scan()
+		count := 0
+		for {
+			_, err := sc.NextRecord()
+			if err != nil {
+				break
+			}
+			count++
+		}
+		if count != n {
+			b.Fatalf("scanned %d records", count)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/record")
+}

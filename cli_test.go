@@ -1,0 +1,189 @@
+package tracefw
+
+// Builds the command-line utilities and drives the paper's Figure 2 flow
+// through the actual binaries: tracegen → uteconvert → utemerge (-slog)
+// → utestats / uteview / utedump.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmds compiles every cmd once per test binary invocation.
+func buildCmds(t *testing.T) string {
+	t.Helper()
+	bin := t.TempDir()
+	for _, name := range []string{"tracegen", "uteconvert", "utemerge", "utestats", "uteview", "utedump"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(bin, name), "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+	}
+	return bin
+}
+
+func runCmd(t *testing.T, bin, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(bin, name), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bin := buildCmds(t)
+	dir := t.TempDir()
+
+	// tracegen: small sppm run.
+	out := runCmd(t, bin, "tracegen",
+		"-out", dir, "-workload", "sppm", "-nodes", "2", "-cpus", "4", "-iters", "4", "-seed", "5")
+	if !strings.Contains(out, "events") {
+		t.Fatalf("tracegen output: %s", out)
+	}
+	for n := 0; n < 2; n++ {
+		if _, err := os.Stat(filepath.Join(dir, "raw."+string(rune('0'+n)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// uteconvert.
+	out = runCmd(t, bin, "uteconvert", "-out-dir", dir,
+		filepath.Join(dir, "raw.0"), filepath.Join(dir, "raw.1"))
+	if !strings.Contains(out, "sec/event") {
+		t.Fatalf("uteconvert output: %s", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "profile.ute")); err != nil {
+		t.Fatal("profile.ute missing")
+	}
+
+	// utemerge with SLOG.
+	merged := filepath.Join(dir, "merged.ute")
+	slogPath := filepath.Join(dir, "trace.slog")
+	out = runCmd(t, bin, "utemerge", "-o", merged, "-slog", slogPath,
+		filepath.Join(dir, "trace.0.ute"), filepath.Join(dir, "trace.1.ute"))
+	if !strings.Contains(out, "ratio") || !strings.Contains(out, "slog") {
+		t.Fatalf("utemerge output: %s", out)
+	}
+
+	// utestats: predefined tables to stdout, then the paper's example.
+	out = runCmd(t, bin, "utestats", "-check-profile", merged)
+	if !strings.Contains(out, "interesting_by_node_bin") {
+		t.Fatalf("utestats predefined output missing Figure 6 table:\n%s", out)
+	}
+	out = runCmd(t, bin, "utestats", "-e",
+		`table name=sample condition=(start < 2) x=("node", node) y=("avg(duration)", dura, avg)`,
+		merged)
+	if !strings.Contains(out, "node\tavg(duration)") {
+		t.Fatalf("utestats example output:\n%s", out)
+	}
+
+	// utestats to files with SVGs.
+	statsDir := filepath.Join(dir, "stats")
+	runCmd(t, bin, "utestats", "-out", statsDir, "-svg", merged)
+	if _, err := os.Stat(filepath.Join(statsDir, "interesting_by_node_bin.svg")); err != nil {
+		t.Fatal("stats SVG missing")
+	}
+
+	// uteview: all four views as SVG, the preview, ASCII, and a frame
+	// fetch.
+	for _, view := range []string{"thread-activity", "processor-activity", "thread-processor", "processor-thread"} {
+		svgPath := filepath.Join(dir, view+".svg")
+		runCmd(t, bin, "uteview", "-merged", merged, "-view", view, "-o", svgPath)
+		b, err := os.ReadFile(svgPath)
+		if err != nil || !strings.HasPrefix(string(b), "<svg") {
+			t.Fatalf("view %s: err=%v", view, err)
+		}
+	}
+	out = runCmd(t, bin, "uteview", "-merged", merged, "-ascii")
+	if !strings.Contains(out, "legend:") {
+		t.Fatalf("ascii view output:\n%s", out)
+	}
+	out = runCmd(t, bin, "uteview", "-slog", slogPath, "-preview", "-ascii")
+	if !strings.Contains(out, "preview:") {
+		t.Fatalf("preview output:\n%s", out)
+	}
+	out = runCmd(t, bin, "uteview", "-slog", slogPath, "-frame-at", "0.01")
+	if !strings.Contains(out, "frame ") {
+		t.Fatalf("frame fetch output:\n%s", out)
+	}
+	out = runCmd(t, bin, "uteview", "-merged", merged, "-slog", slogPath, "-arrows", "-ascii")
+	if !strings.Contains(out, "legend:") {
+		t.Fatalf("arrows view output:\n%s", out)
+	}
+	htmlPath := filepath.Join(dir, "viewer.html")
+	runCmd(t, bin, "uteview", "-slog", slogPath, "-html", htmlPath)
+	if b, err := os.ReadFile(htmlPath); err != nil || !strings.Contains(string(b), "const DATA = {") {
+		t.Fatalf("html viewer: err=%v", err)
+	}
+
+	// uteview window + connected + state view.
+	out = runCmd(t, bin, "uteview", "-merged", merged, "-view", "states", "-ascii")
+	if !strings.Contains(out, "state-activity view") {
+		t.Fatalf("state view output:\n%s", out)
+	}
+	out = runCmd(t, bin, "uteview", "-merged", merged, "-t0", "0.001", "-t1", "0.01", "-connected", "-ascii")
+	if !strings.Contains(out, "0.001000s .. 0.010000s") {
+		t.Fatalf("windowed view output:\n%s", out)
+	}
+
+	// utestats from a program file.
+	progPath := filepath.Join(dir, "prog.st")
+	prog := "table name=fromfile condition=(state == \"MPI_Send\") y=(\"n\", iscall, sum)\n"
+	if err := os.WriteFile(progPath, []byte(prog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = runCmd(t, bin, "utestats", "-f", progPath, merged)
+	if !strings.Contains(out, "fromfile") {
+		t.Fatalf("utestats -f output:\n%s", out)
+	}
+
+	// utedump on every format.
+	for _, f := range []string{"raw.0", "profile.ute", "merged.ute", "trace.slog"} {
+		out = runCmd(t, bin, "utedump", "-n", "3", filepath.Join(dir, f))
+		if len(out) == 0 {
+			t.Fatalf("utedump %s produced nothing", f)
+		}
+	}
+	out = runCmd(t, bin, "utedump", "-frames", "-n", "2", merged)
+	if !strings.Contains(out, "dir 0") {
+		t.Fatalf("utedump -frames output:\n%s", out)
+	}
+	out = runCmd(t, bin, "utedump", "-validate", merged)
+	if !strings.Contains(out, "valid (") {
+		t.Fatalf("utedump -validate output:\n%s", out)
+	}
+}
+
+func TestCLIWrapTolerant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bin := buildCmds(t)
+	dir := t.TempDir()
+	runCmd(t, bin, "tracegen",
+		"-out", dir, "-workload", "ring", "-nodes", "2", "-cpus", "1",
+		"-iters", "200", "-bytes", "128", "-wrap", "-buffer", "8192")
+	// Strict conversion must fail on the mid-stream trace...
+	cmd := exec.Command(filepath.Join(bin, "uteconvert"), "-out-dir", dir,
+		filepath.Join(dir, "raw.0"), filepath.Join(dir, "raw.1"))
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Fatalf("strict conversion of wrapped trace succeeded:\n%s", out)
+	}
+	// ...and tolerant conversion must succeed and report skips.
+	out := runCmd(t, bin, "uteconvert", "-tolerant", "-out-dir", dir,
+		filepath.Join(dir, "raw.0"), filepath.Join(dir, "raw.1"))
+	if !strings.Contains(out, "orphan events skipped") {
+		t.Fatalf("tolerant conversion reported no skips:\n%s", out)
+	}
+	runCmd(t, bin, "utemerge", "-o", filepath.Join(dir, "merged.ute"),
+		filepath.Join(dir, "trace.0.ute"), filepath.Join(dir, "trace.1.ute"))
+}

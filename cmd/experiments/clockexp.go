@@ -1,0 +1,121 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/xrand"
+)
+
+// fig1Drifts are the four nodes' fractional clock drifts: magnitudes
+// chosen so discrepancies reach the few-millisecond range over 140 s, as
+// in the paper's Figure 1.
+var fig1Drifts = []float64{0, 2.5e-5, -3.5e-5, 6e-5}
+
+func runFig1(e *env) error {
+	s := clock.Figure1(fig1Drifts, 0, 140*clock.Second, clock.Second, 1)
+	if err := e.write("fig1.tsv", s.TSV()); err != nil {
+		return err
+	}
+	e.logf("  reference clock 0; max accumulated divergence after 140s: %v", s.MaxDivergence())
+	// The figure's caption holds for any reference choice.
+	for ref := 1; ref < len(fig1Drifts); ref++ {
+		alt := clock.Figure1(fig1Drifts, ref, 140*clock.Second, clock.Second, 1)
+		e.logf("  reference clock %d: max divergence %v", ref, alt.MaxDivergence())
+	}
+	return nil
+}
+
+// runClockSync compares the §2.2 ratio estimators: single RMS ratio,
+// first-point-anchored RMS (the rejected alternative), last-pair slope,
+// and piecewise segments — on steady drift, on drift with read noise, on
+// drift with de-schedule outliers (with and without filtering), and on a
+// temperature-step drift change.
+func runClockSync(e *env) error {
+	type scenario struct {
+		name  string
+		pairs func() []clock.Pair
+		truth *clock.Local
+	}
+	const span = 140
+	mk := func(drift float64, jitterNS float64, outlierAt int, step bool, seed uint64) ([]clock.Pair, *clock.Local) {
+		c := clock.NewLocal(3*clock.Second, drift, 0, 1, seed)
+		rng := xrand.New(seed)
+		var pairs []clock.Pair
+		local := clock.Time(0)
+		for i := 0; i <= span; i++ {
+			g := clock.Time(i) * clock.Second
+			if step {
+				// Drift changes halfway (crystal temperature change).
+				rate := 1 + drift
+				if i > span/2 {
+					rate = 1 - drift
+				}
+				if i > 0 {
+					local += clock.Time(float64(clock.Second) * rate)
+				}
+			} else {
+				local = c.ValueAt(g)
+			}
+			gg := g
+			if outlierAt > 0 && i == outlierAt {
+				gg -= 5 * clock.Millisecond
+			}
+			if jitterNS > 0 {
+				gg += clock.Time(rng.NormFloat64() * jitterNS)
+			}
+			pairs = append(pairs, clock.Pair{Global: gg, Local: local})
+		}
+		return pairs, c
+	}
+
+	scenarios := []scenario{}
+	addScenario := func(name string, drift, jitter float64, outlierAt int, step bool) {
+		pairs, c := mk(drift, jitter, outlierAt, step, 7)
+		scenarios = append(scenarios, scenario{name: name, pairs: func() []clock.Pair { return pairs }, truth: c})
+	}
+	addScenario("clean_drift", 8e-5, 0, 0, false)
+	addScenario("with_jitter", 8e-5, 800, 0, false)
+	addScenario("with_outlier", 8e-5, 0, 70, false)
+	addScenario("drift_step", 8e-5, 0, 0, true)
+
+	var b strings.Builder
+	b.WriteString("scenario\testimator\tmax_error_us\n")
+	for _, sc := range scenarios {
+		pairs := sc.pairs()
+		samples := make([]clock.Time, 0, span)
+		for i := 1; i < span; i++ {
+			samples = append(samples, clock.Time(i)*clock.Second+clock.Second/2)
+		}
+		evaluate := func(name string, adj clock.Adjuster) {
+			var worst clock.Time
+			if sc.name == "drift_step" {
+				// Truth for the step scenario is defined by the pairs
+				// themselves: measure at pair midpoints.
+				for i := 1; i < len(pairs); i++ {
+					trueT := (pairs[i-1].Global + pairs[i].Global) / 2
+					lv := (pairs[i-1].Local + pairs[i].Local) / 2
+					err := adj.Global(lv) - trueT
+					if err < 0 {
+						err = -err
+					}
+					if err > worst {
+						worst = err
+					}
+				}
+			} else {
+				worst = clock.MaxAbsError(adj, sc.truth, samples)
+			}
+			fmt.Fprintf(&b, "%s\t%s\t%.1f\n", sc.name, name, float64(worst)/float64(clock.Microsecond))
+			e.logf("  %-12s %-18s max error %8.1f µs", sc.name, name, float64(worst)/float64(clock.Microsecond))
+		}
+		evaluate("rms", clock.NewRatioAdjuster(pairs))
+		evaluate("rms+filter", clock.NewRatioAdjuster(clock.FilterOutliers(pairs, 1e-3)))
+		evaluate("lastpair", clock.NewLastPairAdjuster(pairs))
+		evaluate("piecewise", clock.NewPiecewiseAdjuster(pairs))
+		fp := clock.FirstPointRatio(pairs)
+		evaluate("firstpoint", &clock.RatioAdjuster{G0: pairs[0].Global, L0: pairs[0].Local, R: fp})
+	}
+	return e.write("clocksync.tsv", b.String())
+}

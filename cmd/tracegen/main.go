@@ -1,0 +1,101 @@
+// Command tracegen runs a synthetic workload on the simulated SP
+// machine and writes one raw trace file per node (<out>/raw.<n>) — the
+// trace-generation step of the paper's Figure 2.
+//
+// Usage:
+//
+//	tracegen -out DIR [-workload ring|stencil|sppm|flash|storm]
+//	         [-nodes N] [-tasks-per-node T] [-cpus C] [-seed S]
+//	         [-iters I] [-bytes B] [-threads W] [-outlier-prob P]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tracefw/internal/cluster"
+	"tracefw/internal/events"
+	"tracefw/internal/mpisim"
+	"tracefw/internal/trace"
+	"tracefw/internal/workload"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", ".", "output directory for raw trace files")
+		wl      = flag.String("workload", "ring", "workload: ring, stencil, sppm, flash, storm")
+		nodes   = flag.Int("nodes", 2, "SMP nodes")
+		tpn     = flag.Int("tasks-per-node", 1, "MPI tasks per node")
+		cpus    = flag.Int("cpus", 2, "CPUs per node")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		iters   = flag.Int("iters", 0, "workload iterations (0 = workload default)")
+		bytes   = flag.Int("bytes", 0, "message size (0 = workload default)")
+		threads = flag.Int("threads", 0, "worker threads per task where applicable")
+		outlier = flag.Float64("outlier-prob", 0, "probability of a de-scheduled clock sample")
+		wrap    = flag.Bool("wrap", false, "circular trace buffer: keep only the newest -buffer bytes of records")
+		bufSize = flag.Int("buffer", 0, "trace buffer size in bytes (0 = 1 MiB)")
+	)
+	flag.Parse()
+
+	main_, err := workloadMain(*wl, *iters, *bytes, *threads)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	cfg := mpisim.Config{
+		Cluster: cluster.Config{
+			Nodes:       *nodes,
+			CPUsPerNode: *cpus,
+			Seed:        *seed,
+			OutlierProb: *outlier,
+			TraceOpts: trace.Options{
+				Prefix:     filepath.Join(*out, "raw"),
+				Enabled:    events.MaskAll,
+				Wrap:       *wrap,
+				BufferSize: *bufSize,
+			},
+		},
+		TasksPerNode: *tpn,
+	}
+	w, err := mpisim.NewFiles(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	w.Start(main_)
+	end, err := w.Run()
+	if err != nil {
+		fatal(err)
+	}
+	var cut int64
+	for _, f := range w.M.Facilities {
+		c, _ := f.Counts()
+		cut += c
+	}
+	fmt.Printf("tracegen: %s on %d nodes × %d tasks × %d cpus: %v virtual time, %d events, files %s.0..%d\n",
+		*wl, *nodes, *tpn, *cpus, end, cut, cfg.Cluster.TraceOpts.Prefix, *nodes-1)
+}
+
+func workloadMain(name string, iters, bytes, threads int) (func(*mpisim.Proc), error) {
+	switch name {
+	case "ring":
+		return workload.Ring{Iters: iters, Bytes: bytes}.Main(), nil
+	case "stencil":
+		return workload.Stencil{Steps: iters, HaloBytes: bytes}.Main(), nil
+	case "sppm":
+		return workload.SPPM{Iters: iters, ThreadsPerTask: threads, HaloBytes: bytes}.Main(), nil
+	case "flash":
+		return workload.Flash{Iters: iters, BlockBytes: bytes}.Main(), nil
+	case "storm":
+		return workload.Storm{Iters: iters, Bytes: bytes, Threads: threads}.Main(), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,241 @@
+// Command utedump inspects the framework's file formats: raw trace
+// files, description profiles, interval files (header, thread table,
+// marker table, frame directories, records), and SLOG files. The file
+// kind is detected from the magic.
+//
+// Usage:
+//
+//	utedump [-n LIMIT] [-frames] FILE
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/events"
+	"tracefw/internal/interval"
+	"tracefw/internal/profile"
+	"tracefw/internal/slog"
+	"tracefw/internal/trace"
+)
+
+func main() {
+	var (
+		limit    = flag.Int("n", 20, "maximum records to print (0 = all)")
+		frames   = flag.Bool("frames", false, "print frame directory structure of interval files")
+		validate = flag.Bool("validate", false, "check an interval file's structural invariants against the standard profile")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "utedump: need exactly one file")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	magic, err := peekMagic(path)
+	if err != nil {
+		fatal(err)
+	}
+	switch magic {
+	case "UTRAW1\x00\x00":
+		dumpRaw(path, *limit)
+	case "UTEIVL1\x00":
+		if *validate {
+			validateInterval(path)
+			return
+		}
+		dumpInterval(path, *limit, *frames)
+	case "UTEPROF1":
+		dumpProfile(path)
+	case "UTESLOG1":
+		dumpSlog(path, *limit)
+	default:
+		fatal(fmt.Errorf("%s: unknown magic %q", path, magic))
+	}
+}
+
+func peekMagic(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	var b [8]byte
+	if _, err := io.ReadFull(f, b[:]); err != nil {
+		return "", err
+	}
+	return string(b[:]), nil
+}
+
+func dumpRaw(path string, limit int) {
+	rd, err := trace.OpenFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer rd.Close()
+	fmt.Printf("raw trace: node %d, %d cpus, enabled mask %#x\n",
+		rd.Info.Node, rd.Info.NumCPUs, rd.Info.Enabled)
+	n := 0
+	for {
+		r, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		n++
+		if limit == 0 || n <= limit {
+			str := ""
+			if r.Str != "" {
+				str = fmt.Sprintf(" %q", r.Str)
+			}
+			fmt.Printf("  %10d  t%-3d %-14s %-6s %v%s\n",
+				r.Time, r.TID, r.Type.Name(), r.Edge, r.Args, str)
+		}
+	}
+	fmt.Printf("total: %d records\n", n)
+}
+
+func dumpInterval(path string, limit int, frames bool) {
+	f, err := interval.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	h := f.Header
+	fmt.Printf("interval file: profile %#x, header v%d, mask %#x, %d threads, %d markers\n",
+		h.ProfileVersion, h.HeaderVersion, h.FieldMask, len(h.Threads), len(h.Markers))
+	for _, te := range h.Threads {
+		fmt.Printf("  thread n%d/t%d task=%d pid=%d systid=%d type=%s\n",
+			te.Node, te.LTID, te.Task, te.PID, te.SysTID, events.ThreadTypeName(int(te.Type)))
+	}
+	for id, s := range h.Markers {
+		fmt.Printf("  marker %d = %q\n", id, s)
+	}
+	if frames {
+		dirs, err := f.Dirs()
+		if err != nil {
+			fatal(err)
+		}
+		for di, d := range dirs {
+			fmt.Printf("  dir %d @%d (prev %d, next %d): %d frames\n", di, d.Offset, d.Prev, d.Next, len(d.Entries))
+			for fi, fe := range d.Entries {
+				fmt.Printf("    frame %d @%d: %dB, %d records, [%v .. %v]\n",
+					fi, fe.Offset, fe.Bytes, fe.Records, fe.Start, fe.End)
+			}
+		}
+	}
+	first, last, total, err := f.Stats()
+	if err != nil {
+		fatal(err)
+	}
+	sc := f.Scan()
+	n := 0
+	for {
+		r, err := sc.NextRecord()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		n++
+		if limit == 0 || n <= limit {
+			fmt.Printf("  %v extras=%v\n", r, r.Extra)
+		}
+	}
+	fmt.Printf("total: %d records (dirs say %d), span [%v .. %v]\n", n, total, first, last)
+}
+
+// validateInterval runs the full structural check: directory links,
+// frame metadata vs records, end-time ordering, and per-record layout
+// against the standard profile.
+func validateInterval(path string) {
+	f, err := interval.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	rep, err := f.Validate(profile.Standard())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: valid (%d records in %d frames, %d directories)\n",
+		path, rep.Records, rep.Frames, rep.Dirs)
+}
+
+func dumpProfile(path string) {
+	fp, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer fp.Close()
+	p, err := profile.Read(fp)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("profile: version %#x, %d record specifications\n", p.Version, len(p.Specs))
+	for _, s := range p.Specs {
+		fmt.Printf("  %s/%s (%d fields):", s.Name, s.Bebits, len(s.Fields))
+		for _, f := range s.Fields {
+			v := ""
+			if f.Vector {
+				v = fmt.Sprintf("[]c%d", f.CounterLen)
+			}
+			fmt.Printf(" %s:%s%d%s/a%x", f.Name, typeName(f.Type), f.ElemLen, v, f.Attr)
+		}
+		fmt.Println()
+	}
+}
+
+func typeName(t profile.DataType) string {
+	switch t {
+	case profile.Uint:
+		return "u"
+	case profile.Int:
+		return "i"
+	case profile.Float:
+		return "f"
+	case profile.Bytes:
+		return "b"
+	}
+	return "?"
+}
+
+func dumpSlog(path string, limit int) {
+	f, err := slog.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	fmt.Printf("slog: [%v .. %v], %d bins, %d states, %d frames, %d threads, %d markers\n",
+		f.TStart, f.TEnd, f.Bins, len(f.States), len(f.Index), len(f.Threads), len(f.Markers))
+	var dur clock.Time
+	for si, ty := range f.Preview.States {
+		var tot clock.Time
+		for _, d := range f.Preview.Dur[si] {
+			tot += d
+		}
+		dur += tot
+		if tot > 0 {
+			fmt.Printf("  state %-14s: %8d calls, %v total\n", ty.Name(), f.Preview.Count[si], tot)
+		}
+	}
+	shown := 0
+	for i, fe := range f.Index {
+		if limit != 0 && shown >= limit {
+			break
+		}
+		shown++
+		fmt.Printf("  frame %3d @%d: %dB, %d records, [%v .. %v]\n",
+			i, fe.Offset, fe.Bytes, fe.Records, fe.Start, fe.End)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "utedump:", err)
+	os.Exit(1)
+}

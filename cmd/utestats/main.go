@@ -1,0 +1,124 @@
+// Command utestats generates statistics tables from interval files (the
+// paper's statistics utility, §3.2). Tables are specified in the
+// declarative language:
+//
+//	table name=sample condition=(start < 2)
+//	      x=("node", node) x=("processor", cpu)
+//	      y=("avg(duration)", dura, avg)
+//
+// Without a program the pre-defined tables are generated, including the
+// per-node × time-bin "interesting duration" table of Figure 6. Output
+// is tab-separated values; -svg additionally writes the statistics
+// viewer's rendering of each table.
+//
+// Usage:
+//
+//	utestats [-e PROGRAM | -f program.st] [-bins N] [-out DIR] [-svg]
+//	         merged.ute [more.ute ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tracefw/internal/interval"
+	"tracefw/internal/render"
+	"tracefw/internal/stats"
+)
+
+func main() {
+	var (
+		exprSrc  = flag.String("e", "", "inline statistics program")
+		fileSrc  = flag.String("f", "", "statistics program file")
+		bins     = flag.Int("bins", 50, "time bins for the predefined tables")
+		outDir   = flag.String("out", "", "write each table to DIR/<name>.tsv instead of stdout")
+		svg      = flag.Bool("svg", false, "with -out, also write viewer SVGs")
+		checkVer = flag.Bool("check-profile", false, "verify the inputs' profile version against profile.ute next to each input")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "utestats: no input files")
+		os.Exit(2)
+	}
+	program := *exprSrc
+	if *fileSrc != "" {
+		b, err := os.ReadFile(*fileSrc)
+		if err != nil {
+			fatal(err)
+		}
+		program = string(b)
+	}
+	if program == "" {
+		program = stats.Predefined(*bins)
+	}
+
+	var files []*interval.File
+	for _, p := range flag.Args() {
+		f, err := interval.Open(p)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if *checkVer {
+			if err := verifyProfile(p, f); err != nil {
+				fatal(err)
+			}
+		}
+		files = append(files, f)
+	}
+	tables, err := stats.Generate(program, files)
+	if err != nil {
+		fatal(err)
+	}
+	for _, tb := range tables {
+		if *outDir == "" {
+			fmt.Printf("# table %s\n%s\n", tb.Name, tb.TSV())
+			continue
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*outDir, tb.Name+".tsv")
+		if err := os.WriteFile(path, []byte(tb.TSV()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("utestats: wrote %s (%d rows)\n", path, len(tb.Rows))
+		if *svg {
+			var doc string
+			if len(tb.XLabels) >= 2 {
+				doc = render.StatsHeatmapSVG(tb)
+			} else {
+				doc = render.StatsBarsSVG(tb)
+			}
+			spath := filepath.Join(*outDir, tb.Name+".svg")
+			if err := os.WriteFile(spath, []byte(doc), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("utestats: wrote %s\n", spath)
+		}
+	}
+}
+
+// verifyProfile compares the interval file's profile version with the
+// profile.ute in the same directory (paper §2.3: "Utilities and programs
+// that read interval files check that they are using the correct
+// profile").
+func verifyProfile(path string, f *interval.File) error {
+	pp := filepath.Join(filepath.Dir(path), "profile.ute")
+	prof, err := profileRead(pp, f.Header.FieldMask)
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", pp, err)
+	}
+	if prof.Version != f.Header.ProfileVersion {
+		return fmt.Errorf("%s: profile version %#x does not match %s's %#x",
+			path, f.Header.ProfileVersion, pp, prof.Version)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "utestats:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,9 @@
+package main
+
+import "tracefw/internal/profile"
+
+// profileRead is a seam for tests; it loads a profile file with the
+// given field-selection mask applied.
+func profileRead(path string, mask uint16) (*profile.Profile, error) {
+	return profile.ReadFile(path, mask)
+}

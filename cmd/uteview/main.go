@@ -1,0 +1,157 @@
+// Command uteview is the repository's Jumpshot stand-in (paper §4): it
+// renders the whole-run preview and the multiple time-space diagrams
+// derived from one trace, as SVG files or ASCII.
+//
+// Usage:
+//
+//	uteview -merged merged.ute [-slog trace.slog]
+//	        [-view thread-activity|processor-activity|thread-processor|processor-thread]
+//	        [-t0 S] [-t1 S] [-connected] [-ascii] [-width N] [-o out.svg]
+//	uteview -slog trace.slog -preview [-ascii] [-o preview.svg]
+//	uteview -slog trace.slog -frame-at S        # fetch the frame containing time S
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/interval"
+	"tracefw/internal/render"
+	"tracefw/internal/slog"
+)
+
+func main() {
+	var (
+		mergedPath = flag.String("merged", "", "merged interval file")
+		slogPath   = flag.String("slog", "", "SLOG file (preview, arrows, frame fetch)")
+		viewName   = flag.String("view", "thread-activity", "time-space diagram kind")
+		t0         = flag.Float64("t0", 0, "window start, seconds")
+		t1         = flag.Float64("t1", 0, "window end, seconds (0 = full run)")
+		connected  = flag.Bool("connected", false, "connect interval pieces per call")
+		ascii      = flag.Bool("ascii", false, "render ASCII to stdout instead of SVG")
+		width      = flag.Int("width", 100, "ASCII width in columns")
+		out        = flag.String("o", "", "output SVG path (default stdout)")
+		preview    = flag.Bool("preview", false, "render the SLOG preview instead of a diagram")
+		frameAt    = flag.Float64("frame-at", -1, "print the SLOG frame containing this time (seconds)")
+		arrows     = flag.Bool("arrows", false, "overlay message arrows from the SLOG file")
+		htmlOut    = flag.String("html", "", "write a self-contained interactive HTML viewer (needs -slog)")
+	)
+	flag.Parse()
+
+	var sf *slog.File
+	if *slogPath != "" {
+		var err error
+		if sf, err = slog.Open(*slogPath); err != nil {
+			fatal(err)
+		}
+		defer sf.Close()
+	}
+
+	switch {
+	case *htmlOut != "":
+		if sf == nil {
+			fatal(fmt.Errorf("-html needs -slog"))
+		}
+		page, err := render.ViewerHTML(sf)
+		if err != nil {
+			fatal(err)
+		}
+		emit(*htmlOut, page)
+		return
+
+	case *frameAt >= 0:
+		if sf == nil {
+			fatal(fmt.Errorf("-frame-at needs -slog"))
+		}
+		i, ok := sf.FrameAt(clock.FromSeconds(*frameAt))
+		if !ok {
+			fatal(fmt.Errorf("no frame contains %gs", *frameAt))
+		}
+		fd, err := sf.ReadFrame(i)
+		if err != nil {
+			fatal(err)
+		}
+		fe := sf.Index[i]
+		fmt.Printf("frame %d [%v .. %v]: %d intervals, %d pseudo, %d arrows, %d crossing\n",
+			i, fe.Start, fe.End, len(fd.Intervals), len(fd.Pseudo), len(fd.Arrows), len(fd.Crossing))
+		for _, r := range fd.Pseudo {
+			fmt.Printf("  pseudo   %v\n", r)
+		}
+		for _, r := range fd.Intervals {
+			fmt.Printf("  interval %v\n", r)
+		}
+		for _, a := range fd.Arrows {
+			fmt.Printf("  arrow    n%d/t%d -> n%d/t%d  [%v -> %v] %dB seq %d\n",
+				a.SrcNode, a.SrcThread, a.DstNode, a.DstThread, a.SendTime, a.RecvTime, a.Bytes, a.Seqno)
+		}
+		return
+
+	case *preview:
+		if sf == nil {
+			fatal(fmt.Errorf("-preview needs -slog"))
+		}
+		if *ascii {
+			fmt.Print(render.PreviewASCII(sf.Preview, *width))
+			return
+		}
+		emit(*out, render.PreviewSVG(sf.Preview))
+		return
+	}
+
+	if *mergedPath == "" {
+		fatal(fmt.Errorf("need -merged (or -preview/-frame-at with -slog)"))
+	}
+	mf, err := interval.Open(*mergedPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer mf.Close()
+	kind, err := render.ParseView(*viewName)
+	if err != nil {
+		fatal(err)
+	}
+	opts := render.Options{
+		T0:        clock.FromSeconds(*t0),
+		T1:        clock.FromSeconds(*t1),
+		Connected: *connected,
+	}
+	if *arrows {
+		if sf == nil {
+			fatal(fmt.Errorf("-arrows needs -slog"))
+		}
+		for i := range sf.Index {
+			fd, err := sf.ReadFrame(i)
+			if err != nil {
+				fatal(err)
+			}
+			opts.Arrows = append(opts.Arrows, fd.Arrows...)
+		}
+	}
+	d, err := render.BuildDiagram(mf, kind, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *ascii {
+		fmt.Print(d.ASCII(*width))
+		return
+	}
+	emit(*out, d.SVG())
+}
+
+func emit(path, doc string) {
+	if path == "" {
+		fmt.Print(doc)
+		return
+	}
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "uteview: wrote %s\n", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "uteview:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,15 @@
+// Package tracefw reproduces the performance framework of "From Trace
+// Generation to Visualization: A Performance Framework for Distributed
+// Parallel Systems" (Wu, Bolmarcich, Snir, Wootton, Parpia, Chan, Lusk,
+// Gropp — SC 2000): a unified tracing facility for MPI and system events
+// on clusters of SMP nodes, switch-clock-based timestamp adjustment, a
+// self-defining interval trace file format with frames and frame
+// directories, convert/merge/statistics utilities, an SLOG export, and a
+// Jumpshot-style viewer.
+//
+// The repository root holds the benchmark suite (bench_test.go): one
+// benchmark per table and figure of the paper's evaluation plus
+// ablations of the design decisions. See README.md for the tour,
+// DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package tracefw

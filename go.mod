@@ -1,0 +1,3 @@
+module tracefw
+
+go 1.22

@@ -1,0 +1,157 @@
+package clock
+
+import "sort"
+
+// Adjuster maps local timestamps and durations from one node's trace
+// into the global (switch adapter) timebase. The merge utility builds
+// one Adjuster per input interval file (paper §3.1).
+type Adjuster interface {
+	// Global converts a local timestamp to a global timestamp.
+	Global(local Time) Time
+	// Duration converts a local duration to a global duration.
+	Duration(d Time) Time
+}
+
+// RatioAdjuster is the paper's primary scheme: the first global clock
+// record anchors the start, and a single ratio R (from RMSRatio) scales
+// everything after it — "an interval generated from the node with a
+// local timestamp S and duration D can be adjusted with a global
+// timestamp R*S and duration R*D", applied relative to the anchor so
+// independently-started node clocks align.
+type RatioAdjuster struct {
+	G0, L0 Time    // anchor: the first global clock record
+	R      float64 // global-to-local clock ratio
+}
+
+// NewRatioAdjuster anchors at the first pair and estimates R with the
+// paper's RMS-of-adjacent-slopes equation. With fewer than two pairs the
+// ratio defaults to 1 (offset-only alignment).
+func NewRatioAdjuster(pairs []Pair) *RatioAdjuster {
+	a := &RatioAdjuster{R: 1}
+	if len(pairs) > 0 {
+		a.G0, a.L0 = pairs[0].Global, pairs[0].Local
+	}
+	if len(pairs) >= 2 {
+		a.R = RMSRatio(pairs)
+	}
+	return a
+}
+
+// Global implements Adjuster.
+func (a *RatioAdjuster) Global(local Time) Time {
+	return a.G0 + scale(local-a.L0, a.R)
+}
+
+// Duration implements Adjuster.
+func (a *RatioAdjuster) Duration(d Time) Time { return scale(d, a.R) }
+
+// LastPairAdjuster uses the paper's alternative ratio: the overall slope
+// between the first and last pair, "if the elapsed time of the trace is
+// reasonably long".
+type LastPairAdjuster struct{ RatioAdjuster }
+
+// NewLastPairAdjuster builds the last-pair-slope variant.
+func NewLastPairAdjuster(pairs []Pair) *LastPairAdjuster {
+	a := &LastPairAdjuster{}
+	a.R = 1
+	if len(pairs) > 0 {
+		a.G0, a.L0 = pairs[0].Global, pairs[0].Local
+	}
+	if len(pairs) >= 2 {
+		a.R = LastPairRatio(pairs)
+	}
+	return a
+}
+
+// PiecewiseAdjuster implements the paper's third scheme: "adjust local
+// timestamps using slopes of individual slope segments", partitioning
+// elapsed time into n segments each with its own global-to-local ratio.
+// Timestamps before the first pair extrapolate with the first segment's
+// slope; after the last pair, with the last segment's slope.
+type PiecewiseAdjuster struct {
+	pairs  []Pair
+	slopes []float64 // slopes[i] covers [pairs[i].Local, pairs[i+1].Local)
+}
+
+// NewPiecewiseAdjuster builds a per-segment adjuster. Pairs must be in
+// increasing local order; degenerate segments are assigned slope 1.
+func NewPiecewiseAdjuster(pairs []Pair) *PiecewiseAdjuster {
+	p := &PiecewiseAdjuster{pairs: append([]Pair(nil), pairs...)}
+	if len(pairs) >= 2 {
+		p.slopes = make([]float64, len(pairs)-1)
+		for i := 1; i < len(pairs); i++ {
+			dl := pairs[i].Local - pairs[i-1].Local
+			if dl == 0 {
+				p.slopes[i-1] = 1
+				continue
+			}
+			p.slopes[i-1] = float64(pairs[i].Global-pairs[i-1].Global) / float64(dl)
+		}
+	}
+	return p
+}
+
+// Global implements Adjuster by linear interpolation inside the segment
+// containing local.
+func (p *PiecewiseAdjuster) Global(local Time) Time {
+	if len(p.pairs) == 0 {
+		return local
+	}
+	if len(p.pairs) == 1 || len(p.slopes) == 0 {
+		return p.pairs[0].Global + (local - p.pairs[0].Local)
+	}
+	// Find the last pair whose Local <= local.
+	i := sort.Search(len(p.pairs), func(i int) bool { return p.pairs[i].Local > local }) - 1
+	if i < 0 {
+		i = 0
+	}
+	si := i
+	if si >= len(p.slopes) {
+		si = len(p.slopes) - 1
+	}
+	return p.pairs[i].Global + scale(local-p.pairs[i].Local, p.slopes[si])
+}
+
+// Duration implements Adjuster using the mean segment slope; durations
+// are short relative to segment length so any segment's slope is a close
+// approximation, and the mean is stable.
+func (p *PiecewiseAdjuster) Duration(d Time) Time {
+	if len(p.slopes) == 0 {
+		return d
+	}
+	sum := 0.0
+	for _, s := range p.slopes {
+		sum += s
+	}
+	return scale(d, sum/float64(len(p.slopes)))
+}
+
+func scale(t Time, r float64) Time {
+	// Round-to-nearest keeps the mapping monotone for the slope ranges
+	// that occur in practice (|r−1| ≪ 1).
+	v := float64(t) * r
+	if v >= 0 {
+		return Time(v + 0.5)
+	}
+	return Time(v - 0.5)
+}
+
+// MaxAbsError evaluates an adjuster against the true mapping of a Local
+// clock at the given true-time sample points: it reads the noiseless
+// local clock at each point, adjusts it, and returns the maximum
+// |adjusted − true| over all samples. Used by the §2.2 estimator
+// comparison experiment.
+func MaxAbsError(a Adjuster, c *Local, samples []Time) Time {
+	var worst Time
+	for _, t := range samples {
+		adj := a.Global(c.ValueAt(t))
+		err := adj - t
+		if err < 0 {
+			err = -err
+		}
+		if err > worst {
+			worst = err
+		}
+	}
+	return worst
+}

@@ -1,0 +1,93 @@
+package clock
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DiscrepancySeries reproduces the data behind the paper's Figure 1:
+// the accumulated timestamp discrepancies among a set of local clocks,
+// measured against one of them used as the reference. For each sample
+// instant t (in the reference clock's elapsed time) and each clock i,
+// the discrepancy is
+//
+//	D_i(t) = (local_i(t) − local_i(0)) − (local_ref(t) − local_ref(0)),
+//
+// i.e. how far clock i's elapsed time has diverged from the reference
+// clock's elapsed time. The reference's own series is identically zero.
+type DiscrepancySeries struct {
+	Reference int      // index of the reference clock
+	SampleAt  []Time   // elapsed true time of each sample
+	Disc      [][]Time // Disc[i][k] = discrepancy of clock i at sample k
+}
+
+// Figure1 samples nclocks simulated local clocks every step for total
+// elapsed time and returns the discrepancy series against the clock at
+// index ref. Drifts supplies the per-clock fractional drift rates; its
+// length must equal nclocks.
+func Figure1(drifts []float64, ref int, total, step Time, seed uint64) *DiscrepancySeries {
+	n := len(drifts)
+	if ref < 0 || ref >= n {
+		panic("clock: reference index out of range")
+	}
+	clocks := make([]*Local, n)
+	for i, d := range drifts {
+		// Offsets are arbitrary: discrepancies are elapsed-time based.
+		clocks[i] = NewLocal(Time(i)*37*Millisecond, d, 0, 1, seed+uint64(i))
+	}
+	s := &DiscrepancySeries{Reference: ref}
+	base := make([]Time, n)
+	for i, c := range clocks {
+		base[i] = c.ValueAt(0)
+	}
+	s.Disc = make([][]Time, n)
+	for t := Time(0); t <= total; t += step {
+		s.SampleAt = append(s.SampleAt, t)
+		refElapsed := clocks[ref].ValueAt(t) - base[ref]
+		for i, c := range clocks {
+			elapsed := c.ValueAt(t) - base[i]
+			s.Disc[i] = append(s.Disc[i], elapsed-refElapsed)
+		}
+	}
+	return s
+}
+
+// TSV renders the series as a tab-separated table with a header row:
+// elapsed seconds of the reference clock, then one discrepancy column
+// (in microseconds) per clock.
+func (s *DiscrepancySeries) TSV() string {
+	var b strings.Builder
+	b.WriteString("elapsed_s")
+	for i := range s.Disc {
+		fmt.Fprintf(&b, "\tclock%d_us", i)
+	}
+	b.WriteByte('\n')
+	for k, t := range s.SampleAt {
+		fmt.Fprintf(&b, "%.3f", t.Seconds())
+		for i := range s.Disc {
+			fmt.Fprintf(&b, "\t%.1f", float64(s.Disc[i][k])/float64(Microsecond))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MaxDivergence returns the largest absolute discrepancy of any clock at
+// the final sample — the "accumulated" spread the figure illustrates.
+func (s *DiscrepancySeries) MaxDivergence() Time {
+	var worst Time
+	if len(s.SampleAt) == 0 {
+		return 0
+	}
+	last := len(s.SampleAt) - 1
+	for i := range s.Disc {
+		d := s.Disc[i][last]
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,98 @@
+package clock
+
+import (
+	"strings"
+	"testing"
+)
+
+var fig1Drifts = []float64{0, 2.5e-5, -3.5e-5, 6e-5}
+
+func TestFigure1ReferenceIsZero(t *testing.T) {
+	s := Figure1(fig1Drifts, 0, 140*Second, Second, 1)
+	for k := range s.SampleAt {
+		if s.Disc[0][k] != 0 {
+			t.Fatalf("reference clock discrepancy nonzero at sample %d: %v", k, s.Disc[0][k])
+		}
+	}
+}
+
+func TestFigure1DiscrepancyGrows(t *testing.T) {
+	s := Figure1(fig1Drifts, 0, 140*Second, Second, 1)
+	// Each non-reference clock's |discrepancy| must be (weakly) increasing
+	// and reach the drift-predicted magnitude at the end.
+	for i := 1; i < len(fig1Drifts); i++ {
+		series := s.Disc[i]
+		last := abs(series[len(series)-1])
+		first := abs(series[1])
+		if last <= first {
+			t.Fatalf("clock %d discrepancy did not accumulate: first %v last %v", i, first, last)
+		}
+		predicted := Time(fig1Drifts[i] * float64(140*Second))
+		if predicted < 0 {
+			predicted = -predicted
+		}
+		diff := last - predicted
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > predicted/10+Microsecond {
+			t.Fatalf("clock %d final discrepancy %v, predicted %v", i, last, predicted)
+		}
+	}
+}
+
+func TestFigure1AnyReference(t *testing.T) {
+	// The figure's caption: discrepancies increase regardless of the
+	// reference clock. Check max divergence is nonzero for every choice.
+	for ref := range fig1Drifts {
+		s := Figure1(fig1Drifts, ref, 140*Second, Second, 1)
+		if s.MaxDivergence() < Millisecond {
+			t.Fatalf("ref %d: max divergence %v implausibly small", ref, s.MaxDivergence())
+		}
+	}
+}
+
+func TestFigure1SampleCount(t *testing.T) {
+	s := Figure1(fig1Drifts, 0, 10*Second, Second, 1)
+	if len(s.SampleAt) != 11 {
+		t.Fatalf("got %d samples, want 11", len(s.SampleAt))
+	}
+	for i := range s.Disc {
+		if len(s.Disc[i]) != 11 {
+			t.Fatalf("clock %d has %d samples", i, len(s.Disc[i]))
+		}
+	}
+}
+
+func TestFigure1TSV(t *testing.T) {
+	s := Figure1(fig1Drifts, 0, 5*Second, Second, 1)
+	tsv := s.TSV()
+	lines := strings.Split(strings.TrimRight(tsv, "\n"), "\n")
+	if len(lines) != 7 { // header + 6 samples
+		t.Fatalf("TSV has %d lines, want 7", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "elapsed_s\tclock0_us") {
+		t.Fatalf("bad header: %q", lines[0])
+	}
+	for _, ln := range lines[1:] {
+		if got := strings.Count(ln, "\t"); got != len(fig1Drifts) {
+			t.Fatalf("row has %d tabs, want %d: %q", got, len(fig1Drifts), ln)
+		}
+	}
+}
+
+func TestFigure1PanicsOnBadRef(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range reference")
+		}
+	}()
+	Figure1(fig1Drifts, 9, Second, Second, 1)
+}
+
+func abs(t Time) Time {
+	if t < 0 {
+		return -t
+	}
+	return t
+}

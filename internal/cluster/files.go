@@ -1,0 +1,6 @@
+package cluster
+
+import "os"
+
+// openCreate is a seam for tests; it simply creates the named file.
+func openCreate(name string) (*os.File, error) { return os.Create(name) }

@@ -1,0 +1,511 @@
+// Package convert implements the paper's convert utility (§3.1): it
+// turns a set of per-node raw event trace files into per-node interval
+// files. A begin event is matched with its end event to create an
+// interval; if other events intervene — thread dispatch events, user
+// marker events, nested MPI calls — the interval is divided into
+// multiple pieces typed by bebits (begin / continuation / end /
+// complete). The converter also synthesizes the default Running state
+// for dispatched time outside any MPI routine or marker region, carries
+// global-clock pair records into the interval file for the merge
+// utility, and re-assigns globally unique identifiers to user marker
+// strings across all tasks.
+package convert
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/events"
+	"tracefw/internal/interval"
+	"tracefw/internal/profile"
+	"tracefw/internal/trace"
+)
+
+// MarkerRegistry assigns globally unique marker identifiers to marker
+// strings across every trace file of a run. Identifiers start at 1 in
+// first-seen order.
+type MarkerRegistry struct {
+	ids  map[string]uint64
+	strs map[uint64]string
+}
+
+// NewMarkerRegistry returns an empty registry.
+func NewMarkerRegistry() *MarkerRegistry {
+	return &MarkerRegistry{ids: make(map[string]uint64), strs: make(map[uint64]string)}
+}
+
+// ID returns the global identifier for a marker string, assigning the
+// next one on first sight.
+func (m *MarkerRegistry) ID(s string) uint64 {
+	if id, ok := m.ids[s]; ok {
+		return id
+	}
+	id := uint64(len(m.ids) + 1)
+	m.ids[s] = id
+	m.strs[id] = s
+	return id
+}
+
+// Table returns a copy of the id → string table for interval headers.
+func (m *MarkerRegistry) Table() map[uint64]string {
+	out := make(map[uint64]string, len(m.strs))
+	for k, v := range m.strs {
+		out[k] = v
+	}
+	return out
+}
+
+// Options configures a conversion.
+type Options struct {
+	Writer interval.WriterOptions
+	// Markers shares global marker identifiers across the files of one
+	// run; nil creates a private registry.
+	Markers *MarkerRegistry
+	// Tolerant accepts traces that start mid-stream (the facility's wrap
+	// mode evicts the oldest records): unmatched exits, undispatches of
+	// never-dispatched threads, and marker events whose definitions were
+	// evicted are skipped and counted instead of failing the conversion.
+	Tolerant bool
+}
+
+// Result summarizes one converted file.
+type Result struct {
+	Node       int
+	Events     int64 // raw event records processed
+	Records    int64 // interval records emitted
+	Skipped    int64 // events skipped in tolerant mode
+	ClockPairs []clock.Pair
+}
+
+// openState is one entry of a thread's state stack. Only the top state
+// accumulates time; the states below are suspended, their current pieces
+// already emitted.
+type openState struct {
+	ty         events.Type
+	pieces     int // pieces emitted so far
+	pieceStart clock.Time
+	extra      []uint64 // known extras; zero until the closing event for MPI
+	vec        []uint64 // trailing vector field (final piece only)
+	markerID   uint64   // task-local marker id (marker states)
+}
+
+type threadState struct {
+	tid        int32
+	cpu        uint16
+	dispatched bool
+	stack      []*openState
+	task       int32 // MPI task, -1 unknown/non-MPI
+}
+
+type converter struct {
+	node     int
+	w        *interval.Writer
+	markers  *MarkerRegistry
+	tolerant bool
+	threads  map[int32]*threadState
+	// localMarker maps (task, task-local id) -> global id.
+	localMarker map[[2]int64]uint64
+	lastTime    clock.Time // latest local timestamp processed
+	lastEmitEnd clock.Time // end time of the last emitted record
+	res         Result
+}
+
+// Convert reads the raw trace in src (twice: a table pass and a record
+// pass) and writes one interval file to dst.
+func Convert(src io.ReadSeeker, dst io.WriteSeeker, opts Options) (*Result, error) {
+	markers := opts.Markers
+	if markers == nil {
+		markers = NewMarkerRegistry()
+	}
+
+	// Pass 1: collect the thread table and marker strings, which the
+	// interval file stores ahead of all records.
+	if _, err := src.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	rd, err := trace.NewReader(src)
+	if err != nil {
+		return nil, err
+	}
+	node := rd.Info.Node
+	var threads []interval.ThreadEntry
+	haveInfo := map[int32]bool{}
+	seenTID := map[int32]bool{}
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if rec.TID >= 0 {
+			seenTID[rec.TID] = true
+		}
+		switch rec.Type {
+		case events.EvThreadInfo:
+			haveInfo[rec.TID] = true
+			threads = append(threads, interval.ThreadEntry{
+				Task:   int32(uint32(rec.Args[2])),
+				PID:    rec.Args[0],
+				SysTID: rec.Args[1],
+				Node:   uint16(node),
+				LTID:   uint16(rec.TID),
+				Type:   uint8(rec.Args[3]),
+			})
+		case events.EvMarkerDefine:
+			markers.ID(rec.Str)
+		}
+	}
+	// Threads whose info records were evicted (wrap mode) still get a
+	// table entry so views and statistics can label them.
+	for tid := range seenTID {
+		if !haveInfo[tid] {
+			threads = append(threads, interval.ThreadEntry{
+				Task: -1, Node: uint16(node), LTID: uint16(tid), Type: events.ThreadSystem,
+			})
+		}
+	}
+	sort.Slice(threads, func(i, j int) bool { return threads[i].LTID < threads[j].LTID })
+
+	hdr := interval.Header{
+		ProfileVersion: profile.StdVersion,
+		HeaderVersion:  interval.CurrentHeaderVersion,
+		FieldMask:      profile.MaskIndividual,
+		Threads:        threads,
+		Markers:        markers.Table(),
+	}
+	w, err := interval.NewWriter(dst, hdr, opts.Writer)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &converter{
+		node:        node,
+		w:           w,
+		markers:     markers,
+		tolerant:    opts.Tolerant,
+		threads:     make(map[int32]*threadState),
+		localMarker: make(map[[2]int64]uint64),
+		lastTime:    clock.Time(-1 << 62),
+		lastEmitEnd: clock.Time(-1 << 62), // local clocks may start negative
+		res:         Result{Node: node},
+	}
+	for _, te := range threads {
+		c.threads[int32(te.LTID)] = &threadState{tid: int32(te.LTID), task: te.Task}
+	}
+
+	// Pass 2: the conversion proper.
+	if _, err := src.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	rd, err = trace.NewReader(src)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		c.res.Events++
+		if err := c.event(&rec); err != nil {
+			return nil, err
+		}
+	}
+	// Threads still live at end of trace: close their open states so the
+	// file accounts for all observed time.
+	if err := c.finish(); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return &c.res, nil
+}
+
+func (c *converter) thread(tid int32) *threadState {
+	ts := c.threads[tid]
+	if ts == nil {
+		ts = &threadState{tid: tid, task: -1}
+		c.threads[tid] = ts
+	}
+	return ts
+}
+
+func (c *converter) event(rec *trace.Record) error {
+	now := rec.Time
+	if now > c.lastTime {
+		c.lastTime = now
+	}
+	switch rec.Type {
+	case events.EvThreadInfo:
+		return nil // consumed in pass 1
+	case events.EvGlobalClock:
+		// The pair keeps the raw local reading (the merge utility's
+		// estimators want it, outliers included); the emitted record's
+		// position is clamped so a de-schedule-delayed reading cannot
+		// break the file's end-time ordering.
+		c.res.ClockPairs = append(c.res.ClockPairs, clock.Pair{
+			Global: clock.Time(rec.Args[0]), Local: now,
+		})
+		at := now
+		if at < c.lastEmitEnd {
+			at = c.lastEmitEnd
+		}
+		return c.emit(&interval.Record{
+			Type: events.EvGlobalClock, Bebits: profile.Complete,
+			Start: at, Dura: 0, Node: uint16(c.node),
+			Extra: []uint64{rec.Args[0]},
+		})
+	case events.EvDispatch:
+		ts := c.thread(rec.TID)
+		ts.dispatched = true
+		ts.cpu = uint16(rec.Args[0])
+		if len(ts.stack) == 0 {
+			ts.stack = append(ts.stack, &openState{ty: events.EvRunning})
+		}
+		c.top(ts).pieceStart = now
+		return nil
+	case events.EvUndispatch:
+		ts := c.thread(rec.TID)
+		if !ts.dispatched {
+			if c.tolerant {
+				c.res.Skipped++
+				return nil
+			}
+			return fmt.Errorf("convert: undispatch of idle thread %d at %v", rec.TID, now)
+		}
+		if len(ts.stack) > 0 {
+			if err := c.closePiece(ts, now, false); err != nil {
+				return err
+			}
+		}
+		ts.dispatched = false
+		if len(rec.Args) > 1 && rec.Args[1] == events.UndispatchExit {
+			return c.closeAll(ts, now)
+		}
+		return nil
+	case events.EvMarkerDefine:
+		ts := c.thread(rec.TID)
+		gid := c.markers.ID(rec.Str)
+		c.localMarker[[2]int64{int64(ts.task), int64(rec.Args[0])}] = gid
+		return nil
+	case events.EvMarkerBegin:
+		ts := c.thread(rec.TID)
+		gid, ok := c.localMarker[[2]int64{int64(ts.task), int64(rec.Args[0])}]
+		if !ok {
+			if !c.tolerant {
+				return fmt.Errorf("convert: marker %d used before definition on task %d", rec.Args[0], ts.task)
+			}
+			// The define record was evicted (wrap mode): synthesize a
+			// stable placeholder name.
+			gid = c.markers.ID(fmt.Sprintf("marker#%d:%d", ts.task, rec.Args[0]))
+			c.localMarker[[2]int64{int64(ts.task), int64(rec.Args[0])}] = gid
+		}
+		st := &openState{
+			ty:       events.EvMarkerState,
+			extra:    []uint64{gid, rec.Args[1], 0},
+			markerID: rec.Args[0],
+		}
+		return c.push(ts, st, now)
+	case events.EvMarkerEnd:
+		ts := c.thread(rec.TID)
+		top := c.top(ts)
+		if top == nil || top.ty != events.EvMarkerState || top.markerID != rec.Args[0] {
+			if c.tolerant {
+				c.res.Skipped++
+				return nil
+			}
+			return fmt.Errorf("convert: marker end %d does not match open state on thread %d", rec.Args[0], rec.TID)
+		}
+		top.extra[2] = rec.Args[1] // endAddr
+		return c.pop(ts, now)
+	}
+	if rec.Type == events.EvPageMiss {
+		// Point event: a zero-duration complete interval that does not
+		// split the enclosing state.
+		ts := c.thread(rec.TID)
+		return c.emit(&interval.Record{
+			Type: events.EvPageMiss, Bebits: profile.Complete,
+			Start: now, Dura: 0,
+			CPU: ts.cpu, Node: uint16(c.node), Thread: uint16(rec.TID),
+			Extra: rec.Args,
+		})
+	}
+	if events.IsMPI(rec.Type) || events.IsIO(rec.Type) {
+		ts := c.thread(rec.TID)
+		switch rec.Edge {
+		case events.Entry:
+			return c.push(ts, &openState{ty: rec.Type}, now)
+		case events.Exit:
+			top := c.top(ts)
+			if top == nil || top.ty != rec.Type {
+				if c.tolerant {
+					c.res.Skipped++
+					return nil
+				}
+				return fmt.Errorf("convert: %s exit without matching entry on thread %d at %v", rec.Type.Name(), rec.TID, now)
+			}
+			top.extra = rec.Args
+			// Types with a trailing vector field carry it after the fixed
+			// extras in the raw record's args.
+			if events.VectorField(rec.Type) != "" {
+				if nx := len(events.ExtraFields(rec.Type)); len(rec.Args) >= nx {
+					top.extra = rec.Args[:nx]
+					top.vec = rec.Args[nx:]
+				}
+			}
+			return c.pop(ts, now)
+		}
+		return fmt.Errorf("convert: state event %s with point edge", rec.Type.Name())
+	}
+	return fmt.Errorf("convert: unhandled event type %s", rec.Type.Name())
+}
+
+func (c *converter) top(ts *threadState) *openState {
+	if len(ts.stack) == 0 {
+		return nil
+	}
+	return ts.stack[len(ts.stack)-1]
+}
+
+// push suspends the current top state's piece and makes st the new
+// active state.
+func (c *converter) push(ts *threadState, st *openState, now clock.Time) error {
+	if !ts.dispatched {
+		if c.tolerant {
+			// Wrap mode evicted the dispatch: treat the thread as
+			// dispatched on an unknown CPU from this point.
+			ts.dispatched = true
+			if len(ts.stack) == 0 {
+				ts.stack = append(ts.stack, &openState{ty: events.EvRunning, pieceStart: now})
+			}
+		} else {
+			return fmt.Errorf("convert: state %s opened on undispatched thread %d at %v", st.ty.Name(), ts.tid, now)
+		}
+	}
+	if top := c.top(ts); top != nil {
+		if err := c.closePiece(ts, now, false); err != nil {
+			return err
+		}
+	}
+	st.pieceStart = now
+	ts.stack = append(ts.stack, st)
+	return nil
+}
+
+// pop closes the top state (emitting its last piece) and resumes the
+// state below it.
+func (c *converter) pop(ts *threadState, now clock.Time) error {
+	if err := c.closePiece(ts, now, true); err != nil {
+		return err
+	}
+	ts.stack = ts.stack[:len(ts.stack)-1]
+	if below := c.top(ts); below != nil && ts.dispatched {
+		below.pieceStart = now
+	} else if below == nil && ts.dispatched {
+		// Back to the default Running state.
+		ts.stack = append(ts.stack, &openState{ty: events.EvRunning, pieceStart: now})
+	}
+	return nil
+}
+
+// closePiece emits the top state's current piece ending now. last marks
+// the state's final piece (end or complete).
+func (c *converter) closePiece(ts *threadState, now clock.Time, last bool) error {
+	st := c.top(ts)
+	if st == nil {
+		return fmt.Errorf("convert: no open state on thread %d", ts.tid)
+	}
+	var bb profile.Bebits
+	switch {
+	case last && st.pieces == 0:
+		bb = profile.Complete
+	case last:
+		bb = profile.End
+	case st.pieces == 0:
+		bb = profile.Begin
+	default:
+		bb = profile.Continuation
+	}
+	extra := st.extra
+	if want := len(events.ExtraFields(st.ty)); len(extra) != want {
+		// Pieces emitted before the closing event carry zeroed extras of
+		// the profile-declared width; sums over pieces stay correct
+		// because only the final piece carries the real values.
+		extra = make([]uint64, want)
+		copy(extra, st.extra)
+	}
+	var vec []uint64
+	if last {
+		vec = st.vec
+	}
+	st.pieces++
+	return c.emit(&interval.Record{
+		Type:   st.ty,
+		Bebits: bb,
+		Start:  st.pieceStart,
+		Dura:   now - st.pieceStart,
+		CPU:    ts.cpu,
+		Node:   uint16(c.node),
+		Thread: uint16(ts.tid),
+		Extra:  extra,
+		Vec:    vec,
+	})
+}
+
+// closeAll force-closes every open state of an exiting thread, top down.
+// Each state's running piece was already closed (by the undispatch or by
+// being suspended), so every state gets a zero-length final piece at now.
+func (c *converter) closeAll(ts *threadState, now clock.Time) error {
+	for len(ts.stack) > 0 {
+		c.top(ts).pieceStart = now
+		if err := c.closePiece(ts, now, true); err != nil {
+			return err
+		}
+		ts.stack = ts.stack[:len(ts.stack)-1]
+	}
+	return nil
+}
+
+func (c *converter) emit(r *interval.Record) error {
+	c.res.Records++
+	if e := r.End(); e > c.lastEmitEnd {
+		c.lastEmitEnd = e
+	}
+	return c.w.Add(r)
+}
+
+// finish closes states of threads that are still live when the trace
+// ends (tracing stopped mid-run). Dispatched threads get their running
+// piece extended to the last timestamp seen in the trace; every open
+// state then receives a final piece there, keeping the file's end-time
+// ordering intact.
+func (c *converter) finish() error {
+	tids := make([]int32, 0, len(c.threads))
+	for tid := range c.threads {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
+		ts := c.threads[tid]
+		if len(ts.stack) == 0 {
+			continue
+		}
+		if ts.dispatched {
+			if err := c.closePiece(ts, c.lastTime, false); err != nil {
+				return err
+			}
+		}
+		if err := c.closeAll(ts, c.lastTime); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package convert
+
+import (
+	"fmt"
+	"os"
+
+	"tracefw/internal/interval"
+)
+
+// ConvertFile converts one raw trace file on disk into one interval file.
+func ConvertFile(rawPath, outPath string, opts Options) (*Result, error) {
+	src, err := os.Open(rawPath)
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+	dst, err := os.Create(outPath)
+	if err != nil {
+		return nil, err
+	}
+	res, err := Convert(src, dst, opts)
+	if cerr := dst.Close(); err == nil {
+		err = cerr
+	}
+	return res, err
+}
+
+// ConvertAll converts a run's raw trace files (rawPaths[i] → outPaths[i])
+// sharing one marker registry, so the same marker string receives the
+// same global identifier in every output file.
+func ConvertAll(rawPaths, outPaths []string, opts Options) ([]*Result, error) {
+	if len(rawPaths) != len(outPaths) {
+		return nil, fmt.Errorf("convert: %d inputs, %d outputs", len(rawPaths), len(outPaths))
+	}
+	if opts.Markers == nil {
+		opts.Markers = NewMarkerRegistry()
+	}
+	results := make([]*Result, 0, len(rawPaths))
+	for i := range rawPaths {
+		r, err := ConvertFile(rawPaths[i], outPaths[i], opts)
+		if err != nil {
+			return results, fmt.Errorf("convert: %s: %w", rawPaths[i], err)
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// ConvertBuffers converts in-memory raw traces, returning the interval
+// files as SeekBuffers; used by tests and the in-memory pipeline.
+func ConvertBuffers(raws [][]byte, opts Options) ([]*interval.SeekBuffer, []*Result, error) {
+	if opts.Markers == nil {
+		opts.Markers = NewMarkerRegistry()
+	}
+	var outs []*interval.SeekBuffer
+	var results []*Result
+	for i, raw := range raws {
+		src := interval.NewSeekBuffer()
+		if _, err := src.Write(raw); err != nil {
+			return nil, nil, err
+		}
+		dst := interval.NewSeekBuffer()
+		res, err := Convert(src, dst, opts)
+		if err != nil {
+			return outs, results, fmt.Errorf("convert: buffer %d: %w", i, err)
+		}
+		outs = append(outs, dst)
+		results = append(results, res)
+	}
+	return outs, results, nil
+}

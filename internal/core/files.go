@@ -1,0 +1,16 @@
+package core
+
+import (
+	"io"
+	"os"
+)
+
+// createSeeker opens path for writing, returning it both as the
+// WriteSeeker the format writers need and as the Closer the caller owns.
+func createSeeker(path string) (io.WriteSeeker, io.Closer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f, nil
+}

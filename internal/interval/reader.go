@@ -1,0 +1,413 @@
+package interval
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"tracefw/internal/clock"
+)
+
+// FrameEntry describes one frame (paper §2.3.3): "Each entry contains a
+// frame pointer indicating the starting offset of the frame, the size of
+// the frame, the number of records in the frame, and the start time and
+// end time of the frame."
+type FrameEntry struct {
+	Offset  int64
+	Bytes   uint32
+	Records uint32
+	Start   clock.Time
+	End     clock.Time
+}
+
+// FrameDir is one frame directory with its position and links.
+type FrameDir struct {
+	Offset  int64
+	Prev    int64 // 0 = none
+	Next    int64 // 0 = none
+	Entries []FrameEntry
+}
+
+// File provides random and sequential access to an interval file.
+type File struct {
+	Header   Header
+	FirstDir int64
+	// Size is the total file size, used to bound every offset and length
+	// read from the file so corrupted metadata cannot trigger huge
+	// allocations.
+	Size int64
+
+	r      io.ReadSeeker
+	closer io.Closer
+}
+
+// ReadHeader parses the header, thread table, and marker table (the
+// paper's readHeader), leaving the file positioned at the first frame
+// directory.
+func ReadHeader(r io.ReadSeeker) (*File, error) {
+	size, err := r.Seek(0, io.SeekEnd)
+	if err != nil {
+		return nil, err
+	}
+	var fixed [fixedHeaderSize]byte
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return nil, fmt.Errorf("interval: reading header: %w", err)
+	}
+	if string(fixed[:8]) != fileMagic {
+		return nil, fmt.Errorf("interval: bad magic %q", fixed[:8])
+	}
+	f := &File{r: r, Size: size}
+	f.Header.ProfileVersion = binary.LittleEndian.Uint32(fixed[8:])
+	f.Header.HeaderVersion = binary.LittleEndian.Uint32(fixed[12:])
+	nThreads := binary.LittleEndian.Uint32(fixed[16:])
+	f.Header.FieldMask = binary.LittleEndian.Uint16(fixed[20:])
+	nMarkers := binary.LittleEndian.Uint32(fixed[24:])
+
+	if int64(nThreads)*threadEntrySize > size {
+		return nil, fmt.Errorf("interval: thread table (%d entries) exceeds file size %d", nThreads, size)
+	}
+	tt := make([]byte, int(nThreads)*threadEntrySize)
+	if _, err := io.ReadFull(r, tt); err != nil {
+		return nil, fmt.Errorf("interval: reading thread table: %w", err)
+	}
+	for i := 0; i < int(nThreads); i++ {
+		b := tt[i*threadEntrySize:]
+		f.Header.Threads = append(f.Header.Threads, ThreadEntry{
+			Task:   int32(binary.LittleEndian.Uint32(b[0:])),
+			PID:    binary.LittleEndian.Uint64(b[4:]),
+			SysTID: binary.LittleEndian.Uint64(b[12:]),
+			Node:   binary.LittleEndian.Uint16(b[20:]),
+			LTID:   binary.LittleEndian.Uint16(b[22:]),
+			Type:   b[24],
+		})
+	}
+	f.Header.Markers = make(map[uint64]string, nMarkers)
+	for i := 0; i < int(nMarkers); i++ {
+		var mh [10]byte
+		if _, err := io.ReadFull(r, mh[:]); err != nil {
+			return nil, fmt.Errorf("interval: reading marker table: %w", err)
+		}
+		id := binary.LittleEndian.Uint64(mh[0:])
+		sl := int(binary.LittleEndian.Uint16(mh[8:]))
+		s := make([]byte, sl)
+		if _, err := io.ReadFull(r, s); err != nil {
+			return nil, fmt.Errorf("interval: reading marker string: %w", err)
+		}
+		f.Header.Markers[id] = string(s)
+	}
+	pos, err := r.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return nil, err
+	}
+	f.FirstDir = pos
+	if c, ok := r.(io.Closer); ok {
+		f.closer = c
+	}
+	return f, nil
+}
+
+// Open opens an interval file on disk.
+func Open(path string) (*File, error) {
+	fp, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := ReadHeader(fp)
+	if err != nil {
+		fp.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// Close closes the underlying file if the File owns one.
+func (f *File) Close() error {
+	if f.closer != nil {
+		c := f.closer
+		f.closer = nil
+		return c.Close()
+	}
+	return nil
+}
+
+// MarkerString retrieves a marker string by identifier (the paper's
+// marker-table lookup routine).
+func (f *File) MarkerString(id uint64) (string, bool) {
+	s, ok := f.Header.Markers[id]
+	return s, ok
+}
+
+// ReadFrameDir reads the frame directory at offset (the paper's
+// readFrameDir when given FirstDir). The paper points out a user need
+// not read any directory except the first: the Prev/Next links and the
+// Scanner handle the rest.
+func (f *File) ReadFrameDir(offset int64) (*FrameDir, error) {
+	if _, err := f.r.Seek(offset, io.SeekStart); err != nil {
+		return nil, err
+	}
+	var h [dirHeaderSize]byte
+	if _, err := io.ReadFull(f.r, h[:]); err != nil {
+		return nil, fmt.Errorf("interval: reading frame directory at %d: %w", offset, err)
+	}
+	d := &FrameDir{
+		Offset: offset,
+		Prev:   int64(binary.LittleEndian.Uint64(h[8:])),
+		Next:   int64(binary.LittleEndian.Uint64(h[16:])),
+	}
+	if d.Next < 0 || d.Next > f.Size || d.Prev < 0 || d.Prev > f.Size {
+		return nil, fmt.Errorf("interval: directory at %d has out-of-file links (prev %d, next %d)", offset, d.Prev, d.Next)
+	}
+	n := int(binary.LittleEndian.Uint32(h[0:]))
+	if offset+dirHeaderSize+int64(n)*frameEntrySize > f.Size {
+		return nil, fmt.Errorf("interval: directory at %d claims %d entries beyond file size", offset, n)
+	}
+	eb := make([]byte, n*frameEntrySize)
+	if _, err := io.ReadFull(f.r, eb); err != nil {
+		return nil, fmt.Errorf("interval: reading %d frame entries: %w", n, err)
+	}
+	for i := 0; i < n; i++ {
+		b := eb[i*frameEntrySize:]
+		d.Entries = append(d.Entries, FrameEntry{
+			Offset:  int64(binary.LittleEndian.Uint64(b[0:])),
+			Bytes:   binary.LittleEndian.Uint32(b[8:]),
+			Records: binary.LittleEndian.Uint32(b[12:]),
+			Start:   clock.Time(binary.LittleEndian.Uint64(b[16:])),
+			End:     clock.Time(binary.LittleEndian.Uint64(b[24:])),
+		})
+	}
+	return d, nil
+}
+
+// Dirs returns every frame directory in file order. A corrupted link
+// that revisits an offset is reported as an error rather than looping.
+func (f *File) Dirs() ([]*FrameDir, error) {
+	var dirs []*FrameDir
+	seen := map[int64]bool{}
+	off := f.FirstDir
+	for {
+		if seen[off] {
+			return nil, fmt.Errorf("interval: frame directory cycle at offset %d", off)
+		}
+		seen[off] = true
+		d, err := f.ReadFrameDir(off)
+		if err != nil {
+			return nil, err
+		}
+		dirs = append(dirs, d)
+		if d.Next == 0 {
+			return dirs, nil
+		}
+		off = d.Next
+	}
+}
+
+// Frames returns every frame entry in file order.
+func (f *File) Frames() ([]FrameEntry, error) {
+	dirs, err := f.Dirs()
+	if err != nil {
+		return nil, err
+	}
+	var fes []FrameEntry
+	for _, d := range dirs {
+		fes = append(fes, d.Entries...)
+	}
+	return fes, nil
+}
+
+// ReadFrame loads a frame's raw record bytes.
+func (f *File) ReadFrame(fe FrameEntry) ([]byte, error) {
+	if fe.Offset < 0 || int64(fe.Bytes) > f.Size || fe.Offset+int64(fe.Bytes) > f.Size {
+		return nil, fmt.Errorf("interval: frame at %d (%d bytes) exceeds file size %d", fe.Offset, fe.Bytes, f.Size)
+	}
+	if _, err := f.r.Seek(fe.Offset, io.SeekStart); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, fe.Bytes)
+	if _, err := io.ReadFull(f.r, buf); err != nil {
+		return nil, fmt.Errorf("interval: reading frame at %d: %w", fe.Offset, err)
+	}
+	return buf, nil
+}
+
+// FrameRecords decodes every record of a frame.
+func (f *File) FrameRecords(fe FrameEntry) ([]Record, error) {
+	buf, err := f.ReadFrame(fe)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]Record, 0, fe.Records)
+	for len(buf) > 0 {
+		payload, n, err := NextFramed(buf)
+		if err != nil {
+			return nil, err
+		}
+		r, err := DecodePayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, r)
+		buf = buf[n:]
+	}
+	if len(recs) != int(fe.Records) {
+		return nil, fmt.Errorf("interval: frame claims %d records, found %d", fe.Records, len(recs))
+	}
+	return recs, nil
+}
+
+// FrameContaining locates the first frame whose time range covers t,
+// using only directory metadata — the fast seek the format exists for.
+// ok is false when t is after the last frame.
+func (f *File) FrameContaining(t clock.Time) (FrameEntry, bool, error) {
+	off := f.FirstDir
+	for {
+		d, err := f.ReadFrameDir(off)
+		if err != nil {
+			return FrameEntry{}, false, err
+		}
+		if n := len(d.Entries); n > 0 && d.Entries[n-1].End >= t {
+			// Frames are end-time ordered: binary search the first frame
+			// with End >= t inside this directory.
+			lo, hi := 0, n-1
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if d.Entries[mid].End >= t {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
+			}
+			return d.Entries[lo], true, nil
+		}
+		if d.Next == 0 {
+			return FrameEntry{}, false, nil
+		}
+		off = d.Next
+	}
+}
+
+// Stats aggregates frame-directory information: total elapsed time and
+// total record count (paper §2.4's aggregate routines).
+func (f *File) Stats() (first, last clock.Time, records int64, err error) {
+	fes, err := f.Frames()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if len(fes) == 0 {
+		return 0, 0, 0, nil
+	}
+	first = fes[0].Start
+	for _, fe := range fes {
+		if fe.Start < first {
+			first = fe.Start
+		}
+		if fe.End > last {
+			last = fe.End
+		}
+		records += int64(fe.Records)
+	}
+	return first, last, records, nil
+}
+
+// Scanner iterates records sequentially across all frames and
+// directories, hiding the structure (the paper's getInterval loop).
+type Scanner struct {
+	f       *File
+	dir     *FrameDir
+	frame   int
+	buf     []byte
+	err     error
+	started bool
+}
+
+// Scan returns a sequential record scanner positioned before the first
+// record.
+func (f *File) Scan() *Scanner { return &Scanner{f: f} }
+
+// Next returns the next record's payload bytes, or io.EOF after the
+// last record. The returned slice is valid until the following call.
+func (s *Scanner) Next() ([]byte, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	for len(s.buf) == 0 {
+		if err := s.advanceFrame(); err != nil {
+			s.err = err
+			return nil, err
+		}
+	}
+	payload, n, err := NextFramed(s.buf)
+	if err != nil {
+		s.err = err
+		return nil, err
+	}
+	s.buf = s.buf[n:]
+	return payload, nil
+}
+
+// NextRecord decodes the next record.
+func (s *Scanner) NextRecord() (Record, error) {
+	payload, err := s.Next()
+	if err != nil {
+		return Record{}, err
+	}
+	return DecodePayload(payload)
+}
+
+// All drains the scanner.
+func (s *Scanner) All() ([]Record, error) {
+	var recs []Record
+	for {
+		r, err := s.NextRecord()
+		if errors.Is(err, io.EOF) {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, r)
+	}
+}
+
+func (s *Scanner) advanceFrame() error {
+	for {
+		if s.dir == nil {
+			if s.started {
+				return io.EOF
+			}
+			s.started = true
+			d, err := s.f.ReadFrameDir(s.f.FirstDir)
+			if err != nil {
+				return err
+			}
+			s.dir = d
+			s.frame = 0
+		}
+		if s.frame < len(s.dir.Entries) {
+			fe := s.dir.Entries[s.frame]
+			s.frame++
+			buf, err := s.f.ReadFrame(fe)
+			if err != nil {
+				return err
+			}
+			if len(buf) == 0 {
+				continue
+			}
+			s.buf = buf
+			return nil
+		}
+		if s.dir.Next == 0 {
+			return io.EOF
+		}
+		d, err := s.f.ReadFrameDir(s.dir.Next)
+		if err != nil {
+			return err
+		}
+		s.dir = d
+		s.frame = 0
+	}
+}

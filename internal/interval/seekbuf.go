@@ -1,0 +1,65 @@
+package interval
+
+import (
+	"fmt"
+	"io"
+)
+
+// SeekBuffer is an in-memory io.ReadWriteSeeker used for building and
+// reading interval files without touching disk (tests, benchmarks, and
+// in-memory pipelines).
+type SeekBuffer struct {
+	b   []byte
+	pos int64
+}
+
+// NewSeekBuffer returns an empty buffer.
+func NewSeekBuffer() *SeekBuffer { return &SeekBuffer{} }
+
+// Bytes returns the underlying contents.
+func (s *SeekBuffer) Bytes() []byte { return s.b }
+
+// Len returns the content length.
+func (s *SeekBuffer) Len() int { return len(s.b) }
+
+// Write implements io.Writer at the current position, extending the
+// buffer as needed.
+func (s *SeekBuffer) Write(p []byte) (int, error) {
+	if grow := s.pos + int64(len(p)) - int64(len(s.b)); grow > 0 {
+		s.b = append(s.b, make([]byte, grow)...)
+	}
+	copy(s.b[s.pos:], p)
+	s.pos += int64(len(p))
+	return len(p), nil
+}
+
+// Read implements io.Reader from the current position.
+func (s *SeekBuffer) Read(p []byte) (int, error) {
+	if s.pos >= int64(len(s.b)) {
+		return 0, io.EOF
+	}
+	n := copy(p, s.b[s.pos:])
+	s.pos += int64(n)
+	return n, nil
+}
+
+// Seek implements io.Seeker.
+func (s *SeekBuffer) Seek(offset int64, whence int) (int64, error) {
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = s.pos
+	case io.SeekEnd:
+		base = int64(len(s.b))
+	default:
+		return 0, fmt.Errorf("interval: bad whence %d", whence)
+	}
+	np := base + offset
+	if np < 0 {
+		return 0, fmt.Errorf("interval: negative seek position")
+	}
+	s.pos = np
+	return np, nil
+}

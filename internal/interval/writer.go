@@ -1,0 +1,392 @@
+package interval
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"tracefw/internal/clock"
+)
+
+// ThreadEntry is one thread-table row (paper §2.3.3): "Each thread entry
+// contains the MPI task ID, process ID, system thread ID, node ID, the
+// logical thread ID, and a thread type."
+type ThreadEntry struct {
+	Task   int32 // MPI task id, -1 for non-MPI threads
+	PID    uint64
+	SysTID uint64
+	Node   uint16
+	LTID   uint16 // node-local logical thread id
+	Type   uint8  // events.ThreadMPI / ThreadUser / ThreadSystem
+}
+
+// Header is the interval-file header plus the tables stored ahead of all
+// interval records.
+type Header struct {
+	ProfileVersion uint32
+	HeaderVersion  uint32
+	FieldMask      uint16
+	Threads        []ThreadEntry
+	Markers        map[uint64]string // globally unique marker id -> string
+}
+
+// CurrentHeaderVersion is written into new files.
+const CurrentHeaderVersion uint32 = 1
+
+const (
+	fileMagic       = "UTEIVL1\x00"
+	fixedHeaderSize = 8 + 4 + 4 + 4 + 2 + 2 + 4 + 4
+	threadEntrySize = 4 + 8 + 8 + 2 + 2 + 1 + 3
+	dirHeaderSize   = 4 + 4 + 8 + 8
+	frameEntrySize  = 8 + 4 + 4 + 8 + 8
+)
+
+// WriterOptions tunes frame construction.
+type WriterOptions struct {
+	// FrameBytes closes a frame once its records reach this size
+	// (default 64 KiB). "The frame size is chosen so that the display of
+	// a single frame is quick" (paper §4).
+	FrameBytes int
+	// FramesPerDir is the number of frame entries per directory
+	// (default 32).
+	FramesPerDir int
+	// Unordered disables the ascending-end-time validation (used by
+	// tests and the sort-ablation bench; production writers keep it on).
+	Unordered bool
+	// FramePrologue, if set, is invoked whenever a new frame is about to
+	// receive its first record; the returned records are placed at the
+	// beginning of the frame. The merge utility uses this to plant the
+	// zero-duration continuation pseudo-intervals that represent the
+	// nested outer states at the start of each frame (paper §3.3).
+	FramePrologue func() []Record
+}
+
+func (o WriterOptions) frameBytes() int {
+	if o.FrameBytes <= 0 {
+		return 64 << 10
+	}
+	return o.FrameBytes
+}
+
+func (o WriterOptions) framesPerDir() int {
+	if o.FramesPerDir <= 0 {
+		return 32
+	}
+	return o.FramesPerDir
+}
+
+// Writer streams interval records into the frame/directory structure of
+// Figure 4. It needs a WriteSeeker to patch each directory's
+// next-directory link once the following directory's position is known.
+type Writer struct {
+	ws   io.WriteSeeker
+	opts WriterOptions
+
+	off        int64 // current file offset
+	lastEnd    clock.Time
+	anyRecord  bool
+	frame      []byte
+	frameMeta  frameEntry
+	group      []frameEntry // closed frames of the pending directory
+	groupBytes []byte
+	prevDirOff int64 // offset of the previous directory (-1 none)
+	patchOff   int64 // where the previous directory's next field lives
+	closed     bool
+	err        error
+}
+
+type frameEntry struct {
+	offset  int64 // filled when the group is flushed
+	bytes   uint32
+	records uint32
+	start   clock.Time
+	end     clock.Time
+}
+
+// NewWriter writes the header and tables immediately and returns a
+// record writer.
+func NewWriter(ws io.WriteSeeker, hdr Header, opts WriterOptions) (*Writer, error) {
+	w := &Writer{ws: ws, opts: opts, prevDirOff: -1, patchOff: -1}
+	w.frameMeta = emptyFrameMeta()
+
+	var buf []byte
+	buf = append(buf, fileMagic...)
+	buf = appendU32(buf, hdr.ProfileVersion)
+	buf = appendU32(buf, hdr.HeaderVersion)
+	buf = appendU32(buf, uint32(len(hdr.Threads)))
+	buf = appendU16(buf, hdr.FieldMask)
+	buf = appendU16(buf, 0)
+	buf = appendU32(buf, uint32(len(hdr.Markers)))
+	buf = appendU32(buf, 0)
+	for _, te := range hdr.Threads {
+		buf = appendU32(buf, uint32(te.Task))
+		buf = appendU64(buf, te.PID)
+		buf = appendU64(buf, te.SysTID)
+		buf = appendU16(buf, te.Node)
+		buf = appendU16(buf, te.LTID)
+		buf = append(buf, te.Type, 0, 0, 0)
+	}
+	// Marker table in ascending id order for determinism.
+	ids := make([]uint64, 0, len(hdr.Markers))
+	for id := range hdr.Markers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		s := hdr.Markers[id]
+		buf = appendU64(buf, id)
+		buf = appendU16(buf, uint16(len(s)))
+		buf = append(buf, s...)
+	}
+	if _, err := ws.Write(buf); err != nil {
+		return nil, fmt.Errorf("interval: writing header: %w", err)
+	}
+	w.off = int64(len(buf))
+	return w, nil
+}
+
+func emptyFrameMeta() frameEntry {
+	return frameEntry{start: clock.Time(1<<63 - 1), end: clock.Time(-1 << 63)}
+}
+
+// Add appends one record. Records must arrive in ascending end-time
+// order unless the writer was opened Unordered.
+func (w *Writer) Add(r *Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return fmt.Errorf("interval: Add after Close")
+	}
+	end := r.End()
+	if !w.opts.Unordered && w.anyRecord && end < w.lastEnd {
+		w.err = fmt.Errorf("interval: record end %v before previous end %v (file must be end-time ordered)", end, w.lastEnd)
+		return w.err
+	}
+	w.lastEnd = end
+	w.anyRecord = true
+
+	w.prologue()
+	w.frame = r.Append(w.frame)
+	w.frameMeta.records++
+	if r.Start < w.frameMeta.start {
+		w.frameMeta.start = r.Start
+	}
+	if end > w.frameMeta.end {
+		w.frameMeta.end = end
+	}
+	if len(w.frame) >= w.opts.frameBytes() {
+		w.closeFrame()
+		if len(w.group) >= w.opts.framesPerDir() {
+			return w.flushGroup(false)
+		}
+	}
+	return nil
+}
+
+// prologue inserts the caller-supplied frame-opening records when the
+// current frame is about to receive its first regular record.
+func (w *Writer) prologue() {
+	if w.opts.FramePrologue == nil || w.frameMeta.records != 0 {
+		return
+	}
+	recs := w.opts.FramePrologue()
+	for i := range recs {
+		r := &recs[i]
+		w.frame = r.Append(w.frame)
+		w.frameMeta.records++
+		if r.Start < w.frameMeta.start {
+			w.frameMeta.start = r.Start
+		}
+		if e := r.End(); e > w.frameMeta.end {
+			w.frameMeta.end = e
+		}
+	}
+}
+
+// AddPayload appends a pre-encoded record payload with the given time
+// bounds; used by utilities that copy records without decoding them.
+func (w *Writer) AddPayload(payload []byte, start, end clock.Time) error {
+	if w.err != nil {
+		return w.err
+	}
+	if !w.opts.Unordered && w.anyRecord && end < w.lastEnd {
+		w.err = fmt.Errorf("interval: record end %v before previous end %v", end, w.lastEnd)
+		return w.err
+	}
+	w.lastEnd = end
+	w.anyRecord = true
+	w.frame = AppendFramed(w.frame, payload)
+	w.frameMeta.records++
+	if start < w.frameMeta.start {
+		w.frameMeta.start = start
+	}
+	if end > w.frameMeta.end {
+		w.frameMeta.end = end
+	}
+	if len(w.frame) >= w.opts.frameBytes() {
+		w.closeFrame()
+		if len(w.group) >= w.opts.framesPerDir() {
+			return w.flushGroup(false)
+		}
+	}
+	return nil
+}
+
+func (w *Writer) closeFrame() {
+	if w.frameMeta.records == 0 {
+		return
+	}
+	w.frameMeta.bytes = uint32(len(w.frame))
+	w.group = append(w.group, w.frameMeta)
+	w.groupBytes = append(w.groupBytes, w.frame...)
+	w.frame = w.frame[:0]
+	w.frameMeta = emptyFrameMeta()
+}
+
+// flushGroup writes the pending directory and its frames. last marks the
+// final directory (next link 0).
+func (w *Writer) flushGroup(last bool) error {
+	if len(w.group) == 0 {
+		return nil
+	}
+	dirOff := w.off
+	dirSize := int64(dirHeaderSize + len(w.group)*frameEntrySize)
+
+	// Assign frame offsets now that the directory's size is known.
+	off := dirOff + dirSize
+	for i := range w.group {
+		w.group[i].offset = off
+		off += int64(w.group[i].bytes)
+	}
+	next := off
+	if last {
+		next = 0
+	}
+
+	var buf []byte
+	buf = appendU32(buf, uint32(len(w.group)))
+	buf = appendU32(buf, 0)
+	prev := w.prevDirOff
+	if prev < 0 {
+		prev = 0
+	}
+	buf = appendU64(buf, uint64(prev))
+	buf = appendU64(buf, uint64(next))
+	for _, fe := range w.group {
+		buf = appendU64(buf, uint64(fe.offset))
+		buf = appendU32(buf, fe.bytes)
+		buf = appendU32(buf, fe.records)
+		buf = appendU64(buf, uint64(fe.start))
+		buf = appendU64(buf, uint64(fe.end))
+	}
+	buf = append(buf, w.groupBytes...)
+	if _, err := w.ws.Write(buf); err != nil {
+		w.err = fmt.Errorf("interval: writing frame directory: %w", err)
+		return w.err
+	}
+	// Update the end-of-file position first: patchU64 seeks back to it.
+	w.off = dirOff + int64(len(buf))
+	// Patch the previous directory's next pointer to this directory.
+	if w.patchOff >= 0 {
+		if err := w.patchU64(w.patchOff, uint64(dirOff)); err != nil {
+			return err
+		}
+	}
+	w.prevDirOff = dirOff
+	w.patchOff = dirOff + 4 + 4 + 8 // next field within the dir header
+	w.group = w.group[:0]
+	w.groupBytes = w.groupBytes[:0]
+	return nil
+}
+
+func (w *Writer) patchU64(off int64, v uint64) error {
+	if _, err := w.ws.Seek(off, io.SeekStart); err != nil {
+		w.err = err
+		return err
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	if _, err := w.ws.Write(b[:]); err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.ws.Seek(w.off, io.SeekStart); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// Close flushes the final frame and directory. A file with no records
+// gets one empty directory so readers always find a first directory.
+func (w *Writer) Close() error {
+	if w.closed {
+		return w.err
+	}
+	w.closed = true
+	if w.err != nil {
+		return w.err
+	}
+	w.closeFrame()
+	if len(w.group) > 0 {
+		if err := w.flushGroup(true); err != nil {
+			return err
+		}
+	} else {
+		// Either nothing was ever written, or the previous directory's
+		// next pointer already points past the end; rewrite it to 0.
+		if w.patchOff >= 0 {
+			if err := w.patchU64(w.patchOff, 0); err != nil {
+				return err
+			}
+		} else {
+			var buf []byte
+			buf = appendU32(buf, 0)
+			buf = appendU32(buf, 0)
+			buf = appendU64(buf, 0)
+			buf = appendU64(buf, 0)
+			if _, err := w.ws.Write(buf); err != nil {
+				w.err = err
+				return w.err
+			}
+			w.off += int64(len(buf))
+		}
+	}
+	return w.err
+}
+
+// CreateFile opens path and returns a Writer on it plus the file handle
+// for closing.
+func CreateFile(path string, hdr Header, opts WriterOptions) (*Writer, *os.File, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := NewWriter(f, hdr, opts)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return w, f, nil
+}
+
+func appendU16(b []byte, v uint16) []byte {
+	var t [2]byte
+	binary.LittleEndian.PutUint16(t[:], v)
+	return append(b, t[:]...)
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	var t [4]byte
+	binary.LittleEndian.PutUint32(t[:], v)
+	return append(b, t[:]...)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	var t [8]byte
+	binary.LittleEndian.PutUint64(t[:], v)
+	return append(b, t[:]...)
+}

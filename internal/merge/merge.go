@@ -1,0 +1,369 @@
+// Package merge implements the paper's merge utility (§3.1): it merges
+// the per-node interval files of a run into a single interval file. The
+// key functions are aligning the starting points of the individual files
+// by their first global clock records, adjusting local timestamps for
+// clock drift using the RMS-of-adjacent-slopes ratio (§2.2), merging the
+// end-time-ordered inputs with a balanced (loser) tree, and planting
+// zero-duration continuation pseudo-intervals at the beginning of every
+// output frame so that a viewer jumping into the middle of the file can
+// reconstruct the nested outer states (§3.3).
+package merge
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/events"
+	"tracefw/internal/interval"
+	"tracefw/internal/profile"
+)
+
+// Estimator selects the clock-ratio scheme of §2.2.
+type Estimator int
+
+// Estimators.
+const (
+	EstimatorRMS       Estimator = iota // root mean square of adjacent slope segments (default)
+	EstimatorLastPair                   // overall slope between first and last pair
+	EstimatorPiecewise                  // per-segment slopes
+	EstimatorNone                       // offset alignment only (ratio 1)
+)
+
+// String names the estimator.
+func (e Estimator) String() string {
+	switch e {
+	case EstimatorRMS:
+		return "rms"
+	case EstimatorLastPair:
+		return "lastpair"
+	case EstimatorPiecewise:
+		return "piecewise"
+	case EstimatorNone:
+		return "none"
+	}
+	return "estimator?"
+}
+
+// ParseEstimator converts a command-line name.
+func ParseEstimator(s string) (Estimator, error) {
+	switch s {
+	case "rms", "":
+		return EstimatorRMS, nil
+	case "lastpair":
+		return EstimatorLastPair, nil
+	case "piecewise":
+		return EstimatorPiecewise, nil
+	case "none":
+		return EstimatorNone, nil
+	}
+	return 0, fmt.Errorf("merge: unknown estimator %q", s)
+}
+
+// Options configures a merge.
+type Options struct {
+	Writer     interval.WriterOptions
+	Estimator  Estimator
+	OutlierTol float64 // clock-pair outlier filter tolerance; 0 disables
+	// KeepClockRecords copies (adjusted) global-clock records into the
+	// merged file instead of dropping them.
+	KeepClockRecords bool
+	// NoPseudo disables pseudo-interval planting (ablation).
+	NoPseudo bool
+	// Linear replaces the loser tree with a linear minimum scan
+	// (ablation for the paper's balanced-tree design choice).
+	Linear bool
+}
+
+// Result summarizes a merge.
+type Result struct {
+	Inputs  int
+	Records int64 // records written (including pseudo-intervals)
+	Pseudo  int64 // pseudo-interval records planted
+	Ratios  []float64
+	Anchors []clock.Pair // first clock pair per input
+}
+
+// ExtractPairs scans an individual interval file for its global-clock
+// pair records.
+func ExtractPairs(f *interval.File) ([]clock.Pair, error) {
+	var pairs []clock.Pair
+	sc := f.Scan()
+	for {
+		r, err := sc.NextRecord()
+		if errors.Is(err, io.EOF) {
+			return pairs, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if r.Type == events.EvGlobalClock && len(r.Extra) > 0 {
+			pairs = append(pairs, clock.Pair{Global: clock.Time(r.Extra[0]), Local: r.Start})
+		}
+	}
+}
+
+// adjusterFor builds the configured adjuster from a file's clock pairs.
+func adjusterFor(pairs []clock.Pair, opts Options) (clock.Adjuster, float64) {
+	if opts.OutlierTol > 0 {
+		pairs = clock.FilterOutliers(pairs, opts.OutlierTol)
+	}
+	switch opts.Estimator {
+	case EstimatorLastPair:
+		a := clock.NewLastPairAdjuster(pairs)
+		return a, a.R
+	case EstimatorPiecewise:
+		return clock.NewPiecewiseAdjuster(pairs), 1
+	case EstimatorNone:
+		a := &clock.RatioAdjuster{R: 1}
+		if len(pairs) > 0 {
+			a.G0, a.L0 = pairs[0].Global, pairs[0].Local
+		}
+		return a, 1
+	default:
+		a := clock.NewRatioAdjuster(pairs)
+		return a, a.R
+	}
+}
+
+// stream adapts one input file to the merge: it decodes, drops or keeps
+// clock records, and adjusts timestamps into the global timebase.
+type stream struct {
+	sc        *interval.Scanner
+	adj       clock.Adjuster
+	keepClock bool
+
+	cur  interval.Record
+	end  clock.Time
+	done bool
+	err  error
+}
+
+func (s *stream) CurrentEnd() (clock.Time, bool) { return s.end, s.done }
+
+func (s *stream) Advance() error {
+	for {
+		r, err := s.sc.NextRecord()
+		if errors.Is(err, io.EOF) {
+			s.done = true
+			return nil
+		}
+		if err != nil {
+			s.err = err
+			s.done = true
+			return err
+		}
+		if r.Type == events.EvGlobalClock && !s.keepClock {
+			continue
+		}
+		// Adjust start and end through the same monotone mapping and
+		// derive the duration, so independent rounding of R·S and R·D
+		// cannot make adjusted end times regress within a stream.
+		end := s.adj.Global(r.End())
+		r.Start = s.adj.Global(r.Start)
+		r.Dura = end - r.Start
+		s.cur = r
+		s.end = end
+		return nil
+	}
+}
+
+// openKey identifies a thread across the whole machine.
+type openKey struct {
+	node, thread uint16
+}
+
+// tracker reconstructs, from the merged record stream, which states are
+// open on every thread, to generate the frame-start pseudo-intervals.
+type tracker struct {
+	open map[openKey][]interval.Record // innermost last
+}
+
+func newTracker() *tracker { return &tracker{open: make(map[openKey][]interval.Record)} }
+
+func (t *tracker) observe(r *interval.Record) {
+	if r.Type == events.EvGlobalClock {
+		return
+	}
+	k := openKey{r.Node, r.Thread}
+	switch r.Bebits {
+	case profile.Begin:
+		t.open[k] = append(t.open[k], *r)
+	case profile.End:
+		stack := t.open[k]
+		for i := len(stack) - 1; i >= 0; i-- {
+			if stack[i].Type == r.Type {
+				t.open[k] = append(stack[:i], stack[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// pseudos returns zero-duration continuation records for every open
+// state, stamped at, ordered (node, thread, outer→inner).
+func (t *tracker) pseudos(at clock.Time) []interval.Record {
+	keys := make([]openKey, 0, len(t.open))
+	for k, stack := range t.open {
+		if len(stack) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].node != keys[j].node {
+			return keys[i].node < keys[j].node
+		}
+		return keys[i].thread < keys[j].thread
+	})
+	var out []interval.Record
+	for _, k := range keys {
+		for _, st := range t.open[k] {
+			pr := st
+			pr.Bebits = profile.Continuation
+			pr.Start = at
+			pr.Dura = 0
+			out = append(out, pr)
+		}
+	}
+	return out
+}
+
+// Merge merges the individual interval files into dst.
+func Merge(files []*interval.File, dst io.WriteSeeker, opts Options) (*Result, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("merge: no input files")
+	}
+	res := &Result{Inputs: len(files)}
+
+	// Per-input clock adjustment.
+	streams := make([]source, len(files))
+	concrete := make([]*stream, len(files))
+	for i, f := range files {
+		pairs, err := ExtractPairs(f)
+		if err != nil {
+			return nil, fmt.Errorf("merge: input %d: %w", i, err)
+		}
+		adj, ratio := adjusterFor(pairs, opts)
+		res.Ratios = append(res.Ratios, ratio)
+		if len(pairs) > 0 {
+			res.Anchors = append(res.Anchors, pairs[0])
+		} else {
+			res.Anchors = append(res.Anchors, clock.Pair{})
+		}
+		st := &stream{sc: f.Scan(), adj: adj, keepClock: opts.KeepClockRecords}
+		if err := st.Advance(); err != nil {
+			return nil, fmt.Errorf("merge: input %d: %w", i, err)
+		}
+		concrete[i] = st
+		streams[i] = st
+	}
+
+	// Merged header: union of thread tables (sorted by node, ltid) and
+	// marker tables.
+	hdr := interval.Header{
+		HeaderVersion: interval.CurrentHeaderVersion,
+		FieldMask:     profile.MaskMerged,
+		Markers:       map[uint64]string{},
+	}
+	for i, f := range files {
+		if i == 0 {
+			hdr.ProfileVersion = f.Header.ProfileVersion
+		} else if f.Header.ProfileVersion != hdr.ProfileVersion {
+			return nil, fmt.Errorf("merge: input %d profile version %#x differs from %#x",
+				i, f.Header.ProfileVersion, hdr.ProfileVersion)
+		}
+		hdr.Threads = append(hdr.Threads, f.Header.Threads...)
+		for id, s := range f.Header.Markers {
+			if prev, ok := hdr.Markers[id]; ok && prev != s {
+				return nil, fmt.Errorf("merge: marker id %d means %q and %q; convert the run with a shared registry", id, prev, s)
+			}
+			hdr.Markers[id] = s
+		}
+	}
+	sort.Slice(hdr.Threads, func(i, j int) bool {
+		a, b := hdr.Threads[i], hdr.Threads[j]
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.LTID < b.LTID
+	})
+
+	trk := newTracker()
+	var lastEnd clock.Time
+	wopts := opts.Writer
+	if !opts.NoPseudo {
+		wopts.FramePrologue = func() []interval.Record {
+			ps := trk.pseudos(lastEnd)
+			res.Pseudo += int64(len(ps))
+			res.Records += int64(len(ps))
+			return ps
+		}
+	}
+	w, err := interval.NewWriter(dst, hdr, wopts)
+	if err != nil {
+		return nil, err
+	}
+
+	var pk picker
+	if opts.Linear {
+		pk = &linearScan{srcs: streams}
+	} else {
+		pk = newLoserTree(streams)
+	}
+	first := true
+	for {
+		i := pk.Min()
+		if i < 0 {
+			break
+		}
+		st := concrete[i]
+		r := st.cur
+		if first {
+			lastEnd = r.End()
+			first = false
+		}
+		if err := w.Add(&r); err != nil {
+			return nil, fmt.Errorf("merge: writing record from input %d: %w", i, err)
+		}
+		res.Records++
+		lastEnd = r.End()
+		trk.observe(&r)
+		if err := st.Advance(); err != nil {
+			return nil, fmt.Errorf("merge: input %d: %w", i, err)
+		}
+		pk.Fix(i)
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// MergeFiles merges interval files on disk into outPath.
+func MergeFiles(paths []string, outPath string, opts Options) (*Result, error) {
+	files := make([]*interval.File, 0, len(paths))
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	for _, p := range paths {
+		f, err := interval.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	out, err := os.Create(outPath)
+	if err != nil {
+		return nil, err
+	}
+	res, err := Merge(files, out, opts)
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	return res, err
+}

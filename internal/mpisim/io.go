@@ -1,0 +1,55 @@
+package mpisim
+
+import (
+	"math"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/events"
+)
+
+// This file implements the paper's §5 future extension: "additional
+// system activities, such as I/O, page miss, etc." File reads and writes
+// are traced entry/exit states during which the thread blocks (so their
+// intervals split into pieces around the dispatch gap, exactly like a
+// blocking MPI call); page misses are traced point events with a small
+// CPU penalty.
+
+// I/O model defaults.
+const (
+	defaultIOLatency   = 4 * clock.Millisecond // per-operation seek/queue time
+	defaultIOBandwidth = 120e6                 // bytes per second
+	pageMissPenalty    = 4 * clock.Microsecond
+)
+
+// ioTime returns the modeled duration of an nbytes transfer.
+func (w *World) ioTime(nbytes int) clock.Time {
+	lat, bw := w.cfg.IOLatency, w.cfg.IOBandwidth
+	if lat <= 0 {
+		lat = defaultIOLatency
+	}
+	if bw <= 0 {
+		bw = defaultIOBandwidth
+	}
+	return lat + clock.Time(math.Round(float64(nbytes)/bw*float64(clock.Second)))
+}
+
+// FileRead performs a traced, blocking file read of nbytes.
+func (p *Proc) FileRead(nbytes int) {
+	p.enter(events.EvIORead)
+	p.th.Sleep(p.task.w.ioTime(nbytes)) // blocked in the kernel, no CPU
+	p.exit(events.EvIORead, uint64(nbytes), addrOf(events.EvIORead))
+}
+
+// FileWrite performs a traced, blocking file write of nbytes.
+func (p *Proc) FileWrite(nbytes int) {
+	p.enter(events.EvIOWrite)
+	p.th.Sleep(p.task.w.ioTime(nbytes))
+	p.exit(events.EvIOWrite, uint64(nbytes), addrOf(events.EvIOWrite))
+}
+
+// PageMiss records one page-miss point event and charges its CPU
+// penalty.
+func (p *Proc) PageMiss(addr uint64) {
+	p.cut(events.EvPageMiss, events.Point, []uint64{addr}, "")
+	p.th.Compute(pageMissPenalty)
+}

@@ -1,0 +1,82 @@
+package mpisim
+
+import (
+	"testing"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/events"
+	"tracefw/internal/trace"
+)
+
+func TestFileReadBlocksWithoutHoldingCPU(t *testing.T) {
+	// One CPU: while the reader is blocked in I/O, the other thread's
+	// compute must proceed.
+	w, _ := testWorld(t, 1, 2, 1)
+	var readEnd, computeEnd clock.Time
+	w.Start(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.FileRead(1 << 20) // 4ms latency + ~8.7ms transfer
+			readEnd = p.Now()
+		} else {
+			p.Compute(5 * clock.Millisecond)
+			computeEnd = p.Now()
+		}
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if computeEnd > 6*clock.Millisecond {
+		t.Fatalf("I/O held the CPU: compute finished at %v", computeEnd)
+	}
+	if readEnd < 12*clock.Millisecond {
+		t.Fatalf("read finished too early: %v", readEnd)
+	}
+}
+
+func TestIORecordsCut(t *testing.T) {
+	w, bufs := testWorld(t, 1, 1, 1)
+	w.Start(func(p *Proc) {
+		p.FileWrite(4096)
+		p.PageMiss(0xdeadbeef000)
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var entry, exit, miss *trace.Record
+	recs := records(t, bufs[0])
+	for i := range recs {
+		switch {
+		case recs[i].Type == events.EvIOWrite && recs[i].Edge == events.Entry:
+			entry = &recs[i]
+		case recs[i].Type == events.EvIOWrite && recs[i].Edge == events.Exit:
+			exit = &recs[i]
+		case recs[i].Type == events.EvPageMiss:
+			miss = &recs[i]
+		}
+	}
+	if entry == nil || exit == nil {
+		t.Fatal("missing IO_Write entry/exit")
+	}
+	if len(exit.Args) != len(events.ExtraFields(events.EvIOWrite)) {
+		t.Fatalf("IO_Write exit args: %v", exit.Args)
+	}
+	if exit.Args[0] != 4096 {
+		t.Fatalf("ioBytes = %d", exit.Args[0])
+	}
+	if exit.Time <= entry.Time {
+		t.Fatalf("write interval empty: %v .. %v", entry.Time, exit.Time)
+	}
+	if miss == nil || miss.Args[0] != 0xdeadbeef000 {
+		t.Fatalf("page miss record: %+v", miss)
+	}
+}
+
+func TestIOTimeModel(t *testing.T) {
+	w, _ := testWorld(t, 1, 1, 1)
+	// 120 MB/s default: 12 MB should take ~100ms + 4ms latency.
+	got := w.ioTime(12 << 20)
+	want := 4*clock.Millisecond + clock.Time(float64(12<<20)/120e6*float64(clock.Second))
+	if d := got - want; d < -clock.Millisecond || d > clock.Millisecond {
+		t.Fatalf("ioTime = %v, want ~%v", got, want)
+	}
+}

@@ -1,0 +1,75 @@
+package mpisim
+
+import "tracefw/internal/events"
+
+// DefineMarker registers a user marker string and returns its task-local
+// identifier. Identifiers are assigned per task with no cross-task
+// communication (paper §3.1), so the same string may receive different
+// identifiers on different tasks when the calling sequences differ; the
+// convert utility re-assigns globally unique identifiers later.
+func (p *Proc) DefineMarker(name string) uint64 {
+	t := p.task
+	t.markerSeq++
+	id := t.markerSeq
+	t.markerName[id] = name
+	p.cut(events.EvMarkerDefine, events.Point, []uint64{id}, name)
+	return id
+}
+
+// MarkerBegin opens a user marker region for the task-local marker id.
+func (p *Proc) MarkerBegin(id uint64) {
+	p.cut(events.EvMarkerBegin, events.Point, []uint64{id, markerAddr(id, 0)}, "")
+}
+
+// MarkerEnd closes a user marker region.
+func (p *Proc) MarkerEnd(id uint64) {
+	p.cut(events.EvMarkerEnd, events.Point, []uint64{id, markerAddr(id, 1)}, "")
+}
+
+// InMarker runs fn inside a begin/end pair for id.
+func (p *Proc) InMarker(id uint64, fn func()) {
+	p.MarkerBegin(id)
+	fn()
+	p.MarkerEnd(id)
+}
+
+// markerAddr synthesizes instruction addresses for the begin (edge 0)
+// and end (edge 1) markers.
+func markerAddr(id uint64, edge uint64) uint64 { return 0x40000000 + id<<8 + edge }
+
+// MarkerName returns the string a task registered for a local marker id.
+func (w *World) MarkerName(rank int, id uint64) string {
+	return w.task(rank).markerName[id]
+}
+
+// --- World-communicator convenience wrappers ---
+
+// Barrier synchronizes all tasks (world communicator).
+func (p *Proc) Barrier() { p.World().Barrier(p) }
+
+// Bcast broadcasts bytes from root to all tasks.
+func (p *Proc) Bcast(root, bytes int) { p.World().Bcast(p, root, bytes) }
+
+// Reduce reduces bytes from all tasks to root.
+func (p *Proc) Reduce(root, bytes int) { p.World().Reduce(p, root, bytes) }
+
+// Allreduce reduces bytes across all tasks.
+func (p *Proc) Allreduce(bytes int) { p.World().Allreduce(p, bytes) }
+
+// Alltoall exchanges bytes between every pair of tasks.
+func (p *Proc) Alltoall(bytes int) { p.World().Alltoall(p, bytes) }
+
+// Gather gathers bytes from all tasks at root.
+func (p *Proc) Gather(root, bytes int) { p.World().Gather(p, root, bytes) }
+
+// Scatter scatters bytes from root to all tasks.
+func (p *Proc) Scatter(root, bytes int) { p.World().Scatter(p, root, bytes) }
+
+// Allgather gathers bytes from all tasks at every task.
+func (p *Proc) Allgather(bytes int) { p.World().Allgather(p, bytes) }
+
+// Scan computes a prefix reduction across all tasks.
+func (p *Proc) Scan(bytes int) { p.World().Scan(p, bytes) }
+
+// ReduceScatter reduces across all tasks and scatters the result.
+func (p *Proc) ReduceScatter(bytes int) { p.World().ReduceScatter(p, bytes) }

@@ -1,0 +1,651 @@
+package mpisim
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/cluster"
+	"tracefw/internal/events"
+	"tracefw/internal/trace"
+)
+
+// testWorld builds an in-memory world with the given shape and zero
+// clock offsets/drifts so virtual time assertions are exact.
+func testWorld(t *testing.T, nodes, tasksPerNode, cpus int) (*World, []*bytes.Buffer) {
+	t.Helper()
+	bufs := make([]*bytes.Buffer, nodes)
+	ws := make([]io.Writer, nodes)
+	for i := range bufs {
+		bufs[i] = &bytes.Buffer{}
+		ws[i] = bufs[i]
+	}
+	cfg := Config{
+		Cluster: cluster.Config{
+			Nodes:       nodes,
+			CPUsPerNode: cpus,
+			TraceOpts:   trace.Options{Enabled: events.MaskAll},
+			Drifts:      make([]float64, nodes),
+			Offsets:     make([]clock.Time, nodes),
+			Seed:        1,
+		},
+		TasksPerNode: tasksPerNode,
+	}
+	w, err := New(cfg, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, bufs
+}
+
+func records(t *testing.T, buf *bytes.Buffer) []trace.Record {
+	t.Helper()
+	rd, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestEagerSendRecv(t *testing.T) {
+	w, _ := testWorld(t, 2, 1, 1)
+	var info RecvInfo
+	var recvEnd clock.Time
+	w.Start(func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			p.Send(1, 7, 1024)
+		case 1:
+			info = p.Recv(0, 7)
+			recvEnd = p.Now()
+		}
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if info.Source != 0 || info.Tag != 7 || info.Bytes != 1024 || info.Seqno != 1 {
+		t.Fatalf("recv info: %+v", info)
+	}
+	// Inter-node eager: arrival ≈ send time + 25µs + 1024/350MB/s ≈ 28µs.
+	if recvEnd < 25*clock.Microsecond || recvEnd > 40*clock.Microsecond {
+		t.Fatalf("recv completed at %v", recvEnd)
+	}
+}
+
+func TestEagerSendDoesNotBlock(t *testing.T) {
+	w, _ := testWorld(t, 2, 1, 1)
+	var sendEnd clock.Time
+	w.Start(func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			p.Send(1, 1, 100)
+			sendEnd = p.Now()
+		case 1:
+			p.Compute(50 * clock.Millisecond) // receive very late
+			p.Recv(0, 1)
+		}
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sendEnd > clock.Millisecond {
+		t.Fatalf("eager send blocked until %v", sendEnd)
+	}
+}
+
+func TestRendezvousSendBlocksUntilRecv(t *testing.T) {
+	w, _ := testWorld(t, 2, 1, 1)
+	const big = 1 << 20 // over the 64 KiB eager threshold
+	var sendEnd, recvEnd clock.Time
+	w.Start(func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			p.Send(1, 1, big)
+			sendEnd = p.Now()
+		case 1:
+			p.Compute(10 * clock.Millisecond)
+			p.Recv(0, 1)
+			recvEnd = p.Now()
+		}
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Transfer: 1MiB / 350MB/s ≈ 3ms, starting when the recv posts at 10ms.
+	if sendEnd < 12*clock.Millisecond {
+		t.Fatalf("rendezvous send completed too early: %v", sendEnd)
+	}
+	if recvEnd < sendEnd-clock.Microsecond || recvEnd > sendEnd+clock.Microsecond {
+		t.Fatalf("send/recv completion mismatch: %v vs %v", sendEnd, recvEnd)
+	}
+}
+
+func TestSeqnoMatchesAcrossTasks(t *testing.T) {
+	w, bufs := testWorld(t, 2, 1, 1)
+	const n = 5
+	w.Start(func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			for i := 0; i < n; i++ {
+				p.Send(1, int32(i), 64)
+			}
+		case 1:
+			for i := 0; i < n; i++ {
+				p.Recv(0, int32(i))
+			}
+		}
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Sender exits on node 0 and receiver exits on node 1 must carry the
+	// same seqnos 1..n.
+	sendSeq := map[uint64]bool{}
+	for _, r := range records(t, bufs[0]) {
+		if r.Type == events.EvMPISend && r.Edge == events.Exit {
+			sendSeq[r.Args[3]] = true
+		}
+	}
+	for _, r := range records(t, bufs[1]) {
+		if r.Type == events.EvMPIRecv && r.Edge == events.Exit {
+			if !sendSeq[r.Args[3]] {
+				t.Fatalf("recv seqno %d has no matching send", r.Args[3])
+			}
+		}
+	}
+	if len(sendSeq) != n {
+		t.Fatalf("got %d distinct seqnos, want %d", len(sendSeq), n)
+	}
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	w, _ := testWorld(t, 3, 1, 1)
+	var got []int32
+	w.Start(func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			for i := 0; i < 2; i++ {
+				info := p.Recv(AnySource, AnyTag)
+				got = append(got, info.Source)
+			}
+		default:
+			p.Compute(clock.Time(p.Rank()) * clock.Millisecond)
+			p.Send(0, 9, 32)
+		}
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("wildcard receives matched %v", got)
+	}
+}
+
+func TestNonOvertakingSamePair(t *testing.T) {
+	w, _ := testWorld(t, 2, 1, 1)
+	var order []uint64
+	w.Start(func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			p.Send(1, 5, 10)
+			p.Send(1, 5, 20)
+			p.Send(1, 5, 30)
+		case 1:
+			for i := 0; i < 3; i++ {
+				info := p.Recv(0, 5)
+				order = append(order, info.Seqno)
+			}
+		}
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range order {
+		if s != uint64(i+1) {
+			t.Fatalf("messages overtook: %v", order)
+		}
+	}
+}
+
+func TestIsendIrecvWaitall(t *testing.T) {
+	w, _ := testWorld(t, 2, 1, 1)
+	var done bool
+	w.Start(func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			r1 := p.Isend(1, 1, 128)
+			r2 := p.Isend(1, 2, 128)
+			p.Waitall(r1, r2)
+		case 1:
+			r1 := p.Irecv(0, 2)
+			r2 := p.Irecv(0, 1)
+			p.Waitall(r1, r2)
+			if r1.Info.Tag == 2 && r2.Info.Tag == 1 {
+				done = true
+			}
+		}
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("irecv tags not matched correctly")
+	}
+}
+
+func TestSendrecvExchange(t *testing.T) {
+	w, _ := testWorld(t, 2, 1, 1)
+	infos := make([]RecvInfo, 2)
+	w.Start(func(p *Proc) {
+		peer := 1 - p.Rank()
+		infos[p.Rank()] = p.Sendrecv(peer, 3, 256, int32(peer), 3)
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for r, i := range infos {
+		if int(i.Source) != 1-r || i.Bytes != 256 {
+			t.Fatalf("rank %d sendrecv info %+v", r, i)
+		}
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	w, _ := testWorld(t, 4, 1, 1)
+	ends := make([]clock.Time, 4)
+	w.Start(func(p *Proc) {
+		p.Compute(clock.Time(p.Rank()+1) * clock.Millisecond)
+		p.Barrier()
+		ends[p.Rank()] = p.Now()
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < 4; r++ {
+		if ends[r] != ends[0] {
+			t.Fatalf("barrier exits differ: %v", ends)
+		}
+	}
+	// Everyone leaves after the slowest (4ms) plus the tree cost.
+	if ends[0] < 4*clock.Millisecond {
+		t.Fatalf("barrier exited before slowest arrival: %v", ends[0])
+	}
+}
+
+func TestCollectivesRun(t *testing.T) {
+	w, bufs := testWorld(t, 2, 2, 2)
+	w.Start(func(p *Proc) {
+		p.Bcast(0, 4096)
+		p.Reduce(0, 4096)
+		p.Allreduce(8)
+		p.Alltoall(1024)
+		p.Gather(0, 512)
+		p.Scatter(0, 512)
+		p.Allgather(256)
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Every task must have one exit record per collective.
+	wantTypes := []events.Type{
+		events.EvMPIBcast, events.EvMPIReduce, events.EvMPIAllreduce,
+		events.EvMPIAlltoall, events.EvMPIGather, events.EvMPIScatter,
+		events.EvMPIAllgather,
+	}
+	for n := 0; n < 2; n++ {
+		count := map[events.Type]int{}
+		for _, r := range records(t, bufs[n]) {
+			if r.Edge == events.Exit {
+				count[r.Type]++
+			}
+		}
+		for _, ty := range wantTypes {
+			if count[ty] != 2 { // 2 tasks per node
+				t.Fatalf("node %d: %s exits = %d, want 2", n, ty.Name(), count[ty])
+			}
+		}
+	}
+}
+
+func TestMismatchedCollectivePanics(t *testing.T) {
+	w, _ := testWorld(t, 2, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched collectives did not panic")
+		}
+	}()
+	w.Start(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Barrier()
+		} else {
+			p.Allreduce(8)
+		}
+	})
+	w.Run()
+}
+
+func TestCommSplit(t *testing.T) {
+	w, _ := testWorld(t, 4, 1, 1)
+	sizes := make([]int, 4)
+	ranks := make([]int, 4)
+	w.Start(func(p *Proc) {
+		sub := p.World().Split(p, p.Rank()%2, -p.Rank())
+		sizes[p.Rank()] = sub.Size()
+		ranks[p.Rank()] = sub.RankOf(p)
+		sub.Barrier(p) // the new comm must be usable for collectives
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		if sizes[r] != 2 {
+			t.Fatalf("rank %d: sub size %d", r, sizes[r])
+		}
+	}
+	// key = -rank orders members descending by world rank.
+	if ranks[0] != 1 || ranks[2] != 0 || ranks[1] != 1 || ranks[3] != 0 {
+		t.Fatalf("sub ranks: %v", ranks)
+	}
+}
+
+func TestEntryExitRecordsBracketComputation(t *testing.T) {
+	w, bufs := testWorld(t, 2, 1, 1)
+	w.Start(func(p *Proc) {
+		switch p.Rank() {
+		case 0:
+			p.Send(1, 1, 64)
+		case 1:
+			p.Recv(0, 1)
+		}
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	recs := records(t, bufs[1])
+	var entry, exit *trace.Record
+	for i := range recs {
+		if recs[i].Type == events.EvMPIRecv {
+			switch recs[i].Edge {
+			case events.Entry:
+				entry = &recs[i]
+			case events.Exit:
+				exit = &recs[i]
+			}
+		}
+	}
+	if entry == nil || exit == nil {
+		t.Fatal("missing recv entry/exit records")
+	}
+	if exit.Time < entry.Time {
+		t.Fatalf("exit %v before entry %v", exit.Time, entry.Time)
+	}
+	if len(exit.Args) != len(events.ExtraFields(events.EvMPIRecv)) {
+		t.Fatalf("recv exit args %d, want %d", len(exit.Args), len(events.ExtraFields(events.EvMPIRecv)))
+	}
+}
+
+func TestExitArgsMatchFieldTables(t *testing.T) {
+	// Every traced op's exit record must carry exactly the number of
+	// fields the events table declares; convert relies on this.
+	w, bufs := testWorld(t, 2, 1, 2)
+	w.Start(func(p *Proc) {
+		peer := 1 - p.Rank()
+		if p.Rank() == 0 {
+			p.Send(peer, 1, 10)
+			r := p.Isend(peer, 2, 10)
+			p.Wait(r)
+		} else {
+			p.Recv(0, 1)
+			r := p.Irecv(0, 2)
+			p.Wait(r)
+		}
+		p.Sendrecv(peer, 3, 5, int32(peer), 3)
+		p.Barrier()
+		p.Bcast(0, 8)
+		p.Reduce(0, 8)
+		p.Allreduce(8)
+		p.Alltoall(8)
+		p.Gather(0, 8)
+		p.Scatter(0, 8)
+		p.Allgather(8)
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 2; n++ {
+		for _, r := range records(t, bufs[n]) {
+			if r.Edge != events.Exit {
+				continue
+			}
+			want := len(events.ExtraFields(r.Type))
+			if len(r.Args) != want {
+				t.Fatalf("%s exit has %d args, want %d", r.Type.Name(), len(r.Args), want)
+			}
+		}
+	}
+}
+
+func TestMarkersLocalIDs(t *testing.T) {
+	w, bufs := testWorld(t, 2, 1, 1)
+	w.Start(func(p *Proc) {
+		// Different definition order per task: the same string gets
+		// different local ids — the situation convert must repair.
+		var a, b uint64
+		if p.Rank() == 0 {
+			a = p.DefineMarker("Initial Phase")
+			b = p.DefineMarker("Compute Phase")
+		} else {
+			b = p.DefineMarker("Compute Phase")
+			a = p.DefineMarker("Initial Phase")
+		}
+		p.InMarker(a, func() { p.Compute(clock.Millisecond) })
+		p.InMarker(b, func() { p.Compute(clock.Millisecond) })
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if w.MarkerName(0, 1) != "Initial Phase" || w.MarkerName(1, 1) != "Compute Phase" {
+		t.Fatalf("marker ids unexpectedly aligned: %q %q", w.MarkerName(0, 1), w.MarkerName(1, 1))
+	}
+	// Define records must carry the strings.
+	for n := 0; n < 2; n++ {
+		defs := 0
+		for _, r := range records(t, bufs[n]) {
+			if r.Type == events.EvMarkerDefine {
+				defs++
+				if r.Str == "" {
+					t.Fatal("marker define without string")
+				}
+			}
+		}
+		if defs != 2 {
+			t.Fatalf("node %d: %d marker defines", n, defs)
+		}
+	}
+}
+
+func TestThreadsPerTask(t *testing.T) {
+	w, bufs := testWorld(t, 1, 1, 4)
+	w.Start(func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Spawn(events.ThreadUser, func(q *Proc) {
+				q.Compute(5 * clock.Millisecond)
+			})
+		}
+		p.Compute(clock.Millisecond)
+		p.Barrier() // 1-task barrier: immediate
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	infos := 0
+	for _, r := range records(t, bufs[0]) {
+		if r.Type == events.EvThreadInfo {
+			infos++
+		}
+	}
+	if infos != 4 {
+		t.Fatalf("thread infos: %d, want 4", infos)
+	}
+}
+
+func TestNoMailboxLeaks(t *testing.T) {
+	w, _ := testWorld(t, 2, 2, 2)
+	w.Start(func(p *Proc) {
+		peer := p.Rank() ^ 1
+		if p.Rank()%2 == 0 {
+			p.Send(peer, 1, 100)
+			p.Recv(int32(peer), 2)
+		} else {
+			p.Recv(int32(peer), 1)
+			p.Send(peer, 2, 100)
+		}
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < w.NumTasks(); r++ {
+		a, po := w.Pending(r)
+		if a != 0 || po != 0 {
+			t.Fatalf("task %d leaked mailbox state: arrived=%d posted=%d", r, a, po)
+		}
+	}
+}
+
+func TestIntraNodeFasterThanInterNode(t *testing.T) {
+	run := func(nodes, tpn int) clock.Time {
+		w, _ := testWorld(t, nodes, tpn, 2)
+		var end clock.Time
+		w.Start(func(p *Proc) {
+			if p.Rank() == 0 {
+				p.Send(1, 1, 32<<10)
+				end = p.Now()
+			} else {
+				p.Recv(0, 1)
+			}
+		})
+		if _, err := w.Run(); err != nil {
+			t.Fatal(err)
+		}
+		_ = end
+		return end
+	}
+	intra := run(1, 2)
+	inter := run(2, 1)
+	_ = intra
+	_ = inter
+	// The messages are eager so the send completes locally in both cases;
+	// compare via a round trip instead.
+	rt := func(nodes, tpn int) clock.Time {
+		w, _ := testWorld(t, nodes, tpn, 2)
+		var end clock.Time
+		w.Start(func(p *Proc) {
+			if p.Rank() == 0 {
+				p.Send(1, 1, 32<<10)
+				p.Recv(1, 2)
+				end = p.Now()
+			} else {
+				p.Recv(0, 1)
+				p.Send(0, 2, 32<<10)
+			}
+		})
+		if _, err := w.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	if rt(1, 2) >= rt(2, 1) {
+		t.Fatal("intra-node round trip not faster than inter-node")
+	}
+}
+
+func TestDeterministicTraces(t *testing.T) {
+	run := func() []byte {
+		w, bufs := testWorld(t, 2, 2, 2)
+		w.Start(func(p *Proc) {
+			peer := (p.Rank() + 1) % p.Size()
+			for i := 0; i < 10; i++ {
+				p.Isend(peer, int32(i), 128*(i+1))
+				p.Recv(AnySource, int32(i))
+				p.Compute(clock.Time(i) * 100 * clock.Microsecond)
+			}
+			p.Barrier()
+		})
+		if _, err := w.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var all []byte
+		for _, b := range bufs {
+			all = append(all, b.Bytes()...)
+		}
+		return all
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("identical runs produced different raw traces")
+	}
+}
+
+func TestRankValidation(t *testing.T) {
+	w, _ := testWorld(t, 1, 1, 1)
+	var panicked bool
+	w.Start(func(p *Proc) {
+		defer func() { panicked = recover() != nil }()
+		p.Send(5, 0, 1) // no such rank
+	})
+	w.Run()
+	if !panicked {
+		t.Fatal("send to invalid rank did not panic")
+	}
+}
+
+func TestSsendSynchronous(t *testing.T) {
+	// Ssend must block until the receive is posted, even for a tiny
+	// message (forced rendezvous).
+	w, _ := testWorld(t, 2, 1, 1)
+	var sendEnd clock.Time
+	w.Start(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Ssend(1, 1, 8)
+			sendEnd = p.Now()
+		} else {
+			p.Compute(15 * clock.Millisecond)
+			p.Recv(0, 1)
+		}
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sendEnd < 15*clock.Millisecond {
+		t.Fatalf("ssend of a small message completed at %v without a receiver", sendEnd)
+	}
+}
+
+func TestScanAndReduceScatter(t *testing.T) {
+	w, bufs := testWorld(t, 2, 2, 2)
+	w.Start(func(p *Proc) {
+		p.Scan(1024)
+		p.ReduceScatter(4096)
+	})
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	count := map[events.Type]int{}
+	for n := 0; n < 2; n++ {
+		for _, r := range records(t, bufs[n]) {
+			if r.Edge == events.Exit {
+				count[r.Type]++
+				if want := len(events.ExtraFields(r.Type)); len(r.Args) < want {
+					t.Fatalf("%s exit args %d < %d", r.Type.Name(), len(r.Args), want)
+				}
+			}
+		}
+	}
+	if count[events.EvMPIScan] != 4 || count[events.EvMPIRedScat] != 4 {
+		t.Fatalf("counts: %v", count)
+	}
+}

@@ -1,0 +1,183 @@
+package profile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// This file is the record-access half of the paper's utility-library API
+// (§2.4): given a record specification and the raw bytes of one interval
+// record, locate fields by name, fetch scalar items (getItemByName),
+// test for and fetch vector fields, all without compiled-in knowledge of
+// the record layout.
+
+// fieldAt walks the record's fields in specification order and returns
+// the byte range of the named field plus its description. ok is false
+// when the field does not exist in this spec or the buffer is too short.
+func (s *RecordSpec) fieldAt(buf []byte, name string) (start, end int, f Field, ok bool) {
+	off := 0
+	for _, fd := range s.Fields {
+		size := int(fd.ElemLen)
+		if fd.Vector {
+			if off+int(fd.CounterLen) > len(buf) {
+				return 0, 0, Field{}, false
+			}
+			n := int(readUint(buf[off : off+int(fd.CounterLen)]))
+			size = int(fd.CounterLen) + n*int(fd.ElemLen)
+		}
+		if off+size > len(buf) {
+			return 0, 0, Field{}, false
+		}
+		if fd.Name == name {
+			return off, off + size, fd, true
+		}
+		off += size
+	}
+	return 0, 0, Field{}, false
+}
+
+// Size returns the encoded size of a record with the given buffer,
+// verifying that the fields exactly cover it.
+func (s *RecordSpec) Size(buf []byte) (int, error) {
+	off := 0
+	for _, fd := range s.Fields {
+		size := int(fd.ElemLen)
+		if fd.Vector {
+			if off+int(fd.CounterLen) > len(buf) {
+				return 0, fmt.Errorf("profile: %s: truncated vector counter for %q", s.Name, fd.Name)
+			}
+			n := int(readUint(buf[off : off+int(fd.CounterLen)]))
+			size = int(fd.CounterLen) + n*int(fd.ElemLen)
+		}
+		off += size
+		if off > len(buf) {
+			return 0, fmt.Errorf("profile: %s: record truncated at field %q", s.Name, fd.Name)
+		}
+	}
+	return off, nil
+}
+
+// Item implements the paper's getItemByName for scalar fields: it
+// returns the field's value widened to int64 (unsigned fields of fewer
+// than 8 bytes widen losslessly) and the field's size in bytes. ok is
+// false for missing fields and for vector fields.
+func (s *RecordSpec) Item(buf []byte, name string) (val int64, size int, ok bool) {
+	start, end, f, ok := s.fieldAt(buf, name)
+	if !ok || f.Vector {
+		return 0, 0, false
+	}
+	raw := buf[start:end]
+	switch f.Type {
+	case Int:
+		return readInt(raw), len(raw), true
+	case Float:
+		switch len(raw) {
+		case 4:
+			return int64(math.Float32frombits(uint32(readUint(raw)))), len(raw), true
+		case 8:
+			return int64(math.Float64frombits(readUint(raw))), len(raw), true
+		}
+		return 0, 0, false
+	default:
+		return int64(readUint(raw)), len(raw), true
+	}
+}
+
+// FloatItem fetches a scalar Float field at full precision.
+func (s *RecordSpec) FloatItem(buf []byte, name string) (float64, bool) {
+	start, end, f, ok := s.fieldAt(buf, name)
+	if !ok || f.Vector || f.Type != Float {
+		return 0, false
+	}
+	raw := buf[start:end]
+	switch len(raw) {
+	case 4:
+		return float64(math.Float32frombits(uint32(readUint(raw)))), true
+	case 8:
+		return math.Float64frombits(readUint(raw)), true
+	}
+	return 0, false
+}
+
+// IsVector reports whether the named field exists and is a vector.
+func (s *RecordSpec) IsVector(name string) bool {
+	for _, f := range s.Fields {
+		if f.Name == name {
+			return f.Vector
+		}
+	}
+	return false
+}
+
+// Vector fetches a vector field's raw element bytes (without the
+// counter) and its element count.
+func (s *RecordSpec) Vector(buf []byte, name string) (elems []byte, count int, ok bool) {
+	start, end, f, ok := s.fieldAt(buf, name)
+	if !ok || !f.Vector {
+		return nil, 0, false
+	}
+	raw := buf[start:end]
+	n := int(readUint(raw[:f.CounterLen]))
+	return raw[f.CounterLen:], n, true
+}
+
+// String fetches a vector Bytes field as a string (the paper's "get a
+// vector field such as a character string").
+func (s *RecordSpec) String(buf []byte, name string) (string, bool) {
+	elems, _, ok := s.Vector(buf, name)
+	if !ok {
+		return "", false
+	}
+	return string(elems), true
+}
+
+// AppendScalar appends a scalar field value in the field's encoding.
+func AppendScalar(dst []byte, f Field, v uint64) []byte {
+	return appendUint(dst, v, int(f.ElemLen))
+}
+
+// AppendVector appends a vector field (counter + elements).
+func AppendVector(dst []byte, f Field, elems []byte) []byte {
+	if int(f.ElemLen) != 1 && len(elems)%int(f.ElemLen) != 0 {
+		panic(fmt.Sprintf("profile: vector %q elems not a multiple of elem size", f.Name))
+	}
+	n := len(elems) / int(f.ElemLen)
+	dst = appendUint(dst, uint64(n), int(f.CounterLen))
+	return append(dst, elems...)
+}
+
+func readUint(b []byte) uint64 {
+	switch len(b) {
+	case 1:
+		return uint64(b[0])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b))
+	case 8:
+		return binary.LittleEndian.Uint64(b)
+	}
+	var v uint64
+	for i := len(b) - 1; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func readInt(b []byte) int64 {
+	u := readUint(b)
+	bits := uint(len(b)) * 8
+	if bits < 64 && u&(1<<(bits-1)) != 0 {
+		u |= ^uint64(0) << bits // sign-extend
+	}
+	return int64(u)
+}
+
+func appendUint(dst []byte, v uint64, size int) []byte {
+	for i := 0; i < size; i++ {
+		dst = append(dst, byte(v))
+		v >>= 8
+	}
+	return dst
+}

@@ -1,0 +1,400 @@
+// Package profile implements the paper's self-defining description
+// profile (§2.3.1): a meta-format file that describes what a valid
+// interval record looks like. A profile holds a version ID, arrays of
+// strings for record and field names, and one record specification per
+// interval type — where an interval type is an event type plus two
+// "bebits" saying whether a record is a complete interval or a begin,
+// continuation, or end piece. Each field is described by one packed
+// field-description word carrying a vector bit, a counter length, a data
+// type, an element length, a field-selection attribute, and a field name
+// index.
+//
+// Utilities that read interval files first read the profile (checking
+// the version ID stored in both files) and from then on know every
+// record layout, which is what lets new record types be added without
+// touching the readers.
+package profile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"tracefw/internal/events"
+)
+
+// Bebits classify an interval record piece (paper §1.2): a complete
+// interval, or the begin / continuation / end piece of a split one.
+type Bebits uint8
+
+// Bebit values: bit 1 = "has begin edge", bit 0 = "has end edge".
+const (
+	Continuation Bebits = 0
+	End          Bebits = 1
+	Begin        Bebits = 2
+	Complete     Bebits = 3
+)
+
+// String names the piece kind.
+func (b Bebits) String() string {
+	switch b {
+	case Continuation:
+		return "continuation"
+	case End:
+		return "end"
+	case Begin:
+		return "begin"
+	case Complete:
+		return "complete"
+	}
+	return "bebits?"
+}
+
+// DataType is a field's element type.
+type DataType uint8
+
+// Field data types.
+const (
+	Uint  DataType = 0 // unsigned integer, ElemLen bytes
+	Int   DataType = 1 // signed integer, ElemLen bytes
+	Float DataType = 2 // IEEE float, ElemLen 4 or 8
+	Bytes DataType = 3 // raw bytes / characters
+)
+
+// Field describes one record field. The on-disk form is a single packed
+// word (see Word / parseWord).
+type Field struct {
+	Name       string
+	Vector     bool     // vector fields carry a counter then elements
+	CounterLen uint8    // bytes of the vector counter (1, 2, or 4)
+	Type       DataType // element type
+	ElemLen    uint8    // element size in bytes (1, 2, 4, or 8)
+	Attr       uint16   // field-selection attribute (bit set)
+}
+
+// Word packs the field description into its on-disk word, resolving the
+// name to nameIdx.
+//
+// Layout: bit31 vector | bits30..28 counterLen | bits27..24 type |
+// bits23..16 elemLen | bits15..12 attr | bits11..0 name index.
+func (f Field) Word(nameIdx int) uint32 {
+	w := uint32(nameIdx) & 0xfff
+	w |= uint32(f.Attr&0xf) << 12
+	w |= uint32(f.ElemLen) << 16
+	w |= uint32(f.Type&0xf) << 24
+	w |= uint32(f.CounterLen&0x7) << 28
+	if f.Vector {
+		w |= 1 << 31
+	}
+	return w
+}
+
+func parseWord(w uint32, names []string) (Field, error) {
+	idx := int(w & 0xfff)
+	if idx >= len(names) {
+		return Field{}, fmt.Errorf("profile: field name index %d out of range", idx)
+	}
+	return Field{
+		Name:       names[idx],
+		Attr:       uint16(w >> 12 & 0xf),
+		ElemLen:    uint8(w >> 16 & 0xff),
+		Type:       DataType(w >> 24 & 0xf),
+		CounterLen: uint8(w >> 28 & 0x7),
+		Vector:     w>>31 != 0,
+	}, nil
+}
+
+// RecordSpec is the specification of one interval type (paper Figure 3).
+type RecordSpec struct {
+	Type   events.Type
+	Bebits Bebits
+	Name   string
+	Fields []Field
+}
+
+// key packs (type, bebits) for spec lookup.
+func key(t events.Type, b Bebits) uint32 { return uint32(t)<<2 | uint32(b&3) }
+
+// Profile is a parsed description profile.
+type Profile struct {
+	Version uint32
+	Specs   []RecordSpec
+
+	index map[uint32]*RecordSpec
+}
+
+// New creates an empty profile with the given version ID.
+func New(version uint32) *Profile {
+	return &Profile{Version: version, index: make(map[uint32]*RecordSpec)}
+}
+
+// Add appends a record specification. Duplicate (type, bebits) pairs are
+// rejected.
+func (p *Profile) Add(s RecordSpec) error {
+	k := key(s.Type, s.Bebits)
+	if _, dup := p.index[k]; dup {
+		return fmt.Errorf("profile: duplicate spec for %s/%s", s.Type.Name(), s.Bebits)
+	}
+	p.Specs = append(p.Specs, s)
+	p.index[k] = &p.Specs[len(p.Specs)-1]
+	p.reindex()
+	return nil
+}
+
+// reindex rebuilds the lookup map (appends may relocate the slice).
+func (p *Profile) reindex() {
+	p.index = make(map[uint32]*RecordSpec, len(p.Specs))
+	for i := range p.Specs {
+		s := &p.Specs[i]
+		p.index[key(s.Type, s.Bebits)] = s
+	}
+}
+
+// Lookup returns the spec for an interval type, or nil.
+func (p *Profile) Lookup(t events.Type, b Bebits) *RecordSpec {
+	return p.index[key(t, b)]
+}
+
+// Select returns a view of the profile with only the fields whose
+// selection attribute intersects mask — the mechanism that lets "a given
+// record type have a different number of fields in individual and merged
+// interval files". The receiver is unchanged.
+func (p *Profile) Select(mask uint16) *Profile {
+	out := New(p.Version)
+	for _, s := range p.Specs {
+		ns := RecordSpec{Type: s.Type, Bebits: s.Bebits, Name: s.Name}
+		for _, f := range s.Fields {
+			if f.Attr&mask != 0 {
+				ns.Fields = append(ns.Fields, f)
+			}
+		}
+		if err := out.Add(ns); err != nil {
+			// Unreachable: the source profile has no duplicates.
+			panic(err)
+		}
+	}
+	return out
+}
+
+// --- Binary encoding ---
+
+const profMagic = "UTEPROF1"
+
+// Write serializes the profile: header (magic, version, counts, the
+// record-name and field-name string arrays) followed by the record
+// specifications.
+func (p *Profile) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	// Build the two name arrays.
+	recNames, recIdx := nameArray(len(p.Specs), func(i int) string { return p.Specs[i].Name })
+	var fieldCount int
+	for i := range p.Specs {
+		fieldCount += len(p.Specs[i].Fields)
+	}
+	flat := make([]string, 0, fieldCount)
+	for i := range p.Specs {
+		for _, f := range p.Specs[i].Fields {
+			flat = append(flat, f.Name)
+		}
+	}
+	fieldNames, fieldIdx := nameArray(len(flat), func(i int) string { return flat[i] })
+
+	bw.WriteString(profMagic)
+	writeU32(bw, p.Version)
+	writeU16(bw, uint16(len(recNames)))
+	writeU16(bw, uint16(len(fieldNames)))
+	writeU16(bw, uint16(len(p.Specs)))
+	for _, n := range recNames {
+		writeStr(bw, n)
+	}
+	for _, n := range fieldNames {
+		writeStr(bw, n)
+	}
+	fi := 0
+	for i := range p.Specs {
+		s := &p.Specs[i]
+		writeU32(bw, key(s.Type, s.Bebits))
+		writeU16(bw, uint16(recIdx[s.Name]))
+		bw.WriteByte(0) // reserved
+		if len(s.Fields) > 255 {
+			return fmt.Errorf("profile: spec %s has %d fields", s.Name, len(s.Fields))
+		}
+		bw.WriteByte(uint8(len(s.Fields)))
+		for _, f := range s.Fields {
+			writeU32(bw, f.Word(fieldIdx[flat[fi]]))
+			fi++
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a profile written by Write.
+func Read(r io.Reader) (*Profile, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(profMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("profile: reading magic: %w", err)
+	}
+	if string(magic) != profMagic {
+		return nil, fmt.Errorf("profile: bad magic %q", magic)
+	}
+	version, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	nRec, err := readU16(br)
+	if err != nil {
+		return nil, err
+	}
+	nField, err := readU16(br)
+	if err != nil {
+		return nil, err
+	}
+	nSpec, err := readU16(br)
+	if err != nil {
+		return nil, err
+	}
+	recNames := make([]string, nRec)
+	for i := range recNames {
+		if recNames[i], err = readStr(br); err != nil {
+			return nil, err
+		}
+	}
+	fieldNames := make([]string, nField)
+	for i := range fieldNames {
+		if fieldNames[i], err = readStr(br); err != nil {
+			return nil, err
+		}
+	}
+	p := New(version)
+	for i := 0; i < int(nSpec); i++ {
+		k, err := readU32(br)
+		if err != nil {
+			return nil, err
+		}
+		nameIdx, err := readU16(br)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := br.ReadByte(); err != nil { // reserved
+			return nil, err
+		}
+		nf, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if int(nameIdx) >= len(recNames) {
+			return nil, fmt.Errorf("profile: record name index %d out of range", nameIdx)
+		}
+		s := RecordSpec{
+			Type:   events.Type(k >> 2),
+			Bebits: Bebits(k & 3),
+			Name:   recNames[nameIdx],
+		}
+		for j := 0; j < int(nf); j++ {
+			w, err := readU32(br)
+			if err != nil {
+				return nil, err
+			}
+			f, err := parseWord(w, fieldNames)
+			if err != nil {
+				return nil, err
+			}
+			s.Fields = append(s.Fields, f)
+		}
+		if err := p.Add(s); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// WriteFile writes the profile to a file.
+func (p *Profile) WriteFile(name string) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := p.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a profile file and applies the field-selection mask
+// from an interval file header (paper Figure 5's readProfile), returning
+// the selected view.
+func ReadFile(name string, mask uint16) (*Profile, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p, err := Read(f)
+	if err != nil {
+		return nil, err
+	}
+	return p.Select(mask), nil
+}
+
+// nameArray deduplicates n strings into an array plus an index map.
+func nameArray(n int, get func(int) string) ([]string, map[string]int) {
+	var arr []string
+	idx := make(map[string]int)
+	for i := 0; i < n; i++ {
+		s := get(i)
+		if _, ok := idx[s]; !ok {
+			idx[s] = len(arr)
+			arr = append(arr, s)
+		}
+	}
+	return arr, idx
+}
+
+func writeU16(w *bufio.Writer, v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	w.Write(b[:])
+}
+
+func writeU32(w *bufio.Writer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.Write(b[:])
+}
+
+func writeStr(w *bufio.Writer, s string) {
+	writeU16(w, uint16(len(s)))
+	w.WriteString(s)
+}
+
+func readU16(r io.Reader) (uint16, error) {
+	var b [2]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b[:]), nil
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func readStr(r *bufio.Reader) (string, error) {
+	n, err := readU16(r)
+	if err != nil {
+		return "", err
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

@@ -1,0 +1,320 @@
+package profile
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"tracefw/internal/events"
+)
+
+func TestBebitsString(t *testing.T) {
+	if Complete.String() != "complete" || Begin.String() != "begin" ||
+		End.String() != "end" || Continuation.String() != "continuation" {
+		t.Fatal("bebits names wrong")
+	}
+	if Bebits(9).String() != "bebits?" {
+		t.Fatal("unknown bebits name wrong")
+	}
+}
+
+func TestFieldWordRoundTrip(t *testing.T) {
+	names := []string{"alpha", "beta"}
+	cases := []Field{
+		{Name: "alpha", Type: Uint, ElemLen: 8, Attr: 1},
+		{Name: "beta", Type: Int, ElemLen: 2, Attr: 3},
+		{Name: "alpha", Type: Float, ElemLen: 4, Attr: 5},
+		{Name: "beta", Vector: true, CounterLen: 2, Type: Bytes, ElemLen: 1, Attr: 1},
+		{Name: "alpha", Vector: true, CounterLen: 4, Type: Uint, ElemLen: 8, Attr: 2},
+	}
+	for i, want := range cases {
+		idx := 0
+		if want.Name == "beta" {
+			idx = 1
+		}
+		got, err := parseWord(want.Word(idx), names)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("case %d:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestFieldWordBadNameIndex(t *testing.T) {
+	if _, err := parseWord(0xfff, []string{"only"}); err == nil {
+		t.Fatal("out-of-range name index accepted")
+	}
+}
+
+func TestStandardProfileComplete(t *testing.T) {
+	p := Standard()
+	wantSpecs := 4*len(events.StateTypes) + 1 // + GlobalClock/Complete
+	if len(p.Specs) != wantSpecs {
+		t.Fatalf("standard profile has %d specs, want %d", len(p.Specs), wantSpecs)
+	}
+	if p.Lookup(events.EvGlobalClock, Complete) == nil {
+		t.Fatal("no spec for global clock records")
+	}
+	for _, ty := range events.StateTypes {
+		for _, bb := range []Bebits{Continuation, End, Begin, Complete} {
+			s := p.Lookup(ty, bb)
+			if s == nil {
+				t.Fatalf("no spec for %s/%s", ty.Name(), bb)
+			}
+			if s.Name != ty.Name() {
+				t.Fatalf("spec name %q for %s", s.Name, ty.Name())
+			}
+			want := len(events.CommonFields) + len(events.ExtraFields(ty))
+			if events.VectorField(ty) != "" {
+				want++
+			}
+			if len(s.Fields) != want {
+				t.Fatalf("%s/%s has %d fields, want %d", ty.Name(), bb, len(s.Fields), want)
+			}
+			if vf := events.VectorField(ty); vf != "" {
+				last := s.Fields[len(s.Fields)-1]
+				if last.Name != vf || !last.Vector || last.CounterLen != 2 || last.ElemLen != 8 {
+					t.Fatalf("%s vector field wrong: %+v", ty.Name(), last)
+				}
+			}
+			if s.Fields[0].Name != events.FieldType || s.Fields[2].Name != events.FieldStart {
+				t.Fatalf("common prefix wrong: %+v", s.Fields[:3])
+			}
+		}
+	}
+}
+
+func TestProfileWriteReadRoundTrip(t *testing.T) {
+	p := Standard()
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != p.Version {
+		t.Fatalf("version %#x, want %#x", got.Version, p.Version)
+	}
+	if len(got.Specs) != len(p.Specs) {
+		t.Fatalf("%d specs, want %d", len(got.Specs), len(p.Specs))
+	}
+	for i := range p.Specs {
+		if !reflect.DeepEqual(got.Specs[i], p.Specs[i]) {
+			t.Fatalf("spec %d differs:\n got %+v\nwant %+v", i, got.Specs[i], p.Specs[i])
+		}
+	}
+}
+
+func TestProfileFileRoundTrip(t *testing.T) {
+	p := Standard()
+	name := filepath.Join(t.TempDir(), "profile.ute")
+	if err := p.WriteFile(name); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(name, MaskIndividual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != StdVersion {
+		t.Fatalf("version %#x", got.Version)
+	}
+	// With the standard mask nothing is filtered.
+	s := got.Lookup(events.EvMPISend, Complete)
+	if s == nil || len(s.Fields) != len(events.CommonFields)+len(events.ExtraFields(events.EvMPISend)) {
+		t.Fatalf("selected spec: %+v", s)
+	}
+}
+
+func TestReadBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOTAPROFILE AT ALL......."))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestDuplicateSpecRejected(t *testing.T) {
+	p := New(1)
+	s := RecordSpec{Type: events.EvRunning, Bebits: Complete, Name: "Running"}
+	if err := p.Add(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(s); err == nil {
+		t.Fatal("duplicate spec accepted")
+	}
+}
+
+func TestSelectMask(t *testing.T) {
+	p := New(7)
+	err := p.Add(RecordSpec{Type: events.EvRunning, Bebits: Complete, Name: "R", Fields: []Field{
+		{Name: "a", Type: Uint, ElemLen: 4, Attr: 0x1},
+		{Name: "b", Type: Uint, ElemLen: 4, Attr: 0x2},
+		{Name: "c", Type: Uint, ElemLen: 4, Attr: 0x3},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := p.Select(0x2)
+	s := sel.Lookup(events.EvRunning, Complete)
+	if len(s.Fields) != 2 || s.Fields[0].Name != "b" || s.Fields[1].Name != "c" {
+		t.Fatalf("selected fields: %+v", s.Fields)
+	}
+	// Original untouched.
+	if len(p.Lookup(events.EvRunning, Complete).Fields) != 3 {
+		t.Fatal("Select mutated the source profile")
+	}
+}
+
+// buildRecord encodes a record for the given spec from scalar values and
+// vector payloads keyed by field name.
+func buildRecord(s *RecordSpec, scalars map[string]uint64, vectors map[string][]byte) []byte {
+	var buf []byte
+	for _, f := range s.Fields {
+		if f.Vector {
+			buf = AppendVector(buf, f, vectors[f.Name])
+		} else {
+			buf = AppendScalar(buf, f, scalars[f.Name])
+		}
+	}
+	return buf
+}
+
+func testSpec() *RecordSpec {
+	return &RecordSpec{Type: events.EvMarkerState, Bebits: Complete, Name: "M", Fields: []Field{
+		{Name: "u16", Type: Uint, ElemLen: 2, Attr: 1},
+		{Name: "i32", Type: Int, ElemLen: 4, Attr: 1},
+		{Name: "str", Vector: true, CounterLen: 2, Type: Bytes, ElemLen: 1, Attr: 1},
+		{Name: "u64", Type: Uint, ElemLen: 8, Attr: 1},
+		{Name: "vec64", Vector: true, CounterLen: 1, Type: Uint, ElemLen: 8, Attr: 1},
+	}}
+}
+
+func TestItemScalars(t *testing.T) {
+	s := testSpec()
+	buf := buildRecord(s, map[string]uint64{
+		"u16": 0xbeef, "i32": 0xfffffffe /* -2 */, "u64": 1 << 40,
+	}, map[string][]byte{"str": []byte("hello"), "vec64": nil})
+
+	if v, size, ok := s.Item(buf, "u16"); !ok || v != 0xbeef || size != 2 {
+		t.Fatalf("u16: %v %v %v", v, size, ok)
+	}
+	if v, _, ok := s.Item(buf, "i32"); !ok || v != -2 {
+		t.Fatalf("i32 sign extension: %v %v", v, ok)
+	}
+	// u64 lives *after* the variable-length string: walking must skip it.
+	if v, size, ok := s.Item(buf, "u64"); !ok || v != 1<<40 || size != 8 {
+		t.Fatalf("u64: %v %v %v", v, size, ok)
+	}
+	if _, _, ok := s.Item(buf, "missing"); ok {
+		t.Fatal("missing field found")
+	}
+	if _, _, ok := s.Item(buf, "str"); ok {
+		t.Fatal("Item succeeded on a vector field")
+	}
+}
+
+func TestVectorAndString(t *testing.T) {
+	s := testSpec()
+	vec := []byte{1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0}
+	buf := buildRecord(s, map[string]uint64{"u16": 1, "i32": 2, "u64": 3},
+		map[string][]byte{"str": []byte("marker name"), "vec64": vec})
+
+	if !s.IsVector("str") || s.IsVector("u64") || s.IsVector("nope") {
+		t.Fatal("IsVector wrong")
+	}
+	if got, ok := s.String(buf, "str"); !ok || got != "marker name" {
+		t.Fatalf("String: %q %v", got, ok)
+	}
+	elems, n, ok := s.Vector(buf, "vec64")
+	if !ok || n != 2 || len(elems) != 16 {
+		t.Fatalf("Vector: n=%d len=%d ok=%v", n, len(elems), ok)
+	}
+}
+
+func TestSizeValidates(t *testing.T) {
+	s := testSpec()
+	buf := buildRecord(s, map[string]uint64{"u16": 1, "i32": 2, "u64": 3},
+		map[string][]byte{"str": []byte("xy"), "vec64": make([]byte, 24)})
+	n, err := s.Size(buf)
+	if err != nil || n != len(buf) {
+		t.Fatalf("Size = %d (%v), want %d", n, err, len(buf))
+	}
+	if _, err := s.Size(buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated record passed Size")
+	}
+}
+
+func TestFloatItem(t *testing.T) {
+	s := &RecordSpec{Name: "F", Fields: []Field{
+		{Name: "f32", Type: Float, ElemLen: 4, Attr: 1},
+		{Name: "f64", Type: Float, ElemLen: 8, Attr: 1},
+	}}
+	var buf []byte
+	buf = appendUint(buf, uint64(mathFloat32bits(1.5)), 4)
+	buf = appendUint(buf, mathFloat64bits(-2.25), 8)
+	if v, ok := s.FloatItem(buf, "f32"); !ok || v != 1.5 {
+		t.Fatalf("f32 = %v %v", v, ok)
+	}
+	if v, ok := s.FloatItem(buf, "f64"); !ok || v != -2.25 {
+		t.Fatalf("f64 = %v %v", v, ok)
+	}
+	if v, _, ok := s.Item(buf, "f64"); !ok || v != -2 {
+		t.Fatalf("Item on float truncates toward int64: %v %v", v, ok)
+	}
+}
+
+func TestQuickScalarRoundTrip(t *testing.T) {
+	s := &RecordSpec{Name: "Q", Fields: []Field{
+		{Name: "a", Type: Uint, ElemLen: 8, Attr: 1},
+		{Name: "b", Type: Int, ElemLen: 4, Attr: 1},
+	}}
+	f := func(a uint64, b int32) bool {
+		buf := AppendScalar(nil, s.Fields[0], a)
+		buf = AppendScalar(buf, s.Fields[1], uint64(uint32(b)))
+		va, _, ok1 := s.Item(buf, "a")
+		vb, _, ok2 := s.Item(buf, "b")
+		return ok1 && ok2 && uint64(va) == a && vb == int64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickProfileRoundTrip(t *testing.T) {
+	f := func(version uint32, nspec uint8, nfield uint8) bool {
+		p := New(version)
+		ns := int(nspec%5) + 1
+		nf := int(nfield % 6)
+		for i := 0; i < ns; i++ {
+			s := RecordSpec{Type: events.Type(i), Bebits: Bebits(i % 4), Name: "rec"}
+			for j := 0; j < nf; j++ {
+				s.Fields = append(s.Fields, Field{
+					Name: "f", Type: DataType(j % 4), ElemLen: uint8(1 << (j % 4)), Attr: uint16(j%4 + 1),
+				})
+			}
+			if p.Add(s) != nil {
+				return false
+			}
+		}
+		var buf bytes.Buffer
+		if p.Write(&buf) != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Specs, p.Specs) && got.Version == version
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mathFloat32bits(f float32) uint32 { return math.Float32bits(f) }
+func mathFloat64bits(f float64) uint64 { return math.Float64bits(f) }

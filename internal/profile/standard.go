@@ -1,0 +1,69 @@
+package profile
+
+import "tracefw/internal/events"
+
+// StdVersion is the version ID of the standard UTE profile built by
+// Standard. Interval files record the profile version they were written
+// against; readers must check it (paper §2.3).
+const StdVersion uint32 = 0x00010002
+
+// Field-selection attribute bits of the standard profile and the masks
+// interval files carry in their headers.
+const (
+	AttrBase uint16 = 0x1 // present in every file
+
+	MaskIndividual uint16 = 0x1
+	MaskMerged     uint16 = 0x1
+)
+
+// Standard builds the standard profile: one record specification per
+// (state type, bebits) combination, each starting with the common fields
+// (type, bebits, start, dura, cpu, node, thread) followed by the state's
+// extra fields, all 8-byte unsigned scalars.
+func Standard() *Profile {
+	p := New(StdVersion)
+	for _, ty := range events.StateTypes {
+		for _, bb := range []Bebits{Continuation, End, Begin, Complete} {
+			s := RecordSpec{Type: ty, Bebits: bb, Name: ty.Name()}
+			s.Fields = append(s.Fields, CommonFieldSet()...)
+			for _, name := range events.ExtraFields(ty) {
+				s.Fields = append(s.Fields, Field{Name: name, Type: Uint, ElemLen: 8, Attr: AttrBase})
+			}
+			if vf := events.VectorField(ty); vf != "" {
+				s.Fields = append(s.Fields, Field{
+					Name: vf, Vector: true, CounterLen: 2, Type: Uint, ElemLen: 8, Attr: AttrBase,
+				})
+			}
+			if err := p.Add(s); err != nil {
+				panic(err) // unreachable: the loop has no duplicates
+			}
+		}
+	}
+	// Global-clock pair records ride along in individual interval files
+	// (zero-duration, Complete) so the merge utility can align and adjust
+	// timestamps without returning to the raw traces.
+	clk := RecordSpec{Type: events.EvGlobalClock, Bebits: Complete, Name: events.EvGlobalClock.Name()}
+	clk.Fields = append(clk.Fields, CommonFieldSet()...)
+	clk.Fields = append(clk.Fields, Field{Name: events.FieldGlobal, Type: Uint, ElemLen: 8, Attr: AttrBase})
+	if err := p.Add(clk); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// CommonFieldSet returns fresh Field descriptions of the common interval
+// fields, in on-disk order.
+func CommonFieldSet() []Field {
+	return []Field{
+		{Name: events.FieldType, Type: Uint, ElemLen: 2, Attr: AttrBase},
+		{Name: events.FieldBebits, Type: Uint, ElemLen: 1, Attr: AttrBase},
+		{Name: events.FieldStart, Type: Int, ElemLen: 8, Attr: AttrBase},
+		{Name: events.FieldDura, Type: Int, ElemLen: 8, Attr: AttrBase},
+		{Name: events.FieldCPU, Type: Uint, ElemLen: 2, Attr: AttrBase},
+		{Name: events.FieldNode, Type: Uint, ElemLen: 2, Attr: AttrBase},
+		{Name: events.FieldThread, Type: Uint, ElemLen: 2, Attr: AttrBase},
+	}
+}
+
+// CommonSize is the encoded size of the common field prefix.
+const CommonSize = 2 + 1 + 8 + 8 + 2 + 2 + 2

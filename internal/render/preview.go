@@ -1,0 +1,224 @@
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/slog"
+	"tracefw/internal/stats"
+)
+
+// PreviewSVG renders the whole-run preview of a SLOG file (the smaller
+// window of the paper's Figure 7): one stacked bar per time bin, state
+// durations stacked by color.
+func PreviewSVG(p *slog.Preview) string {
+	bins := len(p.Dur[0])
+	keys := make([]string, len(p.States))
+	for i, ty := range p.States {
+		keys[i] = ty.Name()
+	}
+	const (
+		w      = 800.0
+		h      = 220.0
+		left   = 60.0
+		bottom = 40.0
+	)
+	// Peak stacked duration over bins scales the y axis.
+	var peak clock.Time
+	for b := 0; b < bins; b++ {
+		var tot clock.Time
+		for s := range p.Dur {
+			tot += p.Dur[s][b]
+		}
+		if tot > peak {
+			peak = tot
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, svgHeader, int(w+left+20), int(h+bottom+40))
+	sb.WriteString(`<text x="4" y="14" font-weight="bold">preview</text>` + "\n")
+	bw := w / float64(bins)
+	for b := 0; b < bins; b++ {
+		y := h + 20
+		for s := range p.Dur {
+			d := p.Dur[s][b]
+			if d == 0 {
+				continue
+			}
+			hh := float64(d) / float64(peak) * h
+			y -= hh
+			fmt.Fprintf(&sb, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s"><title>%s bin %d: %v</title></rect>`+"\n",
+				left+float64(b)*bw, y, bw-0.5, hh, colorFor(keys, keys[s]), keys[s], b, d)
+		}
+	}
+	// Axis: run time across bins.
+	for i := 0; i <= 5; i++ {
+		t := p.TStart + clock.Time(float64(p.TEnd-p.TStart)*float64(i)/5)
+		x := left + w*float64(i)/5
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" text-anchor="middle" fill="#555">%.1fs</text>`+"\n", x, h+34, t.Seconds())
+	}
+	// Legend for states that actually appear.
+	lx, ly := left, h+48.0
+	for s, ty := range p.States {
+		var tot clock.Time
+		for _, d := range p.Dur[s] {
+			tot += d
+		}
+		if tot == 0 {
+			continue
+		}
+		name := ty.Name()
+		fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n", lx, ly, colorFor(keys, name))
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f">%s</text>`+"\n", lx+13, ly+9, escape(name))
+		lx += 13 + float64(7*len(name)) + 18
+		if lx > left+w-120 {
+			lx = left
+			ly += 14
+		}
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// PreviewASCII renders the preview as a text histogram: one line per bin
+// with a bar proportional to the bin's total non-Running duration.
+func PreviewASCII(p *slog.Preview, width int) string {
+	if width <= 0 {
+		width = 60
+	}
+	bins := len(p.Dur[0])
+	runningIdx := -1
+	for i, ty := range p.States {
+		if ty.Name() == "Running" {
+			runningIdx = i
+		}
+	}
+	totals := make([]clock.Time, bins)
+	var peak clock.Time
+	for b := 0; b < bins; b++ {
+		for s := range p.Dur {
+			if s == runningIdx {
+				continue
+			}
+			totals[b] += p.Dur[s][b]
+		}
+		if totals[b] > peak {
+			peak = totals[b]
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "preview: interesting time per bin, run [%v .. %v]\n", p.TStart, p.TEnd)
+	for b := 0; b < bins; b++ {
+		lo, _ := p.BinBounds(b)
+		n := int(int64(totals[b]) * int64(width) / int64(peak))
+		fmt.Fprintf(&sb, "%8.2fs |%s\n", lo.Seconds(), strings.Repeat("#", n))
+	}
+	return sb.String()
+}
+
+// StatsHeatmapSVG renders a two-free-variable table (like Figure 6's
+// node × bin table) as a heatmap: x = second free variable, y = first,
+// cell intensity = first y column.
+func StatsHeatmapSVG(tb *stats.Table) string {
+	// Collect axes.
+	var ys, xs []string
+	seenY, seenX := map[string]bool{}, map[string]bool{}
+	vals := map[[2]string]float64{}
+	var peak float64
+	for _, r := range tb.Rows {
+		if len(r.X) < 2 || len(r.Y) < 1 {
+			continue
+		}
+		yk, xk := r.X[0].Text(), r.X[1].Text()
+		if !seenY[yk] {
+			seenY[yk] = true
+			ys = append(ys, yk)
+		}
+		if !seenX[xk] {
+			seenX[xk] = true
+			xs = append(xs, xk)
+		}
+		vals[[2]string{yk, xk}] = r.Y[0]
+		if r.Y[0] > peak {
+			peak = r.Y[0]
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	const cell = 14.0
+	left, top := 80.0, 30.0
+	wTotal := int(left + float64(len(xs))*cell + 20)
+	hTotal := int(top + float64(len(ys))*cell + 50)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, svgHeader, wTotal, hTotal)
+	fmt.Fprintf(&sb, `<text x="4" y="14" font-weight="bold">%s</text>`+"\n", escape(tb.Name))
+	for yi, yk := range ys {
+		fmt.Fprintf(&sb, `<text x="4" y="%.1f">%s</text>`+"\n", top+float64(yi)*cell+11, escape(yk))
+		for xi, xk := range xs {
+			v := vals[[2]string{yk, xk}]
+			shade := int(255 - v/peak*200)
+			fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="rgb(%d,%d,255)" stroke="#eee" stroke-width="0.5"><title>%s/%s = %g</title></rect>`+"\n",
+				left+float64(xi)*cell, top+float64(yi)*cell, cell, cell, shade, shade, escape(yk), escape(xk), v)
+		}
+	}
+	fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" fill="#555">%s →</text>`+"\n",
+		left, top+float64(len(ys))*cell+16, escape(xLabel(tb)))
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// StatsBarsSVG renders a one-free-variable table as horizontal bars
+// using the first y column.
+func StatsBarsSVG(tb *stats.Table) string {
+	var peak float64
+	for _, r := range tb.Rows {
+		if len(r.Y) > 0 && r.Y[0] > peak {
+			peak = r.Y[0]
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	const rowHt = 16.0
+	left := 160.0
+	w := 600.0
+	hTotal := int(30 + float64(len(tb.Rows))*rowHt + 20)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, svgHeader, int(left+w+80), hTotal)
+	fmt.Fprintf(&sb, `<text x="4" y="14" font-weight="bold">%s</text>`+"\n", escape(tb.Name))
+	for i, r := range tb.Rows {
+		y := 24 + float64(i)*rowHt
+		label := ""
+		for j, x := range r.X {
+			if j > 0 {
+				label += "/"
+			}
+			label += x.Text()
+		}
+		v := 0.0
+		if len(r.Y) > 0 {
+			v = r.Y[0]
+		}
+		fmt.Fprintf(&sb, `<text x="4" y="%.1f">%s</text>`+"\n", y+11, escape(label))
+		fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.2f" height="%.1f" fill="%s"/>`+"\n",
+			left, y, v/peak*w, rowHt-3, palette[0])
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" fill="#555">%g</text>`+"\n", left+v/peak*w+4, y+11, v)
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+func xLabel(tb *stats.Table) string {
+	if len(tb.XLabels) >= 2 {
+		return tb.XLabels[1]
+	}
+	return ""
+}

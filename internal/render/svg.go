@@ -1,0 +1,189 @@
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"tracefw/internal/clock"
+)
+
+// palette is a fixed, deterministic color cycle for legend keys.
+var palette = []string{
+	"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948",
+	"#b07aa1", "#ff9da7", "#9c755f", "#bab0ac", "#1f77b4", "#d62728",
+	"#2ca02c", "#9467bd", "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22",
+}
+
+func colorFor(keys []string, key string) string {
+	for i, k := range keys {
+		if k == key {
+			return palette[i%len(palette)]
+		}
+	}
+	return "#cccccc"
+}
+
+const (
+	labelW    = 110.0
+	rowH      = 18.0
+	rowGap    = 4.0
+	legendH   = 22.0
+	axisH     = 24.0
+	chartW    = 900.0
+	svgHeader = `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">` + "\n"
+)
+
+// SVG renders the diagram as a standalone SVG document.
+func (d *Diagram) SVG() string {
+	var b strings.Builder
+	rows := len(d.Rows)
+	height := int(float64(rows)*(rowH+rowGap) + axisH + legendH + 30)
+	width := int(labelW + chartW + 20)
+	fmt.Fprintf(&b, svgHeader, width, height)
+	fmt.Fprintf(&b, `<text x="4" y="14" font-weight="bold">%s view</text>`+"\n", d.Kind)
+
+	span := float64(d.T1 - d.T0)
+	if span <= 0 {
+		span = 1
+	}
+	xOf := func(t clock.Time) float64 {
+		return labelW + (float64(t-d.T0)/span)*chartW
+	}
+	top := 22.0
+	for i, row := range d.Rows {
+		y := top + float64(i)*(rowH+rowGap)
+		fmt.Fprintf(&b, `<text x="4" y="%.1f">%s</text>`+"\n", y+rowH-5, escape(row.Label))
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#e0e0e0"/>`+"\n",
+			labelW, y+rowH/2, labelW+chartW, y+rowH/2)
+		for _, s := range row.Segs {
+			x0, x1 := xOf(maxTime(s.Start, d.T0)), xOf(minTime(s.End, d.T1))
+			w := x1 - x0
+			if w < 0.5 {
+				w = 0.5
+			}
+			// Nested states render inset inside their enclosing states
+			// (paper §1.2: "a view with connected and nested states").
+			inset := float64(s.Depth) * 3
+			if inset > rowH/2-2 {
+				inset = rowH/2 - 2
+			}
+			fmt.Fprintf(&b, `<rect x="%.2f" y="%.1f" width="%.2f" height="%.1f" fill="%s"><title>%s [%v,%v) depth %d</title></rect>`+"\n",
+				x0, y+inset, w, rowH-2*inset, colorFor(d.Keys, s.Key), escape(s.Key), s.Start, s.End, s.Depth)
+		}
+	}
+	// Arrows.
+	for _, a := range d.Arrows {
+		y0 := top + float64(a.FromRow)*(rowH+rowGap) + rowH/2
+		y1 := top + float64(a.ToRow)*(rowH+rowGap) + rowH/2
+		fmt.Fprintf(&b, `<line x1="%.2f" y1="%.1f" x2="%.2f" y2="%.1f" stroke="#000" stroke-width="0.7" marker-end="url(#ah)"/>`+"\n",
+			xOf(maxTime(a.Send, d.T0)), y0, xOf(minTime(a.Recv, d.T1)), y1)
+	}
+	if len(d.Arrows) > 0 {
+		b.WriteString(`<defs><marker id="ah" markerWidth="6" markerHeight="6" refX="5" refY="3" orient="auto"><path d="M0,0 L6,3 L0,6 z"/></marker></defs>` + "\n")
+	}
+	// Time axis.
+	axisY := top + float64(rows)*(rowH+rowGap) + 12
+	for i := 0; i <= 10; i++ {
+		t := d.T0 + clock.Time(float64(d.T1-d.T0)*float64(i)/10)
+		x := xOf(t)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#999"/>`+"\n", x, axisY-6, x, axisY-2)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle" fill="#555">%.3fs</text>`+"\n", x, axisY+9, t.Seconds())
+	}
+	// Legend.
+	lx := labelW
+	ly := axisY + 16
+	for _, k := range d.Keys {
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n", lx, ly, colorFor(d.Keys, k))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f">%s</text>`+"\n", lx+13, ly+9, escape(k))
+		lx += 13 + float64(7*len(k)) + 18
+		if lx > labelW+chartW-100 {
+			lx = labelW
+			ly += 14
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// ASCII renders the diagram as text, one row per timeline, sampling the
+// window at width columns. Idle time shows as '.', segments as the first
+// letter of their key (legend printed below).
+func (d *Diagram) ASCII(width int) string {
+	if width <= 0 {
+		width = 100
+	}
+	symbols := map[string]byte{}
+	const alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+	for i, k := range d.Keys {
+		symbols[k] = alphabet[i%len(alphabet)]
+	}
+	span := d.T1 - d.T0
+	if span <= 0 {
+		span = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s view  [%v .. %v]\n", d.Kind, d.T0, d.T1)
+	labelWidth := 0
+	for _, r := range d.Rows {
+		if len(r.Label) > labelWidth {
+			labelWidth = len(r.Label)
+		}
+	}
+	for _, row := range d.Rows {
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = '.'
+		}
+		for _, s := range row.Segs {
+			c0 := int(int64(s.Start-d.T0) * int64(width) / int64(span))
+			c1 := int(int64(s.End-d.T0) * int64(width) / int64(span))
+			if c1 == c0 {
+				c1 = c0 + 1
+			}
+			for c := maxInt(c0, 0); c < minInt(c1, width); c++ {
+				line[c] = symbols[s.Key]
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", labelWidth, row.Label, line)
+	}
+	b.WriteString("legend:")
+	for _, k := range d.Keys {
+		fmt.Fprintf(&b, " %c=%s", symbols[k], k)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	return strings.ReplaceAll(s, ">", "&gt;")
+}
+
+func maxTime(a, b clock.Time) clock.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minTime(a, b clock.Time) clock.Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

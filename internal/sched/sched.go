@@ -1,0 +1,453 @@
+// Package sched is a deterministic discrete-event simulation of the SMP
+// nodes of an SP system: each node has a set of CPUs and a preemptive,
+// quantum-based thread scheduler. Simulated threads are goroutines that
+// execute real Go code but consume virtual time only through the
+// primitives (Compute, Sleep, Block). The scheduler emits thread
+// dispatch and undispatch callbacks — the "system activities" the
+// paper's unified tracing facility records alongside MPI events — and
+// threads migrate between CPUs exactly as the paper's Figure 9 shows,
+// because a re-dispatched thread takes whatever CPU is free.
+//
+// Execution is strictly deterministic: a single virtual clock, a single
+// event queue ordered by (time, sequence), FIFO ready queues, and at
+// most one thread goroutine executing between scheduler steps.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"tracefw/internal/clock"
+)
+
+// State is a thread's scheduling state.
+type State uint8
+
+// Thread states.
+const (
+	StateNew     State = iota // created, never dispatched
+	StateReady                // runnable, waiting for a CPU
+	StateRunning              // on a CPU
+	StateBlocked              // waiting for an external wakeup
+	StateExited               // finished
+)
+
+// UndispatchReason mirrors events.Undispatch* but is kept independent so
+// sched has no dependency on the events package.
+type UndispatchReason int
+
+// Undispatch reasons.
+const (
+	ReasonQuantum UndispatchReason = 0
+	ReasonBlock   UndispatchReason = 1
+	ReasonExit    UndispatchReason = 2
+)
+
+// Listener receives scheduling events. Implementations must not call
+// back into the simulator.
+type Listener interface {
+	// OnDispatch is called when thread tid of node is placed on cpu.
+	OnDispatch(node int, tid int32, cpu int, now clock.Time)
+	// OnUndispatch is called when thread tid leaves cpu.
+	OnUndispatch(node int, tid int32, cpu int, reason UndispatchReason, now clock.Time)
+	// OnThreadStart is called once when a thread is created.
+	OnThreadStart(node int, tid int32, now clock.Time)
+}
+
+// NopListener ignores all events.
+type NopListener struct{}
+
+// OnDispatch implements Listener.
+func (NopListener) OnDispatch(int, int32, int, clock.Time) {}
+
+// OnUndispatch implements Listener.
+func (NopListener) OnUndispatch(int, int32, int, UndispatchReason, clock.Time) {}
+
+// OnThreadStart implements Listener.
+func (NopListener) OnThreadStart(int, int32, clock.Time) {}
+
+type event struct {
+	at  clock.Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+type yieldKind uint8
+
+const (
+	yieldCompute yieldKind = iota
+	yieldBlock
+	yieldExit
+	yieldPanic
+)
+
+type yieldMsg struct {
+	t        *Thread
+	kind     yieldKind
+	panicVal interface{}
+}
+
+// Thread is a simulated thread. It is created with Sim.Spawn and runs fn
+// on its own goroutine, consuming virtual time through the primitives.
+type Thread struct {
+	sim  *Sim
+	node *node
+
+	// ID is the node-local logical thread id, dense from 0 — the paper's
+	// interval records identify threads this way ("logical thread ID
+	// (starts from 0 for each node)").
+	ID int32
+
+	state   State
+	cpu     int // CPU currently held, -1 if none
+	lastCPU int // affinity hint
+	remain  clock.Time
+	resume  chan struct{}
+	fn      func(*Thread)
+}
+
+// Sim is the machine-wide simulator: a set of SMP nodes sharing one
+// virtual clock and event queue.
+type Sim struct {
+	now      clock.Time
+	seq      uint64
+	events   eventQueue
+	nodes    []*node
+	listener Listener
+	affinity Affinity
+	yieldCh  chan yieldMsg
+	// runnables holds threads whose goroutine must be given control
+	// (started, resumed after a completed compute, or after unblocking).
+	runnables []*Thread
+	live      int // threads not yet exited
+	running   bool
+}
+
+type node struct {
+	id      int
+	quantum clock.Time
+	cpus    []*Thread // index = cpu id; nil = idle
+	readyQ  []*Thread
+	threads []*Thread
+}
+
+// Affinity selects the CPU-placement policy.
+type Affinity int
+
+// Affinity policies.
+const (
+	// AffinityPreferLast re-dispatches a thread on its previous CPU when
+	// free (cache affinity), migrating only under contention.
+	AffinityPreferLast Affinity = iota
+	// AffinityLowestFree always takes the lowest-numbered idle CPU, like
+	// the era's AIX dispatcher; threads migrate readily, which is what
+	// the paper's processor-activity view (Figure 9) shows.
+	AffinityLowestFree
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	Nodes       int        // number of SMP nodes
+	CPUsPerNode int        // processors per node
+	Quantum     clock.Time // scheduler time slice; zero selects 10ms
+	Affinity    Affinity   // CPU placement policy
+}
+
+// New builds a simulator. The listener may be nil.
+func New(cfg Config, l Listener) *Sim {
+	if cfg.Nodes <= 0 || cfg.CPUsPerNode <= 0 {
+		panic("sched: config needs at least one node and one CPU")
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 10 * clock.Millisecond
+	}
+	if l == nil {
+		l = NopListener{}
+	}
+	s := &Sim{listener: l, affinity: cfg.Affinity, yieldCh: make(chan yieldMsg)}
+	for n := 0; n < cfg.Nodes; n++ {
+		s.nodes = append(s.nodes, &node{
+			id:      n,
+			quantum: cfg.Quantum,
+			cpus:    make([]*Thread, cfg.CPUsPerNode),
+		})
+	}
+	return s
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() clock.Time { return s.now }
+
+// NumNodes returns the node count.
+func (s *Sim) NumNodes() int { return len(s.nodes) }
+
+// CPUs returns the CPU count of a node.
+func (s *Sim) CPUs(nodeID int) int { return len(s.nodes[nodeID].cpus) }
+
+// Spawn creates a thread on node running fn. It may be called before Run
+// or from inside a running thread. The thread starts Ready.
+func (s *Sim) Spawn(nodeID int, fn func(*Thread)) *Thread {
+	n := s.nodes[nodeID]
+	t := &Thread{
+		sim:     s,
+		node:    n,
+		ID:      int32(len(n.threads)),
+		state:   StateNew,
+		cpu:     -1,
+		lastCPU: -1,
+		resume:  make(chan struct{}),
+		fn:      fn,
+	}
+	n.threads = append(n.threads, t)
+	s.live++
+	s.listener.OnThreadStart(n.id, t.ID, s.now)
+	go t.run()
+	t.state = StateReady
+	n.readyQ = append(n.readyQ, t)
+	s.schedule(n)
+	return t
+}
+
+func (t *Thread) run() {
+	<-t.resume
+	done := yieldMsg{t: t, kind: yieldExit}
+	defer func() {
+		// Forward workload panics to the simulator goroutine so Run's
+		// caller sees them instead of the process dying on a goroutine
+		// nobody can recover from.
+		if r := recover(); r != nil {
+			done = yieldMsg{t: t, kind: yieldPanic, panicVal: r}
+		}
+		t.sim.yieldCh <- done
+	}()
+	t.fn(t)
+}
+
+// At schedules fn to run at virtual time at (simulator context, not a
+// thread). Events in the past run at the current time.
+func (s *Sim) At(at clock.Time, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// After schedules fn after a delay.
+func (s *Sim) After(d clock.Time, fn func()) { s.At(s.now+d, fn) }
+
+// Run executes the simulation until no thread can make progress. It
+// returns the final virtual time. Run panics on deadlock with blocked
+// threads remaining (a bug in the workload or runtime under test).
+func (s *Sim) Run() clock.Time {
+	if s.running {
+		panic("sched: Run reentered")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for {
+		if len(s.runnables) > 0 {
+			t := s.runnables[0]
+			s.runnables = s.runnables[1:]
+			t.resume <- struct{}{}
+			msg := <-s.yieldCh
+			s.handleYield(msg)
+			continue
+		}
+		if len(s.events) > 0 {
+			e := heap.Pop(&s.events).(*event)
+			s.now = e.at
+			e.fn()
+			continue
+		}
+		break
+	}
+	if s.live > 0 {
+		blocked := 0
+		for _, n := range s.nodes {
+			for _, t := range n.threads {
+				if t.state == StateBlocked {
+					blocked++
+				}
+			}
+		}
+		panic(fmt.Sprintf("sched: deadlock: %d live threads (%d blocked) with no pending events", s.live, blocked))
+	}
+	return s.now
+}
+
+func (s *Sim) handleYield(m yieldMsg) {
+	t := m.t
+	switch m.kind {
+	case yieldCompute:
+		// The thread holds a CPU and asked to burn t.remain of it.
+		s.startSlice(t)
+	case yieldBlock:
+		s.releaseCPU(t, ReasonBlock)
+		t.state = StateBlocked
+		s.schedule(t.node)
+	case yieldExit:
+		s.releaseCPU(t, ReasonExit)
+		t.state = StateExited
+		s.live--
+		s.schedule(t.node)
+	case yieldPanic:
+		panic(m.panicVal)
+	}
+}
+
+// startSlice begins or continues a compute burst for a thread holding a
+// CPU, scheduling the slice-end event.
+func (s *Sim) startSlice(t *Thread) {
+	slice := t.remain
+	if q := t.node.quantum; slice > q {
+		slice = q
+	}
+	s.After(slice, func() { s.sliceDone(t, slice) })
+}
+
+func (s *Sim) sliceDone(t *Thread, slice clock.Time) {
+	t.remain -= slice
+	n := t.node
+	if t.remain > 0 {
+		if len(n.readyQ) > 0 {
+			// Preempt: someone is waiting and the quantum is used up.
+			s.releaseCPU(t, ReasonQuantum)
+			t.state = StateReady
+			n.readyQ = append(n.readyQ, t)
+			s.schedule(n)
+		} else {
+			s.startSlice(t)
+		}
+		return
+	}
+	// Compute finished; let the goroutine continue on its CPU.
+	s.runnables = append(s.runnables, t)
+}
+
+func (s *Sim) releaseCPU(t *Thread, reason UndispatchReason) {
+	if t.cpu < 0 {
+		return
+	}
+	cpu := t.cpu
+	t.node.cpus[cpu] = nil
+	t.cpu = -1
+	t.lastCPU = cpu
+	s.listener.OnUndispatch(t.node.id, t.ID, cpu, reason, s.now)
+}
+
+// schedule assigns ready threads to idle CPUs on a node.
+func (s *Sim) schedule(n *node) {
+	for len(n.readyQ) > 0 {
+		cpu := s.pickCPU(n, n.readyQ[0])
+		if cpu < 0 {
+			return
+		}
+		t := n.readyQ[0]
+		n.readyQ = n.readyQ[1:]
+		n.cpus[cpu] = t
+		t.cpu = cpu
+		t.state = StateRunning
+		s.listener.OnDispatch(n.id, t.ID, cpu, s.now)
+		if t.remain > 0 {
+			// Mid-compute: resume the burst without waking the goroutine.
+			s.startSlice(t)
+		} else {
+			// The goroutine is waiting inside a primitive (or has never
+			// run); give it control.
+			s.runnables = append(s.runnables, t)
+		}
+	}
+}
+
+// pickCPU applies the affinity policy: with AffinityPreferLast the
+// thread's previous CPU wins when free; otherwise (and always under
+// AffinityLowestFree) the lowest-numbered idle CPU is taken, so threads
+// migrate the way the paper's processor-activity view shows.
+func (s *Sim) pickCPU(n *node, t *Thread) int {
+	if s.affinity == AffinityPreferLast &&
+		t.lastCPU >= 0 && t.lastCPU < len(n.cpus) && n.cpus[t.lastCPU] == nil {
+		return t.lastCPU
+	}
+	for i, occ := range n.cpus {
+		if occ == nil {
+			return i
+		}
+	}
+	return -1
+}
+
+// --- Thread-side primitives (called from thread goroutines only) ---
+
+// Node returns the node id the thread runs on.
+func (t *Thread) Node() int { return t.node.id }
+
+// Now returns the current virtual time.
+func (t *Thread) Now() clock.Time { return t.sim.now }
+
+// Sim returns the simulator that owns the thread.
+func (t *Thread) Sim() *Sim { return t.sim }
+
+// CPU returns the CPU currently held, or -1.
+func (t *Thread) CPU() int { return t.cpu }
+
+// Compute consumes d of CPU time, competing with the node's other
+// threads for processors; the call returns once d has been executed.
+// Zero or negative durations return immediately.
+func (t *Thread) Compute(d clock.Time) {
+	if d <= 0 {
+		return
+	}
+	t.remain = d
+	t.yield(yieldCompute)
+}
+
+// Block releases the CPU and suspends the thread until Unblock.
+func (t *Thread) Block() {
+	t.yield(yieldBlock)
+}
+
+// Unblock makes a blocked thread runnable again. It may be called from a
+// simulator event or from another thread. Unblocking a non-blocked
+// thread panics: it indicates a lost-wakeup bug in the caller.
+func (s *Sim) Unblock(t *Thread) {
+	if t.state != StateBlocked {
+		panic(fmt.Sprintf("sched: Unblock of thread %d/%d in state %d", t.node.id, t.ID, t.state))
+	}
+	t.state = StateReady
+	t.node.readyQ = append(t.node.readyQ, t)
+	s.schedule(t.node)
+}
+
+// Sleep suspends the thread for d of virtual time without consuming CPU.
+func (t *Thread) Sleep(d clock.Time) {
+	s := t.sim
+	s.After(d, func() { s.Unblock(t) })
+	t.Block()
+}
+
+// yield hands control to the simulator and waits to be resumed.
+func (t *Thread) yield(kind yieldKind) {
+	t.sim.yieldCh <- yieldMsg{t: t, kind: kind}
+	<-t.resume
+}

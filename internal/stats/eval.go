@@ -1,0 +1,278 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/events"
+	"tracefw/internal/interval"
+)
+
+// Value is a dynamically typed expression result: a number or a string.
+type Value struct {
+	F   float64
+	S   string
+	Str bool
+}
+
+func num(f float64) Value { return Value{F: f} }
+func str(s string) Value  { return Value{S: s, Str: true} }
+
+// Text renders a value for TSV output.
+func (v Value) Text() string {
+	if v.Str {
+		return v.S
+	}
+	if v.F == math.Trunc(v.F) && math.Abs(v.F) < 1e15 {
+		return fmt.Sprintf("%d", int64(v.F))
+	}
+	return fmt.Sprintf("%g", v.F)
+}
+
+// Truth interprets a value as a boolean.
+func (v Value) Truth() bool {
+	if v.Str {
+		return v.S != ""
+	}
+	return v.F != 0
+}
+
+// evalCtx carries per-record and per-run context into expressions.
+type evalCtx struct {
+	rec     *interval.Record
+	markers map[uint64]string
+	tStart  clock.Time
+	tEnd    clock.Time
+}
+
+// errSkip marks a record that cannot supply a referenced field; the
+// record is silently excluded from the table row it would feed.
+var errSkip = fmt.Errorf("stats: record lacks a referenced field")
+
+// eval evaluates e for the context's record. Time-valued fields (start,
+// dura, end) are exposed in SECONDS, matching the paper's example
+// "condition=(start < 2)" selecting the first two seconds of the run.
+func eval(e expr, ctx *evalCtx) (Value, error) {
+	switch n := e.(type) {
+	case numLit:
+		return num(n.v), nil
+	case strLit:
+		return str(n.v), nil
+	case fieldRef:
+		return evalField(n.name, ctx)
+	case unary:
+		x, err := eval(n.x, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		switch n.op {
+		case "-":
+			if x.Str {
+				return Value{}, fmt.Errorf("stats: unary - on string")
+			}
+			return num(-x.F), nil
+		case "!":
+			if x.Truth() {
+				return num(0), nil
+			}
+			return num(1), nil
+		}
+		return Value{}, fmt.Errorf("stats: unknown unary %q", n.op)
+	case binary:
+		return evalBinary(n, ctx)
+	case call:
+		return evalCall(n, ctx)
+	}
+	return Value{}, fmt.Errorf("stats: unknown expression node %T", e)
+}
+
+func evalBinary(b binary, ctx *evalCtx) (Value, error) {
+	// Short-circuit logical operators.
+	if b.op == "&&" || b.op == "||" {
+		l, err := eval(b.l, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		if b.op == "&&" && !l.Truth() {
+			return num(0), nil
+		}
+		if b.op == "||" && l.Truth() {
+			return num(1), nil
+		}
+		r, err := eval(b.r, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		if r.Truth() {
+			return num(1), nil
+		}
+		return num(0), nil
+	}
+	l, err := eval(b.l, ctx)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := eval(b.r, ctx)
+	if err != nil {
+		return Value{}, err
+	}
+	if l.Str || r.Str {
+		if !l.Str || !r.Str {
+			return Value{}, fmt.Errorf("stats: cannot compare string with number (%s)", b.op)
+		}
+		switch b.op {
+		case "==":
+			return boolVal(l.S == r.S), nil
+		case "!=":
+			return boolVal(l.S != r.S), nil
+		case "<":
+			return boolVal(l.S < r.S), nil
+		case "<=":
+			return boolVal(l.S <= r.S), nil
+		case ">":
+			return boolVal(l.S > r.S), nil
+		case ">=":
+			return boolVal(l.S >= r.S), nil
+		case "+":
+			return str(l.S + r.S), nil
+		}
+		return Value{}, fmt.Errorf("stats: operator %q not defined on strings", b.op)
+	}
+	switch b.op {
+	case "+":
+		return num(l.F + r.F), nil
+	case "-":
+		return num(l.F - r.F), nil
+	case "*":
+		return num(l.F * r.F), nil
+	case "/":
+		if r.F == 0 {
+			return Value{}, fmt.Errorf("stats: division by zero")
+		}
+		return num(l.F / r.F), nil
+	case "%":
+		if r.F == 0 {
+			return Value{}, fmt.Errorf("stats: modulo by zero")
+		}
+		return num(math.Mod(l.F, r.F)), nil
+	case "<":
+		return boolVal(l.F < r.F), nil
+	case "<=":
+		return boolVal(l.F <= r.F), nil
+	case ">":
+		return boolVal(l.F > r.F), nil
+	case ">=":
+		return boolVal(l.F >= r.F), nil
+	case "==":
+		return boolVal(l.F == r.F), nil
+	case "!=":
+		return boolVal(l.F != r.F), nil
+	}
+	return Value{}, fmt.Errorf("stats: unknown operator %q", b.op)
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return num(1)
+	}
+	return num(0)
+}
+
+// evalField resolves a field reference. The names match the profile's
+// field names; time fields are in seconds; a few derived names (end,
+// state, bebits, markername) are provided for convenience.
+func evalField(name string, ctx *evalCtx) (Value, error) {
+	r := ctx.rec
+	switch name {
+	case events.FieldStart:
+		return num(r.Start.Seconds()), nil
+	case events.FieldDura, "duration":
+		return num(r.Dura.Seconds()), nil
+	case "end":
+		return num(r.End().Seconds()), nil
+	case events.FieldNode:
+		return num(float64(r.Node)), nil
+	case events.FieldCPU, "processor":
+		return num(float64(r.CPU)), nil
+	case events.FieldThread:
+		return num(float64(r.Thread)), nil
+	case events.FieldType:
+		return num(float64(r.Type)), nil
+	case "state":
+		return str(r.Type.Name()), nil
+	case events.FieldBebits:
+		return str(r.Bebits.String()), nil
+	case "iscall":
+		// 1 on the piece that begins a state (begin or complete): counting
+		// these counts calls, not pieces.
+		if r.Bebits == 2 || r.Bebits == 3 {
+			return num(1), nil
+		}
+		return num(0), nil
+	case "markername":
+		id, ok := r.Field(events.FieldMarker)
+		if !ok {
+			return Value{}, errSkip
+		}
+		return str(ctx.markers[id]), nil
+	}
+	if v, ok := r.Field(name); ok {
+		return num(float64(v)), nil
+	}
+	return Value{}, errSkip
+}
+
+func evalCall(c call, ctx *evalCtx) (Value, error) {
+	switch c.fn {
+	case "bin":
+		// bin(texpr, n): which of n equal time bins of the run contains
+		// texpr (in seconds)? Clamped to [0, n-1].
+		if len(c.args) != 2 {
+			return Value{}, fmt.Errorf("stats: bin() takes (time, nbins)")
+		}
+		tv, err := eval(c.args[0], ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		nv, err := eval(c.args[1], ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		if tv.Str || nv.Str || nv.F < 1 {
+			return Value{}, fmt.Errorf("stats: bin() needs numeric arguments")
+		}
+		n := int(nv.F)
+		span := (ctx.tEnd - ctx.tStart).Seconds()
+		if span <= 0 {
+			return num(0), nil
+		}
+		b := int((tv.F - ctx.tStart.Seconds()) / span * float64(n))
+		if b < 0 {
+			b = 0
+		}
+		if b >= n {
+			b = n - 1
+		}
+		return num(float64(b)), nil
+	case "floor":
+		if len(c.args) != 1 {
+			return Value{}, fmt.Errorf("stats: floor() takes one argument")
+		}
+		v, err := eval(c.args[0], ctx)
+		if err != nil || v.Str {
+			return Value{}, fmt.Errorf("stats: floor() needs a number")
+		}
+		return num(math.Floor(v.F)), nil
+	case "abs":
+		if len(c.args) != 1 {
+			return Value{}, fmt.Errorf("stats: abs() takes one argument")
+		}
+		v, err := eval(c.args[0], ctx)
+		if err != nil || v.Str {
+			return Value{}, fmt.Errorf("stats: abs() needs a number")
+		}
+		return num(math.Abs(v.F)), nil
+	}
+	return Value{}, fmt.Errorf("stats: unknown function %q", c.fn)
+}

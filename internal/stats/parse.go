@@ -1,0 +1,373 @@
+package stats
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Agg is a y-expression aggregator.
+type Agg int
+
+// Aggregators.
+const (
+	AggSum Agg = iota
+	AggAvg
+	AggMin
+	AggMax
+	AggCount
+)
+
+// String names the aggregator.
+func (a Agg) String() string {
+	switch a {
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggCount:
+		return "count"
+	}
+	return "agg?"
+}
+
+func parseAgg(s string) (Agg, error) {
+	switch s {
+	case "sum":
+		return AggSum, nil
+	case "avg":
+		return AggAvg, nil
+	case "min":
+		return AggMin, nil
+	case "max":
+		return AggMax, nil
+	case "count":
+		return AggCount, nil
+	}
+	return 0, fmt.Errorf("stats: unknown aggregator %q", s)
+}
+
+// expr is an expression AST node.
+type expr interface{ String() string }
+
+type numLit struct{ v float64 }
+type strLit struct{ v string }
+type fieldRef struct{ name string }
+type unary struct {
+	op string
+	x  expr
+}
+type binary struct {
+	op   string
+	l, r expr
+}
+type call struct {
+	fn   string
+	args []expr
+}
+
+func (n numLit) String() string   { return strconv.FormatFloat(n.v, 'g', -1, 64) }
+func (s strLit) String() string   { return strconv.Quote(s.v) }
+func (f fieldRef) String() string { return f.name }
+func (u unary) String() string    { return u.op + u.x.String() }
+func (b binary) String() string   { return "(" + b.l.String() + " " + b.op + " " + b.r.String() + ")" }
+func (c call) String() string {
+	s := c.fn + "("
+	for i, a := range c.args {
+		if i > 0 {
+			s += ", "
+		}
+		s += a.String()
+	}
+	return s + ")"
+}
+
+// AxisSpec is one x= or y= clause.
+type AxisSpec struct {
+	Label string
+	Expr  expr
+	Agg   Agg // y only
+}
+
+// TableSpec is one parsed table definition.
+type TableSpec struct {
+	Name      string
+	Condition expr // nil = all records
+	X         []AxisSpec
+	Y         []AxisSpec
+}
+
+// Parse parses a stats program into table specifications.
+func Parse(src string) ([]*TableSpec, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var tables []*TableSpec
+	for !p.at(tokEOF) {
+		t, err := p.table()
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("stats: program defines no tables")
+	}
+	return tables, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) at(k tokKind) bool {
+	return p.cur().kind == k
+}
+func (p *parser) atIdent(s string) bool {
+	return p.cur().kind == tokIdent && p.cur().text == s
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	if !p.at(k) {
+		return token{}, fmt.Errorf("stats: expected %s at offset %d, found %q", what, p.cur().pos, p.cur().text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) table() (*TableSpec, error) {
+	if !p.atIdent("table") {
+		return nil, fmt.Errorf("stats: expected 'table' at offset %d", p.cur().pos)
+	}
+	p.next()
+	t := &TableSpec{}
+	for p.at(tokIdent) && !p.atIdent("table") {
+		key := p.next().text
+		if _, err := p.expect(tokAssign, "'='"); err != nil {
+			return nil, err
+		}
+		switch key {
+		case "name":
+			tok, err := p.expect(tokIdent, "table name")
+			if err != nil {
+				return nil, err
+			}
+			t.Name = tok.text
+		case "condition":
+			if _, err := p.expect(tokLParen, "'('"); err != nil {
+				return nil, err
+			}
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return nil, err
+			}
+			t.Condition = e
+		case "x", "y":
+			if _, err := p.expect(tokLParen, "'('"); err != nil {
+				return nil, err
+			}
+			lbl, err := p.expect(tokString, "axis label string")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokComma, "','"); err != nil {
+				return nil, err
+			}
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			spec := AxisSpec{Label: lbl.text, Expr: e}
+			if key == "y" {
+				if _, err := p.expect(tokComma, "',' before aggregator"); err != nil {
+					return nil, err
+				}
+				atok, err := p.expect(tokIdent, "aggregator")
+				if err != nil {
+					return nil, err
+				}
+				if spec.Agg, err = parseAgg(atok.text); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return nil, err
+			}
+			if key == "x" {
+				t.X = append(t.X, spec)
+			} else {
+				t.Y = append(t.Y, spec)
+			}
+		default:
+			return nil, fmt.Errorf("stats: unknown table attribute %q at offset %d", key, p.cur().pos)
+		}
+	}
+	if t.Name == "" {
+		return nil, fmt.Errorf("stats: table without a name")
+	}
+	if len(t.Y) == 0 {
+		return nil, fmt.Errorf("stats: table %q has no y expressions", t.Name)
+	}
+	return t, nil
+}
+
+// Precedence climbing: || < && < comparison < additive < multiplicative
+// < unary < primary.
+func (p *parser) expr() (expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOp && p.cur().text == "||" {
+		p.next()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = binary{op: "||", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOp && p.cur().text == "&&" {
+		p.next()
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = binary{op: "&&", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) cmpExpr() (expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOp {
+		switch p.cur().text {
+		case "<", "<=", ">", ">=", "==", "!=":
+			op := p.next().text
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = binary{op: op, l: l, r: r}
+		default:
+			return l, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOp && (p.cur().text == "+" || p.cur().text == "-") {
+		op := p.next().text
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = binary{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOp && (p.cur().text == "*" || p.cur().text == "/" || p.cur().text == "%") {
+		op := p.next().text
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = binary{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unaryExpr() (expr, error) {
+	if p.cur().kind == tokOp && (p.cur().text == "-" || p.cur().text == "!") {
+		op := p.next().text
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return unary{op: op, x: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (expr, error) {
+	switch t := p.cur(); t.kind {
+	case tokNumber:
+		p.next()
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("stats: bad number %q: %w", t.text, err)
+		}
+		return numLit{v: v}, nil
+	case tokString:
+		p.next()
+		return strLit{v: t.text}, nil
+	case tokIdent:
+		p.next()
+		if p.at(tokLParen) {
+			p.next()
+			var args []expr
+			if !p.at(tokRParen) {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.at(tokComma) {
+						break
+					}
+					p.next()
+				}
+			}
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return nil, err
+			}
+			return call{fn: t.text, args: args}, nil
+		}
+		return fieldRef{name: t.text}, nil
+	case tokLParen:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, fmt.Errorf("stats: unexpected token %q at offset %d", p.cur().text, p.cur().pos)
+}

@@ -1,0 +1,299 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/interval"
+)
+
+// Table is one generated statistics table.
+type Table struct {
+	Name    string
+	XLabels []string
+	YLabels []string
+	Rows    []Row
+}
+
+// Row is one table row: the x tuple and the aggregated y values.
+type Row struct {
+	X []Value
+	Y []float64
+}
+
+type cell struct {
+	sum, min, max float64
+	n             int64
+}
+
+type group struct {
+	x []Value
+	y []cell
+}
+
+// Generate runs every table of the program over the interval files.
+func Generate(program string, files []*interval.File) ([]*Table, error) {
+	specs, err := Parse(program)
+	if err != nil {
+		return nil, err
+	}
+	return GenerateSpecs(specs, files)
+}
+
+// GenerateSpecs runs parsed table specs over the interval files.
+func GenerateSpecs(specs []*TableSpec, files []*interval.File) ([]*Table, error) {
+	// Run bounds over all inputs, for bin().
+	var tStart, tEnd clock.Time
+	firstStats := true
+	for _, f := range files {
+		fs, fe, n, err := f.Stats()
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			continue
+		}
+		if firstStats || fs < tStart {
+			tStart = fs
+		}
+		if firstStats || fe > tEnd {
+			tEnd = fe
+		}
+		firstStats = false
+	}
+
+	groups := make([]map[string]*group, len(specs))
+	for i := range groups {
+		groups[i] = make(map[string]*group)
+	}
+
+	for _, f := range files {
+		ctx := &evalCtx{markers: f.Header.Markers, tStart: tStart, tEnd: tEnd}
+		sc := f.Scan()
+		for {
+			rec, err := sc.NextRecord()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			ctx.rec = &rec
+			for si, spec := range specs {
+				if err := accumulate(spec, ctx, groups[si]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	tables := make([]*Table, len(specs))
+	for si, spec := range specs {
+		t := &Table{Name: spec.Name}
+		for _, x := range spec.X {
+			t.XLabels = append(t.XLabels, x.Label)
+		}
+		for _, y := range spec.Y {
+			t.YLabels = append(t.YLabels, y.Label)
+		}
+		keys := make([]string, 0, len(groups[si]))
+		for k := range groups[si] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			g := groups[si][k]
+			row := Row{X: g.x}
+			for yi, y := range spec.Y {
+				row.Y = append(row.Y, finalize(y.Agg, g.y[yi]))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		sortRows(t)
+		tables[si] = t
+	}
+	return tables, nil
+}
+
+func accumulate(spec *TableSpec, ctx *evalCtx, groups map[string]*group) error {
+	if spec.Condition != nil {
+		v, err := eval(spec.Condition, ctx)
+		if errors.Is(err, errSkip) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("table %q: %w", spec.Name, err)
+		}
+		if !v.Truth() {
+			return nil
+		}
+	}
+	xs := make([]Value, len(spec.X))
+	for i, x := range spec.X {
+		v, err := eval(x.Expr, ctx)
+		if errors.Is(err, errSkip) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("table %q: %w", spec.Name, err)
+		}
+		xs[i] = v
+	}
+	ys := make([]float64, len(spec.Y))
+	for i, y := range spec.Y {
+		v, err := eval(y.Expr, ctx)
+		if errors.Is(err, errSkip) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("table %q: %w", spec.Name, err)
+		}
+		if v.Str {
+			return fmt.Errorf("table %q: y expression %q produced a string", spec.Name, y.Label)
+		}
+		ys[i] = v.F
+	}
+	key := groupKey(xs)
+	g := groups[key]
+	if g == nil {
+		g = &group{x: xs, y: make([]cell, len(spec.Y))}
+		for i := range g.y {
+			g.y[i].min = math.Inf(1)
+			g.y[i].max = math.Inf(-1)
+		}
+		groups[key] = g
+	}
+	for i, v := range ys {
+		c := &g.y[i]
+		c.sum += v
+		c.n++
+		if v < c.min {
+			c.min = v
+		}
+		if v > c.max {
+			c.max = v
+		}
+	}
+	return nil
+}
+
+func finalize(a Agg, c cell) float64 {
+	switch a {
+	case AggSum:
+		return c.sum
+	case AggAvg:
+		if c.n == 0 {
+			return 0
+		}
+		return c.sum / float64(c.n)
+	case AggMin:
+		if c.n == 0 {
+			return 0
+		}
+		return c.min
+	case AggMax:
+		if c.n == 0 {
+			return 0
+		}
+		return c.max
+	case AggCount:
+		return float64(c.n)
+	}
+	return 0
+}
+
+func groupKey(xs []Value) string {
+	var b strings.Builder
+	for _, v := range xs {
+		if v.Str {
+			b.WriteByte('s')
+			b.WriteString(v.S)
+		} else {
+			fmt.Fprintf(&b, "n%g", v.F)
+		}
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// sortRows orders rows by x tuple: numbers numerically, strings
+// lexically, numbers before strings per column.
+func sortRows(t *Table) {
+	sort.SliceStable(t.Rows, func(i, j int) bool {
+		a, b := t.Rows[i].X, t.Rows[j].X
+		for k := range a {
+			if k >= len(b) {
+				return false
+			}
+			av, bv := a[k], b[k]
+			if av.Str != bv.Str {
+				return !av.Str
+			}
+			if av.Str {
+				if av.S != bv.S {
+					return av.S < bv.S
+				}
+				continue
+			}
+			if av.F != bv.F {
+				return av.F < bv.F
+			}
+		}
+		return false
+	})
+}
+
+// TSV renders the table as tab-separated values with a header row (the
+// paper: "The generated tables is a tab-separated-value text file").
+func (t *Table) TSV() string {
+	var b strings.Builder
+	for i, l := range append(append([]string{}, t.XLabels...), t.YLabels...) {
+		if i > 0 {
+			b.WriteByte('\t')
+		}
+		b.WriteString(l)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		for i, x := range r.X {
+			if i > 0 {
+				b.WriteByte('\t')
+			}
+			b.WriteString(x.Text())
+		}
+		for i, y := range r.Y {
+			if i > 0 || len(r.X) > 0 {
+				b.WriteByte('\t')
+			}
+			b.WriteString(num(y).Text())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Cell looks up a row by x values (rendered text form) and returns the
+// y column value; used by tests and the viewer.
+func (t *Table) Cell(xs []string, ycol int) (float64, bool) {
+	for _, r := range t.Rows {
+		if len(r.X) != len(xs) {
+			continue
+		}
+		match := true
+		for i := range xs {
+			if r.X[i].Text() != xs[i] {
+				match = false
+				break
+			}
+		}
+		if match && ycol < len(r.Y) {
+			return r.Y[ycol], true
+		}
+	}
+	return 0, false
+}

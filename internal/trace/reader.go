@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"tracefw/internal/events"
+)
+
+// FileInfo is the decoded raw trace file header.
+type FileInfo struct {
+	Node    int
+	NumCPUs int
+	Enabled events.Mask
+}
+
+// Reader iterates over the records of one raw trace file.
+type Reader struct {
+	Info FileInfo
+
+	r      *bufio.Reader
+	closer io.Closer
+	// staging buffer for one record
+	hdr [recHeaderSize]byte
+	buf []byte
+}
+
+// NewReader parses the raw trace header from r and returns a record
+// iterator.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [rawHeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading raw header: %w", err)
+	}
+	if string(hdr[:8]) != rawMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr[:8])
+	}
+	rd := &Reader{
+		Info: FileInfo{
+			Node:    int(binary.LittleEndian.Uint32(hdr[8:])),
+			NumCPUs: int(binary.LittleEndian.Uint32(hdr[12:])),
+			Enabled: events.Mask(binary.LittleEndian.Uint32(hdr[16:])),
+		},
+		r: br,
+	}
+	if c, ok := r.(io.Closer); ok {
+		rd.closer = c
+	}
+	return rd, nil
+}
+
+// OpenFile opens the named raw trace file.
+func OpenFile(name string) (*Reader, error) {
+	fp, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	rd, err := NewReader(fp)
+	if err != nil {
+		fp.Close()
+		return nil, err
+	}
+	return rd, nil
+}
+
+// Next returns the next record, or io.EOF after the last one.
+func (rd *Reader) Next() (Record, error) {
+	if _, err := io.ReadFull(rd.r, rd.hdr[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("trace: reading record header: %w", err)
+	}
+	hook := binary.LittleEndian.Uint32(rd.hdr[0:])
+	nargs := int(hook & 0xfff)
+	rest := 8 * nargs
+	hasStr := hook&strBit != 0
+	if hasStr {
+		rest += 2
+	}
+	if cap(rd.buf) < rest {
+		rd.buf = make([]byte, rest, rest+256)
+	}
+	rd.buf = rd.buf[:rest]
+	if _, err := io.ReadFull(rd.r, rd.buf); err != nil {
+		return Record{}, fmt.Errorf("trace: reading record body: %w", err)
+	}
+	var strBytes []byte
+	if hasStr {
+		sl := int(binary.LittleEndian.Uint16(rd.buf[rest-2:]))
+		strBytes = make([]byte, sl)
+		if _, err := io.ReadFull(rd.r, strBytes); err != nil {
+			return Record{}, fmt.Errorf("trace: reading string payload: %w", err)
+		}
+	}
+	// Reassemble a contiguous byte image and use Decode so the two code
+	// paths cannot diverge.
+	full := make([]byte, 0, recHeaderSize+rest+len(strBytes))
+	full = append(full, rd.hdr[:]...)
+	full = append(full, rd.buf...)
+	full = append(full, strBytes...)
+	rec, _, err := Decode(full)
+	if err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+// ReadAll drains the reader, returning every remaining record.
+func (rd *Reader) ReadAll() ([]Record, error) {
+	var recs []Record
+	for {
+		r, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, r)
+	}
+}
+
+// Close closes the underlying file if the reader owns one.
+func (rd *Reader) Close() error {
+	if rd.closer != nil {
+		c := rd.closer
+		rd.closer = nil
+		return c.Close()
+	}
+	return nil
+}

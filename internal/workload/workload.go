@@ -1,0 +1,409 @@
+// Package workload provides the synthetic parallel applications that
+// drive the tracing framework's experiments: a quickstart ring exchange,
+// a 2D stencil halo exchange, an sPPM-like hydrodynamics skeleton
+// matching the paper's Figure 8/9 configuration (multi-threaded tasks
+// with a single MPI thread), a FLASH-like adaptive-mesh skeleton with
+// the init / iterate / terminate phase structure of Figure 7, and a
+// parameterizable message storm used to scale raw-event counts for the
+// Table 1 utility-speed experiment.
+//
+// All workloads are deterministic for a given configuration: any
+// pseudo-randomness comes from xrand seeded with the task rank.
+package workload
+
+import (
+	"tracefw/internal/clock"
+	"tracefw/internal/events"
+	"tracefw/internal/mpisim"
+	"tracefw/internal/xrand"
+)
+
+// Ring passes a token around the task ring: the quickstart workload and
+// the paper's Figure 5 byte-counting example.
+type Ring struct {
+	Iters int // ring round trips (default 5)
+	Bytes int // message size (default 4096)
+}
+
+// Main returns the task body.
+func (r Ring) Main() func(*mpisim.Proc) {
+	iters, bytes := r.Iters, r.Bytes
+	if iters <= 0 {
+		iters = 5
+	}
+	if bytes <= 0 {
+		bytes = 4096
+	}
+	return func(p *mpisim.Proc) {
+		n := p.Size()
+		if n == 1 {
+			for i := 0; i < iters; i++ {
+				p.Compute(clock.Millisecond)
+			}
+			return
+		}
+		next := (p.Rank() + 1) % n
+		prev := (p.Rank() - 1 + n) % n
+		m := p.DefineMarker("Ring Loop")
+		p.MarkerBegin(m)
+		for i := 0; i < iters; i++ {
+			p.Compute(500 * clock.Microsecond)
+			if p.Rank() == 0 {
+				p.Send(next, int32(i), bytes)
+				p.Recv(int32(prev), int32(i))
+			} else {
+				p.Recv(int32(prev), int32(i))
+				p.Send(next, int32(i), bytes)
+			}
+		}
+		p.MarkerEnd(m)
+		p.Barrier()
+	}
+}
+
+// Stencil is a 1D-decomposed halo exchange with nonblocking receives —
+// the communication skeleton of regular-grid solvers.
+type Stencil struct {
+	Steps     int        // time steps (default 10)
+	HaloBytes int        // bytes per halo face (default 8192)
+	Work      clock.Time // compute per step (default 2ms)
+}
+
+// Main returns the task body.
+func (s Stencil) Main() func(*mpisim.Proc) {
+	steps, halo, work := s.Steps, s.HaloBytes, s.Work
+	if steps <= 0 {
+		steps = 10
+	}
+	if halo <= 0 {
+		halo = 8192
+	}
+	if work <= 0 {
+		work = 2 * clock.Millisecond
+	}
+	return func(p *mpisim.Proc) {
+		n := p.Size()
+		left, right := p.Rank()-1, p.Rank()+1
+		m := p.DefineMarker("Stencil Step")
+		for step := 0; step < steps; step++ {
+			p.MarkerBegin(m)
+			var reqs []*mpisim.Request
+			tag := int32(step)
+			if left >= 0 {
+				reqs = append(reqs, p.Irecv(int32(left), tag))
+			}
+			if right < n {
+				reqs = append(reqs, p.Irecv(int32(right), tag))
+			}
+			if left >= 0 {
+				reqs = append(reqs, p.Isend(left, tag, halo))
+			}
+			if right < n {
+				reqs = append(reqs, p.Isend(right, tag, halo))
+			}
+			p.Compute(work)
+			if len(reqs) > 0 {
+				// Waitall's vector field carries the receive envelopes, so
+				// message arrows still match (paper §3.1's send/receive
+				// matching by sequence number).
+				p.Waitall(reqs...)
+			}
+			p.MarkerEnd(m)
+			if step%5 == 4 {
+				p.Allreduce(8) // residual norm
+			}
+		}
+		p.Barrier()
+	}
+}
+
+// SPPM mirrors the paper's ASCI sPPM benchmark run of Figures 8 and 9:
+// each task runs ThreadsPerTask threads of which only the main thread
+// makes MPI calls; worker threads compute in bursts; one thread stays
+// idle (the paper: "one can see ... that one thread is idle during this
+// part of the computation").
+type SPPM struct {
+	Iters          int        // outer iterations (default 8)
+	ThreadsPerTask int        // threads per task incl. main (default 4)
+	HaloBytes      int        // halo exchange size (default 128 KiB)
+	Work           clock.Time // compute per thread per iteration (default 6ms)
+	NoIdleThread   bool       // give the last worker real work too (the figure's run keeps it idle)
+}
+
+// Main returns the task body.
+func (s SPPM) Main() func(*mpisim.Proc) {
+	iters, tpt, halo, work := s.Iters, s.ThreadsPerTask, s.HaloBytes, s.Work
+	if iters <= 0 {
+		iters = 8
+	}
+	if tpt <= 0 {
+		tpt = 4
+	}
+	if halo <= 0 {
+		halo = 128 << 10
+	}
+	if work <= 0 {
+		work = 6 * clock.Millisecond
+	}
+	idle := !s.NoIdleThread
+	return func(p *mpisim.Proc) {
+		// Worker threads: the last one stays idle when configured.
+		for w := 0; w < tpt-1; w++ {
+			lazy := idle && w == tpt-2
+			p.Spawn(events.ThreadUser, func(q *mpisim.Proc) {
+				if lazy {
+					q.Sleep(clock.Time(iters) * (work + 2*clock.Millisecond))
+					return
+				}
+				for i := 0; i < iters; i++ {
+					q.Compute(work)
+					q.Sleep(2 * clock.Millisecond) // waiting for next sweep
+				}
+			})
+		}
+		n := p.Size()
+		m := p.DefineMarker("Hydro Sweep")
+		for i := 0; i < iters; i++ {
+			p.MarkerBegin(m)
+			p.Compute(work / 2)
+			// Halo exchange along the task ring, like sPPM's pencil
+			// decomposition neighbours.
+			if n > 1 {
+				next := (p.Rank() + 1) % n
+				prev := (p.Rank() - 1 + n) % n
+				rr := p.Irecv(int32(prev), int32(i))
+				p.Send(next, int32(i), halo)
+				p.Wait(rr)
+			}
+			p.Compute(work / 2)
+			p.MarkerEnd(m)
+			p.Allreduce(64) // timestep control
+		}
+		p.Barrier()
+	}
+}
+
+// Flash mirrors the FLASH adaptive-mesh astrophysics run of Figure 7:
+// a marked initialization phase (broadcast of the setup), an iteration
+// phase whose cost varies with periodic "refinement" bursts separated by
+// quiet evolution stretches, and a marked termination (checkpoint
+// gather) phase — the init / typical-iteration / termination structure
+// visible in the paper's preview.
+type Flash struct {
+	Blocks     int        // AMR blocks per task (default 32)
+	Iters      int        // evolution steps (default 20)
+	RefineEach int        // refinement every k steps (default 5)
+	Quiet      clock.Time // quiet evolution compute per step (default 10ms)
+	BlockBytes int        // bytes exchanged per block surface (default 2048)
+}
+
+// Main returns the task body.
+func (f Flash) Main() func(*mpisim.Proc) {
+	blocks, iters, refineEach, quiet, bb := f.Blocks, f.Iters, f.RefineEach, f.Quiet, f.BlockBytes
+	if blocks <= 0 {
+		blocks = 32
+	}
+	if iters <= 0 {
+		iters = 20
+	}
+	if refineEach <= 0 {
+		refineEach = 5
+	}
+	if quiet <= 0 {
+		quiet = 10 * clock.Millisecond
+	}
+	if bb <= 0 {
+		bb = 2048
+	}
+	return func(p *mpisim.Proc) {
+		rng := xrand.New(uint64(p.Rank()) + 1)
+		init := p.DefineMarker("Initialization")
+		evolve := p.DefineMarker("Evolution")
+		refine := p.DefineMarker("Refinement")
+		final := p.DefineMarker("Termination")
+
+		p.InMarker(init, func() {
+			if p.Rank() == 0 {
+				p.FileRead(256 << 10) // read the initial model from disk
+			}
+			p.Bcast(0, 64<<10) // runtime parameters + initial model
+			p.Compute(20 * clock.Millisecond)
+			p.Scatter(0, blocks*bb)
+			p.Barrier()
+		})
+
+		n := p.Size()
+		for i := 0; i < iters; i++ {
+			p.InMarker(evolve, func() {
+				p.Compute(quiet + clock.Time(rng.Int63n(int64(quiet/4+1))))
+				// Guard-cell exchange with the ring neighbours.
+				if n > 1 {
+					next := (p.Rank() + 1) % n
+					prev := (p.Rank() - 1 + n) % n
+					rr := p.Irecv(int32(prev), int32(i))
+					p.Send(next, int32(i), blocks*bb/4)
+					p.Wait(rr)
+				}
+				p.Allreduce(8) // dt
+			})
+			if i%refineEach == refineEach-1 {
+				p.InMarker(refine, func() {
+					// Re-grid: heavy all-to-all block redistribution with
+					// the paging cost of touching freshly moved blocks.
+					p.Alltoall(blocks * bb / 2)
+					for pm := 0; pm < 3; pm++ {
+						p.PageMiss(0x7f0000000000 + uint64(p.Rank())<<16 + uint64(i*4+pm)*4096)
+					}
+					p.Compute(quiet / 2)
+					p.Allgather(256)
+				})
+			}
+		}
+
+		p.InMarker(final, func() {
+			p.Compute(15 * clock.Millisecond)
+			p.Gather(0, blocks*bb) // checkpoint
+			if p.Rank() == 0 {
+				p.FileWrite(n * blocks * bb) // write the checkpoint to disk
+			}
+			p.Reduce(0, 1024)
+			p.Barrier()
+		})
+	}
+}
+
+// Storm generates a controllable volume of raw trace events for the
+// Table 1 utility-speed experiment: every task exchanges messages with
+// varying partners while worker threads create dispatch activity. Events
+// scale linearly with Iters.
+type Storm struct {
+	Iters   int // exchange rounds (required)
+	Bytes   int // message size (default 512)
+	Threads int // extra worker threads per task (default 3, paper's 4-total; -1 for none)
+}
+
+// Main returns the task body.
+func (s Storm) Main() func(*mpisim.Proc) {
+	iters, bytes, threads := s.Iters, s.Bytes, s.Threads
+	if iters <= 0 {
+		iters = 100
+	}
+	if bytes <= 0 {
+		bytes = 512
+	}
+	if threads == 0 {
+		threads = 3
+	} else if threads < 0 {
+		threads = 0
+	}
+	return func(p *mpisim.Proc) {
+		n := p.Size()
+		stop := make([]bool, 1)
+		for w := 0; w < threads; w++ {
+			p.Spawn(events.ThreadUser, func(q *mpisim.Proc) {
+				for i := 0; !stop[0]; i++ {
+					q.Compute(200 * clock.Microsecond)
+					q.Sleep(100 * clock.Microsecond)
+				}
+			})
+		}
+		m := p.DefineMarker("Storm Phase")
+		p.MarkerBegin(m)
+		for i := 0; i < iters; i++ {
+			p.Compute(50 * clock.Microsecond)
+			if n > 1 {
+				stride := 1 + i%(n-1)
+				dst := (p.Rank() + stride) % n
+				src := (p.Rank() - stride + n) % n
+				rr := p.Irecv(int32(src), int32(i))
+				p.Send(dst, int32(i), bytes)
+				p.Wait(rr)
+			} else {
+				p.Barrier()
+			}
+		}
+		p.MarkerEnd(m)
+		p.Barrier()
+		stop[0] = true
+	}
+}
+
+// Random generates a deterministic pseudo-random SPMD workload: every
+// task executes the same seeded sequence of phases (compute bursts,
+// ring exchanges, pairwise sendrecv, nonblocking halo patterns,
+// collectives, markers, I/O), so communication always matches and the
+// program cannot deadlock. It is the pipeline property tests' workhorse:
+// one seed, one reproducible trace.
+type Random struct {
+	Seed  uint64
+	Steps int // phases to execute (default 12)
+}
+
+// Main returns the task body.
+func (r Random) Main() func(*mpisim.Proc) {
+	steps := r.Steps
+	if steps <= 0 {
+		steps = 12
+	}
+	seed := r.Seed
+	return func(p *mpisim.Proc) {
+		// Every task derives the same phase sequence from the seed.
+		script := xrand.New(seed)
+		// Task-private randomness for compute jitter.
+		local := xrand.New(seed ^ uint64(p.Rank())<<32 ^ 0x9e37)
+		n := p.Size()
+		m := p.DefineMarker("Random Phase")
+		for step := 0; step < steps; step++ {
+			op := script.Intn(8)
+			bytes := 64 << uint(script.Intn(8)) // 64B .. 8KiB
+			big := script.Intn(4) == 0
+			if big {
+				bytes = 128 << 10 // force rendezvous sometimes
+			}
+			tag := int32(step)
+			p.Compute(clock.Time(local.Intn(int(2 * clock.Millisecond))))
+			switch op {
+			case 0:
+				p.Barrier()
+			case 1:
+				p.Allreduce(bytes)
+			case 2: // ring shift
+				if n > 1 {
+					next := (p.Rank() + 1) % n
+					prev := (p.Rank() - 1 + n) % n
+					rr := p.Irecv(int32(prev), tag)
+					p.Send(next, tag, bytes)
+					p.Wait(rr)
+				}
+			case 3: // pairwise sendrecv with the XOR partner
+				peer := p.Rank() ^ 1
+				if peer < n && peer != p.Rank() {
+					p.Sendrecv(peer, tag, bytes, int32(peer), tag)
+				} else {
+					p.Compute(clock.Millisecond / 4)
+				}
+			case 4: // halo with Waitall
+				if n > 1 {
+					next := (p.Rank() + 1) % n
+					prev := (p.Rank() - 1 + n) % n
+					rr := p.Irecv(int32(prev), tag)
+					sr := p.Isend(next, tag, bytes)
+					p.Compute(clock.Time(local.Intn(int(clock.Millisecond))))
+					p.Waitall(rr, sr)
+				}
+			case 5: // marked compute region
+				p.InMarker(m, func() {
+					p.Compute(clock.Time(local.Intn(int(clock.Millisecond))) + clock.Millisecond/2)
+				})
+			case 6:
+				p.Alltoall(bytes / 4)
+			case 7: // occasional I/O and paging
+				if script.Intn(2) == 0 && p.Rank() == 0 {
+					p.FileWrite(bytes * 8)
+				}
+				p.PageMiss(0x700000000000 + uint64(step)<<12)
+			}
+		}
+		p.Barrier()
+	}
+}

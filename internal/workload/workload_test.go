@@ -1,0 +1,186 @@
+package workload_test
+
+import (
+	"testing"
+
+	"tracefw/internal/convert"
+	"tracefw/internal/events"
+	"tracefw/internal/interval"
+	"tracefw/internal/merge"
+	"tracefw/internal/mpisim"
+	"tracefw/internal/profile"
+	"tracefw/internal/render"
+	"tracefw/internal/testutil"
+	"tracefw/internal/workload"
+)
+
+// runAndConvert runs a workload and returns the merged interval file.
+func runAndConvert(t *testing.T, sh testutil.Shape, main func(*mpisim.Proc)) *interval.File {
+	t.Helper()
+	mf, _ := testutil.Pipeline(t, sh, merge.Options{}, main)
+	return mf
+}
+
+func countCalls(t *testing.T, mf *interval.File, ty events.Type) int {
+	t.Helper()
+	recs, err := mf.Scan().All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, r := range recs {
+		if r.Type == ty && (r.Bebits == profile.Begin || r.Bebits == profile.Complete) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestRingCompletes(t *testing.T) {
+	sh := testutil.Shape{Nodes: 4, TasksPerNode: 1, CPUs: 1, Seed: 1}
+	mf := runAndConvert(t, sh, workload.Ring{Iters: 3, Bytes: 1024}.Main())
+	// Every task sends 3 times.
+	if got := countCalls(t, mf, events.EvMPISend); got != 12 {
+		t.Fatalf("sends: %d, want 12", got)
+	}
+	if got := countCalls(t, mf, events.EvMPIRecv); got != 12 {
+		t.Fatalf("recvs: %d, want 12", got)
+	}
+}
+
+func TestRingSingleTask(t *testing.T) {
+	sh := testutil.Shape{Nodes: 1, TasksPerNode: 1, CPUs: 1, Seed: 1}
+	mf := runAndConvert(t, sh, workload.Ring{Iters: 2}.Main())
+	if got := countCalls(t, mf, events.EvMPISend); got != 0 {
+		t.Fatalf("single-task ring sent messages: %d", got)
+	}
+}
+
+func TestStencilCompletes(t *testing.T) {
+	sh := testutil.Shape{Nodes: 3, TasksPerNode: 1, CPUs: 2, Seed: 2}
+	mf := runAndConvert(t, sh, workload.Stencil{Steps: 10}.Main())
+	// Interior task exchanges 2 halos per step; edges 1.
+	if got := countCalls(t, mf, events.EvMPIIsend); got != 10*(1+2+1) {
+		t.Fatalf("isends: %d, want 40", got)
+	}
+	// Allreduce every 5 steps: 2 × 3 tasks.
+	if got := countCalls(t, mf, events.EvMPIAllreduce); got != 6 {
+		t.Fatalf("allreduces: %d, want 6", got)
+	}
+}
+
+func TestSPPMShape(t *testing.T) {
+	// The paper's configuration scaled down: 2 nodes, 4 threads per task,
+	// one MPI thread.
+	sh := testutil.Shape{Nodes: 2, TasksPerNode: 1, CPUs: 4, Seed: 3}
+	mf := runAndConvert(t, sh, workload.SPPM{Iters: 4, ThreadsPerTask: 4}.Main())
+	if len(mf.Header.Threads) != 8 {
+		t.Fatalf("threads: %d, want 8", len(mf.Header.Threads))
+	}
+	// Only the main thread on each node cuts MPI records.
+	recs, _ := mf.Scan().All()
+	mpiThreads := map[[2]uint16]bool{}
+	for _, r := range recs {
+		if events.IsMPI(r.Type) {
+			mpiThreads[[2]uint16{r.Node, r.Thread}] = true
+		}
+	}
+	if len(mpiThreads) != 2 {
+		t.Fatalf("MPI activity on %d threads, want 2 (one per task)", len(mpiThreads))
+	}
+	// The idle thread shows (almost) no activity: its busy fraction in a
+	// thread-activity view is far below the workers'.
+	d, err := render.BuildDiagram(mf, render.ThreadActivity, render.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := d.BusyFraction()
+	low := 0
+	for _, f := range fr {
+		if f < 0.05 {
+			low++
+		}
+	}
+	if low < 2 { // one idle thread per task
+		t.Fatalf("no idle threads visible: %v", fr)
+	}
+}
+
+func TestFlashPhases(t *testing.T) {
+	sh := testutil.Shape{Nodes: 2, TasksPerNode: 2, CPUs: 2, Seed: 4}
+	mf := runAndConvert(t, sh, workload.Flash{Iters: 10, RefineEach: 5}.Main())
+	names := map[string]bool{}
+	for _, s := range mf.Header.Markers {
+		names[s] = true
+	}
+	for _, want := range []string{"Initialization", "Evolution", "Refinement", "Termination"} {
+		if !names[want] {
+			t.Fatalf("marker %q missing: %v", want, mf.Header.Markers)
+		}
+	}
+	// Refinement every 5 steps over 10 steps: 2 refinements × 4 tasks of
+	// Alltoall.
+	if got := countCalls(t, mf, events.EvMPIAlltoall); got != 8 {
+		t.Fatalf("alltoalls: %d, want 8", got)
+	}
+	if got := countCalls(t, mf, events.EvMPIBcast); got != 4 {
+		t.Fatalf("bcasts: %d, want 4", got)
+	}
+	if got := countCalls(t, mf, events.EvMPIGather); got != 4 {
+		t.Fatalf("gathers: %d, want 4", got)
+	}
+}
+
+func TestStormEventScaling(t *testing.T) {
+	// Raw event counts must grow roughly linearly with Iters — the knob
+	// the Table 1 experiment turns.
+	sh := testutil.Shape{Nodes: 2, TasksPerNode: 2, CPUs: 2, Seed: 5}
+	countEvents := func(iters int) int64 {
+		raws := testutil.RunWorkload(t, sh, workload.Storm{Iters: iters}.Main())
+		_, results, err := convert.ConvertBuffers(raws, convert.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var n int64
+		for _, r := range results {
+			n += r.Events
+		}
+		return n
+	}
+	e1 := countEvents(50)
+	e2 := countEvents(200)
+	if e1 == 0 {
+		t.Fatal("no events")
+	}
+	ratio := float64(e2) / float64(e1)
+	if ratio < 2.5 || ratio > 6 {
+		t.Fatalf("event scaling not ~linear: %d -> %d (ratio %.2f)", e1, e2, ratio)
+	}
+}
+
+func TestStormNoWorkers(t *testing.T) {
+	sh := testutil.Shape{Nodes: 2, TasksPerNode: 1, CPUs: 1, Seed: 6}
+	mf := runAndConvert(t, sh, workload.Storm{Iters: 10, Threads: -1}.Main())
+	if len(mf.Header.Threads) != 2 {
+		t.Fatalf("threads: %d, want 2", len(mf.Header.Threads))
+	}
+}
+
+func TestWorkloadsDeterministic(t *testing.T) {
+	sh := testutil.Shape{Nodes: 2, TasksPerNode: 2, CPUs: 2, Seed: 7}
+	for name, main := range map[string]func(*mpisim.Proc){
+		"ring":    workload.Ring{Iters: 3}.Main(),
+		"stencil": workload.Stencil{Steps: 4}.Main(),
+		"sppm":    workload.SPPM{Iters: 3}.Main(),
+		"flash":   workload.Flash{Iters: 5}.Main(),
+		"storm":   workload.Storm{Iters: 20}.Main(),
+	} {
+		a := testutil.RunWorkload(t, sh, main)
+		b := testutil.RunWorkload(t, sh, main)
+		for i := range a {
+			if string(a[i]) != string(b[i]) {
+				t.Fatalf("%s: node %d traces differ between runs", name, i)
+			}
+		}
+	}
+}
