@@ -1,0 +1,30 @@
+# Tier-1 gate (see ROADMAP.md): everything `make ci` runs must stay
+# green on every change.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench-smoke bench
+
+ci: vet build test race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of the convert benchmarks as a smoke test: catches
+# benchmark bit-rot without paying for a full measurement run.
+bench-smoke:
+	$(GO) test -run xxx -bench 'ConvertPerEvent|ConvertParallel' -benchtime 1x .
+
+# Full measurement run over the pipeline benchmarks (slow; numbers are
+# recorded in BENCH_pipeline.json).
+bench:
+	$(GO) test -run xxx -bench 'ConvertPerEvent|ConvertParallel|MergeLoserTreeVsLinear|MergeReadAhead|IntervalWriterThroughput|IntervalScan' .

@@ -9,6 +9,7 @@ package tracefw
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"io"
 	"runtime"
 	"sort"
@@ -36,16 +37,22 @@ import (
 // stormRaws produces raw traces in the paper's Table 1 configuration:
 // 4 MPI tasks (2 nodes × 2), 4 threads each.
 func stormRaws(b *testing.B, iters int) [][]byte {
+	return stormRawsN(b, 2, iters)
+}
+
+// stormRawsN generates the storm workload over a configurable node
+// count (for the parallel convert/merge benchmarks).
+func stormRawsN(b *testing.B, nodes, iters int) [][]byte {
 	b.Helper()
-	bufs := make([]*bytes.Buffer, 2)
-	writers := make([]io.Writer, 2)
+	bufs := make([]*bytes.Buffer, nodes)
+	writers := make([]io.Writer, nodes)
 	for i := range bufs {
 		bufs[i] = &bytes.Buffer{}
 		writers[i] = bufs[i]
 	}
 	w, err := mpisim.New(mpisim.Config{
 		Cluster: cluster.Config{
-			Nodes: 2, CPUsPerNode: 4, Seed: 99,
+			Nodes: nodes, CPUsPerNode: 4, Seed: 99,
 			TraceOpts: trace.Options{Enabled: events.MaskAll},
 		},
 		TasksPerNode: 2,
@@ -57,7 +64,11 @@ func stormRaws(b *testing.B, iters int) [][]byte {
 	if _, err := w.Run(); err != nil {
 		b.Fatal(err)
 	}
-	return [][]byte{bufs[0].Bytes(), bufs[1].Bytes()}
+	raws := make([][]byte, nodes)
+	for i, buf := range bufs {
+		raws[i] = buf.Bytes()
+	}
+	return raws
 }
 
 func rawEventCount(b *testing.B, raws [][]byte) int64 {
@@ -103,7 +114,9 @@ func benchConvertPerEvent(b *testing.B, iters int) {
 	runtime.GC() // drop the generator's garbage; measure the utility
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := convert.ConvertBuffers(raws, convert.Options{}); err != nil {
+		// Parallel: 1 keeps this the sequential per-event cost of Table 1;
+		// BenchmarkConvertParallel measures the worker-pool speedup.
+		if _, _, err := convert.ConvertBuffers(raws, convert.Options{Parallel: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -545,6 +558,51 @@ func BenchmarkEndTimeOrderingAblation(b *testing.B) {
 	})
 }
 
+// BenchmarkConvertParallel measures the worker-pool convert over a
+// 4-node run at widths 1, 2, and 4. The outputs are byte-identical at
+// every width; on a multi-core host the wider variants approach a
+// speedup of min(width, GOMAXPROCS), while on a single-CPU host all
+// variants degenerate to the sequential cost.
+func BenchmarkConvertParallel(b *testing.B) {
+	raws := stormRawsN(b, 4, 2000)
+	for _, width := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("j%d", width), func(b *testing.B) {
+			runtime.GC()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := convert.ConvertBuffers(raws, convert.Options{Parallel: width}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMergeReadAhead compares the synchronous merge against the
+// read-ahead pipeline over a 4-node run. The read-ahead variant moves
+// frame decode off the merge goroutine; its benefit requires spare
+// cores.
+func BenchmarkMergeReadAhead(b *testing.B) {
+	raws := stormRawsN(b, 4, 2000)
+	for _, variant := range []struct {
+		name  string
+		width int
+	}{{"sync", 1}, {"readahead", 4}} {
+		b.Run(variant.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				files := convertedFiles(b, raws)
+				runtime.GC()
+				b.StartTimer()
+				sb := interval.NewSeekBuffer()
+				if _, err := merge.Merge(files, sb, merge.Options{Parallel: variant.width}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkIntervalWriterThroughput measures raw record encode+frame
 // throughput of the interval writer (records/op reported via ns/record).
 func BenchmarkIntervalWriterThroughput(b *testing.B) {
@@ -607,6 +665,47 @@ func BenchmarkIntervalScanThroughput(b *testing.B) {
 			if err != nil {
 				break
 			}
+			count++
+		}
+		if count != n {
+			b.Fatalf("scanned %d records", count)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/record")
+}
+
+// BenchmarkIntervalScanInto measures the allocation-free decode path
+// (NextRecordInto with a reused scratch record) against the same file as
+// BenchmarkIntervalScanThroughput.
+func BenchmarkIntervalScanInto(b *testing.B) {
+	sb := interval.NewSeekBuffer()
+	hdr := interval.Header{ProfileVersion: profile.StdVersion, Markers: map[uint64]string{}}
+	w, err := interval.NewWriter(sb, hdr, interval.WriterOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 100000
+	rec := interval.Record{Type: events.EvMPISend, Bebits: profile.Complete, Dura: 10, Extra: []uint64{1, 2, 3, 4, 5, 6}}
+	for i := 0; i < n; i++ {
+		rec.Start = clock.Time(i)
+		if err := w.Add(&rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	f, err := interval.ReadHeader(sb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := f.Scan()
+		var r interval.Record
+		count := 0
+		for sc.NextRecordInto(&r) == nil {
 			count++
 		}
 		if count != n {

@@ -5,9 +5,15 @@
 // globally unique user-marker identifiers across all input files, and
 // writes the description profile the interval files refer to.
 //
+// Inputs are converted concurrently over a bounded worker pool (-j;
+// 0 = GOMAXPROCS). Marker identifiers are canonicalized before the
+// record pass, so the outputs are byte-identical to a sequential run
+// whatever the worker count. Two inputs claiming the same node id are
+// rejected, since both would target the same output file.
+//
 // Usage:
 //
-//	uteconvert [-out-dir DIR] [-frame-bytes N] raw.0 raw.1 ...
+//	uteconvert [-out-dir DIR] [-frame-bytes N] [-j N] raw.0 raw.1 ...
 //
 // raw.N becomes DIR/trace.N.ute; the profile goes to DIR/profile.ute.
 package main
@@ -30,6 +36,7 @@ func main() {
 		outDir     = flag.String("out-dir", ".", "output directory")
 		frameBytes = flag.Int("frame-bytes", 0, "target frame payload size (0 = 64 KiB)")
 		tolerant   = flag.Bool("tolerant", false, "accept mid-stream traces (wrap mode): skip orphan events instead of failing")
+		jobs       = flag.Int("j", 0, "worker pool size: convert up to N inputs concurrently (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -43,19 +50,29 @@ func main() {
 		Writer:   interval.WriterOptions{FrameBytes: *frameBytes},
 		Markers:  convert.NewMarkerRegistry(),
 		Tolerant: *tolerant,
+		Parallel: *jobs,
 	}
 	start := time.Now()
-	var events, records int64
-	for _, in := range flag.Args() {
+	inputs := flag.Args()
+	outputs := make([]string, len(inputs))
+	seen := map[int]string{}
+	for i, in := range inputs {
 		node, err := peekNode(in)
 		if err != nil {
 			fatal(err)
 		}
-		out := filepath.Join(*outDir, fmt.Sprintf("trace.%d.ute", node))
-		res, err := convert.ConvertFile(in, out, opts)
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", in, err))
+		if prev, dup := seen[node]; dup {
+			fatal(fmt.Errorf("inputs %s and %s both claim node %d; each node must be converted exactly once", prev, in, node))
 		}
+		seen[node] = in
+		outputs[i] = filepath.Join(*outDir, fmt.Sprintf("trace.%d.ute", node))
+	}
+	results, err := convert.ConvertAll(inputs, outputs, opts)
+	if err != nil {
+		fatal(err)
+	}
+	var events, records int64
+	for i, res := range results {
 		events += res.Events
 		records += res.Records
 		skipNote := ""
@@ -63,7 +80,7 @@ func main() {
 			skipNote = fmt.Sprintf(", %d orphan events skipped", res.Skipped)
 		}
 		fmt.Printf("uteconvert: %s -> %s (%d events, %d interval records, %d clock pairs%s)\n",
-			in, out, res.Events, res.Records, len(res.ClockPairs), skipNote)
+			inputs[i], outputs[i], res.Events, res.Records, len(res.ClockPairs), skipNote)
 	}
 	if err := profile.Standard().WriteFile(filepath.Join(*outDir, "profile.ute")); err != nil {
 		fatal(err)

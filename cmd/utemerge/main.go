@@ -6,10 +6,16 @@
 // at frame starts. With -slog it additionally writes the SLOG file for
 // the viewer (the paper's slogmerge).
 //
+// At pipeline width -j above 1 (default: GOMAXPROCS) every input gets a
+// read-ahead decode goroutine feeding the merge through a bounded
+// channel, so the balanced tree never stalls on frame decode; -j 1
+// selects the fully synchronous path. Both produce byte-identical
+// output.
+//
 // Usage:
 //
 //	utemerge [-o merged.ute] [-slog trace.slog] [-estimator rms|lastpair|piecewise|none]
-//	         [-outlier-tol T] [-keep-clock] [-no-pseudo] [-linear]
+//	         [-outlier-tol T] [-keep-clock] [-no-pseudo] [-linear] [-j N]
 //	         trace.0.ute trace.1.ute ...
 package main
 
@@ -34,6 +40,7 @@ func main() {
 		noPseudo   = flag.Bool("no-pseudo", false, "do not plant frame-start pseudo-intervals")
 		linear     = flag.Bool("linear", false, "use a linear scan instead of the balanced tree (ablation)")
 		frameBytes = flag.Int("frame-bytes", 0, "target frame payload size (0 = 64 KiB)")
+		jobs       = flag.Int("j", 0, "pipeline width: read-ahead decode when above 1 (0 = GOMAXPROCS, 1 = synchronous)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -51,6 +58,7 @@ func main() {
 		KeepClockRecords: *keepClock,
 		NoPseudo:         *noPseudo,
 		Linear:           *linear,
+		Parallel:         *jobs,
 	}
 	start := time.Now()
 	res, err := merge.MergeFiles(flag.Args(), *out, opts)

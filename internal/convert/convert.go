@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"tracefw/internal/clock"
 	"tracefw/internal/events"
@@ -25,8 +26,12 @@ import (
 
 // MarkerRegistry assigns globally unique marker identifiers to marker
 // strings across every trace file of a run. Identifiers start at 1 in
-// first-seen order.
+// first-seen order. The registry is safe for concurrent use; the
+// parallel conversion path pre-assigns every identifier in a canonical
+// order before workers start, so identifiers never depend on goroutine
+// schedule.
 type MarkerRegistry struct {
+	mu   sync.Mutex
 	ids  map[string]uint64
 	strs map[uint64]string
 }
@@ -39,6 +44,8 @@ func NewMarkerRegistry() *MarkerRegistry {
 // ID returns the global identifier for a marker string, assigning the
 // next one on first sight.
 func (m *MarkerRegistry) ID(s string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if id, ok := m.ids[s]; ok {
 		return id
 	}
@@ -50,6 +57,8 @@ func (m *MarkerRegistry) ID(s string) uint64 {
 
 // Table returns a copy of the id → string table for interval headers.
 func (m *MarkerRegistry) Table() map[uint64]string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make(map[uint64]string, len(m.strs))
 	for k, v := range m.strs {
 		out[k] = v
@@ -68,6 +77,17 @@ type Options struct {
 	// never-dispatched threads, and marker events whose definitions were
 	// evicted are skipped and counted instead of failing the conversion.
 	Tolerant bool
+	// Parallel bounds the worker pool of ConvertAll and ConvertBuffers:
+	// 0 means runtime.GOMAXPROCS(0), 1 forces the sequential path, and
+	// any value is capped by the input count. Outputs are byte-identical
+	// at every setting: marker identifiers are canonicalized in
+	// node-then-first-seen order before the record pass starts.
+	Parallel int
+	// headerMarkers, when non-nil, overrides the marker table written to
+	// this file's header. ConvertAll uses it to reproduce, under any
+	// worker schedule, exactly the tables a sequential node-order
+	// ConvertFile loop would have written.
+	headerMarkers map[uint64]string
 }
 
 // Result summarizes one converted file.
@@ -112,16 +132,31 @@ type converter struct {
 	res         Result
 }
 
-// Convert reads the raw trace in src (twice: a table pass and a record
-// pass) and writes one interval file to dst.
-func Convert(src io.ReadSeeker, dst io.WriteSeeker, opts Options) (*Result, error) {
-	markers := opts.Markers
-	if markers == nil {
-		markers = NewMarkerRegistry()
-	}
+// markerEv is one marker-relevant raw event retained by the table pass
+// so the tolerant-mode placeholder markers can be discovered (and
+// assigned identifiers) before the record pass runs.
+type markerEv struct {
+	tid     int32
+	define  bool
+	localID uint64
+}
 
-	// Pass 1: collect the thread table and marker strings, which the
-	// interval file stores ahead of all records.
+// tablePass holds everything the first scan of a raw trace learns: the
+// node id, the thread table, the distinct marker strings in first-seen
+// order, and — for tolerant conversions of wrapped traces — the
+// placeholder strings the record pass will synthesize for markers whose
+// define records were evicted, in first-orphan order.
+type tablePass struct {
+	node         int
+	threads      []interval.ThreadEntry
+	defines      []string
+	placeholders []string
+}
+
+// scanTables performs the table pass over a raw trace (the former
+// pass 1 of Convert, factored out so ConvertAll can run it for every
+// input before any record pass starts).
+func scanTables(src io.ReadSeeker) (*tablePass, error) {
 	if _, err := src.Seek(0, io.SeekStart); err != nil {
 		return nil, err
 	}
@@ -129,10 +164,11 @@ func Convert(src io.ReadSeeker, dst io.WriteSeeker, opts Options) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	node := rd.Info.Node
-	var threads []interval.ThreadEntry
+	tp := &tablePass{node: rd.Info.Node}
 	haveInfo := map[int32]bool{}
 	seenTID := map[int32]bool{}
+	definedStr := map[string]bool{}
+	var evs []markerEv
 	for {
 		rec, err := rd.Next()
 		if err == io.EOF {
@@ -147,35 +183,98 @@ func Convert(src io.ReadSeeker, dst io.WriteSeeker, opts Options) (*Result, erro
 		switch rec.Type {
 		case events.EvThreadInfo:
 			haveInfo[rec.TID] = true
-			threads = append(threads, interval.ThreadEntry{
+			tp.threads = append(tp.threads, interval.ThreadEntry{
 				Task:   int32(uint32(rec.Args[2])),
 				PID:    rec.Args[0],
 				SysTID: rec.Args[1],
-				Node:   uint16(node),
+				Node:   uint16(tp.node),
 				LTID:   uint16(rec.TID),
 				Type:   uint8(rec.Args[3]),
 			})
 		case events.EvMarkerDefine:
-			markers.ID(rec.Str)
+			if !definedStr[rec.Str] {
+				definedStr[rec.Str] = true
+				tp.defines = append(tp.defines, rec.Str)
+			}
+			evs = append(evs, markerEv{tid: rec.TID, define: true, localID: rec.Args[0]})
+		case events.EvMarkerBegin:
+			evs = append(evs, markerEv{tid: rec.TID, localID: rec.Args[0]})
 		}
 	}
 	// Threads whose info records were evicted (wrap mode) still get a
 	// table entry so views and statistics can label them.
 	for tid := range seenTID {
 		if !haveInfo[tid] {
-			threads = append(threads, interval.ThreadEntry{
-				Task: -1, Node: uint16(node), LTID: uint16(tid), Type: events.ThreadSystem,
+			tp.threads = append(tp.threads, interval.ThreadEntry{
+				Task: -1, Node: uint16(tp.node), LTID: uint16(tid), Type: events.ThreadSystem,
 			})
 		}
 	}
-	sort.Slice(threads, func(i, j int) bool { return threads[i].LTID < threads[j].LTID })
+	sort.Slice(tp.threads, func(i, j int) bool { return tp.threads[i].LTID < tp.threads[j].LTID })
 
+	// Replay the marker events against the completed thread table to
+	// find orphan begins, mirroring exactly how the record pass resolves
+	// (task, local id): the first begin with no prior define synthesizes
+	// a placeholder, later defines of the same key do not.
+	taskOf := make(map[int32]int32, len(tp.threads))
+	for _, te := range tp.threads {
+		taskOf[int32(te.LTID)] = te.Task
+	}
+	defined := map[[2]int64]bool{}
+	for _, ev := range evs {
+		task := int64(-1)
+		if t, ok := taskOf[ev.tid]; ok {
+			task = int64(t)
+		}
+		k := [2]int64{task, int64(ev.localID)}
+		if ev.define {
+			defined[k] = true
+		} else if !defined[k] {
+			defined[k] = true
+			tp.placeholders = append(tp.placeholders, placeholderName(task, ev.localID))
+		}
+	}
+	return tp, nil
+}
+
+// placeholderName is the stable name tolerant conversions give a marker
+// whose define record was evicted by the wrap-mode trace buffer.
+func placeholderName(task int64, localID uint64) string {
+	return fmt.Sprintf("marker#%d:%d", task, localID)
+}
+
+// Convert reads the raw trace in src (twice: a table pass and a record
+// pass) and writes one interval file to dst.
+func Convert(src io.ReadSeeker, dst io.WriteSeeker, opts Options) (*Result, error) {
+	markers := opts.Markers
+	if markers == nil {
+		markers = NewMarkerRegistry()
+	}
+	tp, err := scanTables(src)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range tp.defines {
+		markers.ID(s)
+	}
+	hdrMarkers := opts.headerMarkers
+	if hdrMarkers == nil {
+		hdrMarkers = markers.Table()
+	}
+	return convertRecords(src, dst, opts, tp, markers, hdrMarkers)
+}
+
+// convertRecords is the record pass: it writes the interval-file header
+// from the table pass's results and converts every raw event. markers
+// must already hold identifiers for all of tp's define strings (and, in
+// tolerant mode under ConvertAll, its placeholder strings too).
+func convertRecords(src io.ReadSeeker, dst io.WriteSeeker, opts Options, tp *tablePass, markers *MarkerRegistry, hdrMarkers map[uint64]string) (*Result, error) {
 	hdr := interval.Header{
 		ProfileVersion: profile.StdVersion,
 		HeaderVersion:  interval.CurrentHeaderVersion,
 		FieldMask:      profile.MaskIndividual,
-		Threads:        threads,
-		Markers:        markers.Table(),
+		Threads:        tp.threads,
+		Markers:        hdrMarkers,
 	}
 	w, err := interval.NewWriter(dst, hdr, opts.Writer)
 	if err != nil {
@@ -183,7 +282,7 @@ func Convert(src io.ReadSeeker, dst io.WriteSeeker, opts Options) (*Result, erro
 	}
 
 	c := &converter{
-		node:        node,
+		node:        tp.node,
 		w:           w,
 		markers:     markers,
 		tolerant:    opts.Tolerant,
@@ -191,17 +290,16 @@ func Convert(src io.ReadSeeker, dst io.WriteSeeker, opts Options) (*Result, erro
 		localMarker: make(map[[2]int64]uint64),
 		lastTime:    clock.Time(-1 << 62),
 		lastEmitEnd: clock.Time(-1 << 62), // local clocks may start negative
-		res:         Result{Node: node},
+		res:         Result{Node: tp.node},
 	}
-	for _, te := range threads {
+	for _, te := range tp.threads {
 		c.threads[int32(te.LTID)] = &threadState{tid: int32(te.LTID), task: te.Task}
 	}
 
-	// Pass 2: the conversion proper.
 	if _, err := src.Seek(0, io.SeekStart); err != nil {
 		return nil, err
 	}
-	rd, err = trace.NewReader(src)
+	rd, err := trace.NewReader(src)
 	if err != nil {
 		return nil, err
 	}
@@ -305,7 +403,7 @@ func (c *converter) event(rec *trace.Record) error {
 			}
 			// The define record was evicted (wrap mode): synthesize a
 			// stable placeholder name.
-			gid = c.markers.ID(fmt.Sprintf("marker#%d:%d", ts.task, rec.Args[0]))
+			gid = c.markers.ID(placeholderName(int64(ts.task), rec.Args[0]))
 			c.localMarker[[2]int64{int64(ts.task), int64(rec.Args[0])}] = gid
 		}
 		st := &openState{

@@ -57,6 +57,12 @@ type Config struct {
 
 	Seed uint64
 
+	// Parallel sets the pipeline width for the convert and merge stages
+	// (0 = GOMAXPROCS, 1 = fully sequential). Merge.Parallel, when set,
+	// overrides it for the merge stage. Outputs do not depend on the
+	// width.
+	Parallel int
+
 	// Per-stage options.
 	Convert interval.WriterOptions
 	Merge   merge.Options
@@ -158,7 +164,7 @@ func Execute(cfg Config, main func(*mpisim.Proc)) (*Run, error) {
 
 	// Stage 2: convert raw traces to interval files.
 	reg := convert.NewMarkerRegistry()
-	copts := convert.Options{Writer: cfg.Convert, Markers: reg, Tolerant: cfg.Wrap}
+	copts := convert.Options{Writer: cfg.Convert, Markers: reg, Tolerant: cfg.Wrap, Parallel: cfg.Parallel}
 	if cfg.OutDir != "" {
 		for n := 0; n < cfg.Nodes; n++ {
 			run.RawPaths = append(run.RawPaths, mcfg.Cluster.TraceOpts.FileName(n))
@@ -201,6 +207,9 @@ func Execute(cfg Config, main func(*mpisim.Proc)) (*Run, error) {
 	// Stage 3: merge with clock adjustment.
 	mopts := cfg.Merge
 	mopts.Writer = cfg.Convert
+	if mopts.Parallel == 0 {
+		mopts.Parallel = cfg.Parallel
+	}
 	var mergedRS io.ReadSeeker
 	if cfg.OutDir != "" {
 		path := filepath.Join(cfg.OutDir, "merged.ute")

@@ -221,13 +221,24 @@ func (f *File) Frames() ([]FrameEntry, error) {
 
 // ReadFrame loads a frame's raw record bytes.
 func (f *File) ReadFrame(fe FrameEntry) ([]byte, error) {
+	return f.readFrameInto(fe, nil)
+}
+
+// readFrameInto loads a frame's raw record bytes into buf's backing
+// array when it is large enough, allocating otherwise. The Scanner uses
+// it to reuse one pooled buffer across all frames of a scan.
+func (f *File) readFrameInto(fe FrameEntry, buf []byte) ([]byte, error) {
 	if fe.Offset < 0 || int64(fe.Bytes) > f.Size || fe.Offset+int64(fe.Bytes) > f.Size {
 		return nil, fmt.Errorf("interval: frame at %d (%d bytes) exceeds file size %d", fe.Offset, fe.Bytes, f.Size)
 	}
 	if _, err := f.r.Seek(fe.Offset, io.SeekStart); err != nil {
 		return nil, err
 	}
-	buf := make([]byte, fe.Bytes)
+	if cap(buf) < int(fe.Bytes) {
+		buf = make([]byte, fe.Bytes)
+	} else {
+		buf = buf[:fe.Bytes]
+	}
 	if _, err := io.ReadFull(f.r, buf); err != nil {
 		return nil, fmt.Errorf("interval: reading frame at %d: %w", fe.Offset, err)
 	}
@@ -322,6 +333,9 @@ type Scanner struct {
 	buf     []byte
 	err     error
 	started bool
+	// frameBuf is the pooled backing buffer the current frame was read
+	// into; it is returned to the pool once the scan terminates.
+	frameBuf *[]byte
 }
 
 // Scan returns a sequential record scanner positioned before the first
@@ -337,12 +351,14 @@ func (s *Scanner) Next() ([]byte, error) {
 	for len(s.buf) == 0 {
 		if err := s.advanceFrame(); err != nil {
 			s.err = err
+			s.release()
 			return nil, err
 		}
 	}
 	payload, n, err := NextFramed(s.buf)
 	if err != nil {
 		s.err = err
+		s.release()
 		return nil, err
 	}
 	s.buf = s.buf[n:]
@@ -358,9 +374,31 @@ func (s *Scanner) NextRecord() (Record, error) {
 	return DecodePayload(payload)
 }
 
-// All drains the scanner.
+// NextRecordInto decodes the next record into *r, reusing r's Extra and
+// Vec capacity. Hot sequential consumers (merge sources, clock-pair
+// extraction) use it to avoid one allocation per record.
+func (s *Scanner) NextRecordInto(r *Record) error {
+	payload, err := s.Next()
+	if err != nil {
+		return err
+	}
+	return DecodePayloadInto(payload, r)
+}
+
+// All drains the scanner. The result slice is sized up front from the
+// frame directories' record counts when the scan starts at the
+// beginning of the file.
 func (s *Scanner) All() ([]Record, error) {
 	var recs []Record
+	if !s.started && s.err == nil {
+		if fes, err := s.f.Frames(); err == nil {
+			var total int64
+			for _, fe := range fes {
+				total += int64(fe.Records)
+			}
+			recs = make([]Record, 0, total)
+		}
+	}
 	for {
 		r, err := s.NextRecord()
 		if errors.Is(err, io.EOF) {
@@ -390,10 +428,14 @@ func (s *Scanner) advanceFrame() error {
 		if s.frame < len(s.dir.Entries) {
 			fe := s.dir.Entries[s.frame]
 			s.frame++
-			buf, err := s.f.ReadFrame(fe)
+			if s.frameBuf == nil {
+				s.frameBuf = getBuf()
+			}
+			buf, err := s.f.readFrameInto(fe, *s.frameBuf)
 			if err != nil {
 				return err
 			}
+			*s.frameBuf = buf
 			if len(buf) == 0 {
 				continue
 			}
@@ -409,5 +451,16 @@ func (s *Scanner) advanceFrame() error {
 		}
 		s.dir = d
 		s.frame = 0
+	}
+}
+
+// release returns the pooled frame buffer once the scan has terminated
+// (EOF or error; s.err is sticky, so the buffer cannot be touched
+// again).
+func (s *Scanner) release() {
+	if s.frameBuf != nil {
+		putBuf(s.frameBuf)
+		s.frameBuf = nil
+		s.buf = nil
 	}
 }

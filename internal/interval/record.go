@@ -142,28 +142,38 @@ func (r *Record) EncodedSize() int {
 	return 3 + n
 }
 
-// DecodePayload parses a standard-profile record payload.
+// DecodePayload parses a standard-profile record payload into a fresh
+// Record.
 func DecodePayload(payload []byte) (Record, error) {
+	var r Record
+	err := DecodePayloadInto(payload, &r)
+	return r, err
+}
+
+// DecodePayloadInto parses a standard-profile record payload into *r,
+// reusing r's Extra and Vec capacity when possible, so hot decode loops
+// (the Scanner, the merge read-ahead stage) avoid one allocation per
+// record. Zero-length Extra/Vec are set to nil, matching DecodePayload.
+func DecodePayloadInto(payload []byte, r *Record) error {
 	if len(payload) < profile.CommonSize {
-		return Record{}, fmt.Errorf("interval: payload %d bytes, need at least %d", len(payload), profile.CommonSize)
+		return fmt.Errorf("interval: payload %d bytes, need at least %d", len(payload), profile.CommonSize)
 	}
-	r := Record{
-		Type:   events.Type(binary.LittleEndian.Uint16(payload[0:])),
-		Bebits: profile.Bebits(payload[2]),
-		Start:  clock.Time(binary.LittleEndian.Uint64(payload[3:])),
-		Dura:   clock.Time(binary.LittleEndian.Uint64(payload[11:])),
-		CPU:    binary.LittleEndian.Uint16(payload[19:]),
-		Node:   binary.LittleEndian.Uint16(payload[21:]),
-		Thread: binary.LittleEndian.Uint16(payload[23:]),
-	}
+	r.Type = events.Type(binary.LittleEndian.Uint16(payload[0:]))
+	r.Bebits = profile.Bebits(payload[2])
+	r.Start = clock.Time(binary.LittleEndian.Uint64(payload[3:]))
+	r.Dura = clock.Time(binary.LittleEndian.Uint64(payload[11:]))
+	r.CPU = binary.LittleEndian.Uint16(payload[19:])
+	r.Node = binary.LittleEndian.Uint16(payload[21:])
+	r.Thread = binary.LittleEndian.Uint16(payload[23:])
+	r.Extra, r.Vec = r.Extra[:0], nil
 	rest := payload[profile.CommonSize:]
 	if events.VectorField(r.Type) != "" {
 		// Fixed scalar extras, then the counter-prefixed vector.
 		nx := len(events.ExtraFields(r.Type))
 		if len(rest) < 8*nx+2 {
-			return Record{}, fmt.Errorf("interval: %s record too short for %d extras + vector counter", r.Type.Name(), nx)
+			return fmt.Errorf("interval: %s record too short for %d extras + vector counter", r.Type.Name(), nx)
 		}
-		r.Extra = make([]uint64, nx)
+		r.Extra = growU64(r.Extra, nx)
 		for i := range r.Extra {
 			r.Extra[i] = binary.LittleEndian.Uint64(rest[8*i:])
 		}
@@ -171,7 +181,7 @@ func DecodePayload(payload []byte) (Record, error) {
 		n := int(binary.LittleEndian.Uint16(rest))
 		rest = rest[2:]
 		if len(rest) != 8*n {
-			return Record{}, fmt.Errorf("interval: vector claims %d elements, %d bytes follow", n, len(rest))
+			return fmt.Errorf("interval: vector claims %d elements, %d bytes follow", n, len(rest))
 		}
 		if n > 0 {
 			r.Vec = make([]uint64, n)
@@ -179,16 +189,27 @@ func DecodePayload(payload []byte) (Record, error) {
 				r.Vec[i] = binary.LittleEndian.Uint64(rest[8*i:])
 			}
 		}
-		return r, nil
+		return nil
 	}
 	if len(rest)%8 != 0 {
-		return Record{}, fmt.Errorf("interval: %d trailing bytes not a whole number of extras", len(rest))
+		return fmt.Errorf("interval: %d trailing bytes not a whole number of extras", len(rest))
 	}
 	if len(rest) > 0 {
-		r.Extra = make([]uint64, len(rest)/8)
+		r.Extra = growU64(r.Extra, len(rest)/8)
 		for i := range r.Extra {
 			r.Extra[i] = binary.LittleEndian.Uint64(rest[8*i:])
 		}
 	}
-	return r, nil
+	if len(r.Extra) == 0 {
+		r.Extra = nil
+	}
+	return nil
+}
+
+// growU64 returns b resized to n elements, reusing its capacity.
+func growU64(b []uint64, n int) []uint64 {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]uint64, n)
 }

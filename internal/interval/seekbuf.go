@@ -16,6 +16,10 @@ type SeekBuffer struct {
 // NewSeekBuffer returns an empty buffer.
 func NewSeekBuffer() *SeekBuffer { return &SeekBuffer{} }
 
+// NewSeekBufferFrom returns a buffer reading (and writing) over b,
+// positioned at the start.
+func NewSeekBufferFrom(b []byte) *SeekBuffer { return &SeekBuffer{b: b} }
+
 // Bytes returns the underlying contents.
 func (s *SeekBuffer) Bytes() []byte { return s.b }
 

@@ -95,6 +95,10 @@ type Writer struct {
 	patchOff   int64 // where the previous directory's next field lives
 	closed     bool
 	err        error
+	// framePB/groupPB are the pooled backing buffers behind frame and
+	// groupBytes, returned to the pool on Close.
+	framePB *[]byte
+	groupPB *[]byte
 }
 
 type frameEntry struct {
@@ -110,8 +114,12 @@ type frameEntry struct {
 func NewWriter(ws io.WriteSeeker, hdr Header, opts WriterOptions) (*Writer, error) {
 	w := &Writer{ws: ws, opts: opts, prevDirOff: -1, patchOff: -1}
 	w.frameMeta = emptyFrameMeta()
+	w.framePB, w.groupPB = getBuf(), getBuf()
+	w.frame, w.groupBytes = *w.framePB, *w.groupPB
 
-	var buf []byte
+	hb := getBuf()
+	buf := *hb
+	defer func() { *hb = buf[:0]; putBuf(hb) }()
 	buf = append(buf, fileMagic...)
 	buf = appendU32(buf, hdr.ProfileVersion)
 	buf = appendU32(buf, hdr.HeaderVersion)
@@ -266,7 +274,9 @@ func (w *Writer) flushGroup(last bool) error {
 		next = 0
 	}
 
-	var buf []byte
+	db := getBuf()
+	buf := *db
+	defer func() { *db = buf[:0]; putBuf(db) }()
 	buf = appendU32(buf, uint32(len(w.group)))
 	buf = appendU32(buf, 0)
 	prev := w.prevDirOff
@@ -327,6 +337,7 @@ func (w *Writer) Close() error {
 		return w.err
 	}
 	w.closed = true
+	defer w.releaseBufs()
 	if w.err != nil {
 		return w.err
 	}
@@ -356,6 +367,22 @@ func (w *Writer) Close() error {
 		}
 	}
 	return w.err
+}
+
+// releaseBufs returns the pooled frame and group buffers once the
+// writer is closed; the grown backing arrays go back to the pool for
+// the next writer.
+func (w *Writer) releaseBufs() {
+	if w.framePB != nil {
+		*w.framePB = w.frame[:0]
+		putBuf(w.framePB)
+		w.framePB, w.frame = nil, nil
+	}
+	if w.groupPB != nil {
+		*w.groupPB = w.groupBytes[:0]
+		putBuf(w.groupPB)
+		w.groupPB, w.groupBytes = nil, nil
+	}
 }
 
 // CreateFile opens path and returns a Writer on it plus the file handle

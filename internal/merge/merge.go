@@ -14,11 +14,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
+	"sync"
 
 	"tracefw/internal/clock"
 	"tracefw/internal/events"
 	"tracefw/internal/interval"
+	"tracefw/internal/par"
 	"tracefw/internal/profile"
 )
 
@@ -76,6 +79,12 @@ type Options struct {
 	// Linear replaces the loser tree with a linear minimum scan
 	// (ablation for the paper's balanced-tree design choice).
 	Linear bool
+	// Parallel sets the pipeline width: 0 means GOMAXPROCS. At widths
+	// above 1, clock-pair extraction fans out over a worker pool and
+	// every input gets a read-ahead decode goroutine; Parallel == 1
+	// selects the fully synchronous path (ablation). Both paths emit
+	// byte-identical output.
+	Parallel int
 }
 
 // Result summarizes a merge.
@@ -92,8 +101,9 @@ type Result struct {
 func ExtractPairs(f *interval.File) ([]clock.Pair, error) {
 	var pairs []clock.Pair
 	sc := f.Scan()
+	var r interval.Record
 	for {
-		r, err := sc.NextRecord()
+		err := sc.NextRecordInto(&r)
 		if errors.Is(err, io.EOF) {
 			return pairs, nil
 		}
@@ -129,6 +139,14 @@ func adjusterFor(pairs []clock.Pair, opts Options) (clock.Adjuster, float64) {
 	}
 }
 
+// recordSource is a source whose current record the merge loop can
+// read; implemented by the synchronous stream and the read-ahead
+// stream.
+type recordSource interface {
+	source
+	Current() *interval.Record
+}
+
 // stream adapts one input file to the merge: it decodes, drops or keeps
 // clock records, and adjusts timestamps into the global timebase.
 type stream struct {
@@ -143,6 +161,8 @@ type stream struct {
 }
 
 func (s *stream) CurrentEnd() (clock.Time, bool) { return s.end, s.done }
+
+func (s *stream) Current() *interval.Record { return &s.cur }
 
 func (s *stream) Advance() error {
 	for {
@@ -191,7 +211,14 @@ func (t *tracker) observe(r *interval.Record) {
 	k := openKey{r.Node, r.Thread}
 	switch r.Bebits {
 	case profile.Begin:
-		t.open[k] = append(t.open[k], *r)
+		// Deep-copy the variable-length payloads: read-ahead sources
+		// recycle their batch slots, so r.Extra/r.Vec may be rewritten
+		// by a producer long before this open state is replayed as a
+		// pseudo-interval.
+		cp := *r
+		cp.Extra = append([]uint64(nil), r.Extra...)
+		cp.Vec = append([]uint64(nil), r.Vec...)
+		t.open[k] = append(t.open[k], cp)
 	case profile.End:
 		stack := t.open[k]
 		for i := len(stack) - 1; i >= 0; i-- {
@@ -237,28 +264,36 @@ func Merge(files []*interval.File, dst io.WriteSeeker, opts Options) (*Result, e
 		return nil, fmt.Errorf("merge: no input files")
 	}
 	res := &Result{Inputs: len(files)}
+	width := opts.Parallel
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
 
-	// Per-input clock adjustment.
-	streams := make([]source, len(files))
-	concrete := make([]*stream, len(files))
-	for i, f := range files {
-		pairs, err := ExtractPairs(f)
+	// Per-input clock adjustment. The pair-extraction scans are
+	// independent, so they fan out over the worker pool; adjusters are
+	// then built sequentially in input order to keep Result
+	// deterministic.
+	allPairs := make([][]clock.Pair, len(files))
+	if err := par.Do(len(files), opts.Parallel, func(i int) error {
+		pairs, err := ExtractPairs(files[i])
 		if err != nil {
-			return nil, fmt.Errorf("merge: input %d: %w", i, err)
+			return fmt.Errorf("merge: input %d: %w", i, err)
 		}
+		allPairs[i] = pairs
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	adjs := make([]clock.Adjuster, len(files))
+	for i, pairs := range allPairs {
 		adj, ratio := adjusterFor(pairs, opts)
+		adjs[i] = adj
 		res.Ratios = append(res.Ratios, ratio)
 		if len(pairs) > 0 {
 			res.Anchors = append(res.Anchors, pairs[0])
 		} else {
 			res.Anchors = append(res.Anchors, clock.Pair{})
 		}
-		st := &stream{sc: f.Scan(), adj: adj, keepClock: opts.KeepClockRecords}
-		if err := st.Advance(); err != nil {
-			return nil, fmt.Errorf("merge: input %d: %w", i, err)
-		}
-		concrete[i] = st
-		streams[i] = st
 	}
 
 	// Merged header: union of thread tables (sorted by node, ltid) and
@@ -307,6 +342,33 @@ func Merge(files []*interval.File, dst io.WriteSeeker, opts Options) (*Result, e
 		return nil, err
 	}
 
+	// Input sources: read-ahead decode pipelines at width > 1, plain
+	// synchronous streams at width 1. Producers are shut down (quit,
+	// then drained via wg) on every return path.
+	srcs := make([]recordSource, len(files))
+	streams := make([]source, len(files))
+	if width > 1 {
+		quit := make(chan struct{})
+		var wg sync.WaitGroup
+		defer func() {
+			close(quit)
+			wg.Wait()
+		}()
+		for i, f := range files {
+			srcs[i] = startReadAhead(f.Scan(), adjs[i], opts.KeepClockRecords, quit, &wg)
+		}
+	} else {
+		for i, f := range files {
+			srcs[i] = &stream{sc: f.Scan(), adj: adjs[i], keepClock: opts.KeepClockRecords}
+		}
+	}
+	for i, st := range srcs {
+		if err := st.Advance(); err != nil {
+			return nil, fmt.Errorf("merge: input %d: %w", i, err)
+		}
+		streams[i] = st
+	}
+
 	var pk picker
 	if opts.Linear {
 		pk = &linearScan{srcs: streams}
@@ -319,8 +381,8 @@ func Merge(files []*interval.File, dst io.WriteSeeker, opts Options) (*Result, e
 		if i < 0 {
 			break
 		}
-		st := concrete[i]
-		r := st.cur
+		st := srcs[i]
+		r := *st.Current()
 		if first {
 			lastEnd = r.End()
 			first = false

@@ -1,0 +1,151 @@
+package merge
+
+import (
+	"errors"
+	"io"
+	"sync"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/events"
+	"tracefw/internal/interval"
+)
+
+// Read-ahead sources decouple frame decode from the k-way merge: each
+// input file gets a producer goroutine that scans frames, adjusts
+// timestamps into the global timebase, and stages record batches into a
+// small bounded channel. The loser tree then never stalls on decode —
+// while it drains one input's batch, every other input is decoding its
+// next frames. Batches are recycled through a free list, so the decode
+// scratch (including each record slot's Extra array) is reused instead
+// of reallocated; the tracker deep-copies the records it retains.
+const (
+	// readAheadBatch is the number of records staged per batch. Batches
+	// amortize channel synchronization; at typical record rates one
+	// batch corresponds to a fraction of a frame.
+	readAheadBatch = 256
+	// readAheadDepth is the bounded channel capacity in batches — the
+	// maximum decode lead a producer can build up per input.
+	readAheadDepth = 4
+)
+
+// raBatch is one staged batch. err, when non-nil, terminates the stream
+// after all prior batches have been consumed.
+type raBatch struct {
+	recs []interval.Record
+	err  error
+}
+
+// readAheadStream adapts a producer-fed input to the merge's source
+// interface. The consumer side (CurrentEnd/Advance/Current) runs on the
+// merge goroutine only.
+type readAheadStream struct {
+	ch   chan raBatch
+	free chan []interval.Record
+
+	cur  interval.Record
+	end  clock.Time
+	done bool
+
+	batch raBatch
+	idx   int
+}
+
+// startReadAhead launches the producer goroutine for one input and
+// returns its consumer end. The producer exits when the input is
+// exhausted, on a decode error (forwarded in-band), or when quit
+// closes; wg tracks it so Merge can wait for a clean shutdown.
+func startReadAhead(sc *interval.Scanner, adj clock.Adjuster, keepClock bool, quit <-chan struct{}, wg *sync.WaitGroup) *readAheadStream {
+	s := &readAheadStream{
+		ch:   make(chan raBatch, readAheadDepth),
+		free: make(chan []interval.Record, readAheadDepth+2),
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(s.ch)
+		for {
+			var recs []interval.Record
+			select {
+			case recs = <-s.free:
+			default:
+				recs = make([]interval.Record, readAheadBatch)
+			}
+			n := 0
+			var perr error
+			for n < len(recs) {
+				r := &recs[n]
+				if err := sc.NextRecordInto(r); err != nil {
+					perr = err
+					break
+				}
+				if r.Type == events.EvGlobalClock && !keepClock {
+					continue
+				}
+				// Same monotone mapping for start and end as the
+				// synchronous path, so the two paths stay byte-identical.
+				end := adj.Global(r.End())
+				r.Start = adj.Global(r.Start)
+				r.Dura = end - r.Start
+				n++
+			}
+			if n > 0 {
+				select {
+				case s.ch <- raBatch{recs: recs[:n]}:
+				case <-quit:
+					return
+				}
+			}
+			if perr != nil {
+				if !errors.Is(perr, io.EOF) {
+					select {
+					case s.ch <- raBatch{err: perr}:
+					case <-quit:
+					}
+				}
+				return
+			}
+		}
+	}()
+	return s
+}
+
+// CurrentEnd implements source.
+func (s *readAheadStream) CurrentEnd() (clock.Time, bool) { return s.end, s.done }
+
+// Current exposes the current record to the merge loop.
+func (s *readAheadStream) Current() *interval.Record { return &s.cur }
+
+// Advance implements source: it steps to the next staged record,
+// fetching (and recycling) batches as needed. It blocks only when the
+// producer has fallen behind the merge.
+func (s *readAheadStream) Advance() error {
+	for {
+		if s.idx < len(s.batch.recs) {
+			s.cur = s.batch.recs[s.idx]
+			s.end = s.cur.End()
+			s.idx++
+			return nil
+		}
+		if s.batch.recs != nil {
+			// Recycle the spent batch. s.cur still aliases the last
+			// slot's Extra, but it is overwritten from the next batch
+			// before Advance returns, and the channel send orders our
+			// reads before the producer's refill.
+			select {
+			case s.free <- s.batch.recs[:cap(s.batch.recs)]:
+			default:
+			}
+			s.batch.recs = nil
+		}
+		b, ok := <-s.ch
+		if !ok {
+			s.done = true
+			return nil
+		}
+		if b.err != nil {
+			s.done = true
+			return b.err
+		}
+		s.batch, s.idx = b, 0
+	}
+}

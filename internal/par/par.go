@@ -1,0 +1,80 @@
+// Package par provides the tiny bounded worker pool the trace-processing
+// utilities share. It exists so that the parallel convert and merge
+// paths agree on worker accounting and error semantics: work items are
+// independent, the pool is bounded, and the error reported is the one
+// from the lowest-numbered failing item, which keeps parallel failures
+// deterministic even though completion order is not.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism knob: p <= 0 means GOMAXPROCS(0), and
+// the result is capped by the item count n.
+func Workers(p, n int) int {
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Do runs fn(0) … fn(n-1) on at most Workers(p, n) goroutines and waits
+// for completion. With one worker it runs inline on the caller's
+// goroutine and stops at the first error, exactly like a plain loop.
+// With more workers, all items may start; once any item fails no new
+// items are started, and the error returned is the one from the
+// lowest-numbered item that failed.
+func Do(n, p int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	p = Workers(p, n)
+	if p == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    int64 = -1
+		failed  atomic.Bool
+		mu      sync.Mutex
+		errIdx  = n
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstEr = i, err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}

@@ -1,0 +1,85 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if w := Workers(4, 2); w != 2 {
+		t.Fatalf("Workers(4,2) = %d", w)
+	}
+	if w := Workers(1, 100); w != 1 {
+		t.Fatalf("Workers(1,100) = %d", w)
+	}
+	if w := Workers(0, 100); w < 1 {
+		t.Fatalf("Workers(0,100) = %d", w)
+	}
+	if w := Workers(-3, 0); w != 1 {
+		t.Fatalf("Workers(-3,0) = %d", w)
+	}
+}
+
+func TestDoRunsEveryItem(t *testing.T) {
+	for _, p := range []int{1, 2, 8} {
+		var hits [100]int32
+		if err := Do(len(hits), p, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("p=%d: item %d ran %d times", p, i, h)
+			}
+		}
+	}
+}
+
+func TestDoReportsLowestFailingItem(t *testing.T) {
+	errA := errors.New("a")
+	for _, p := range []int{1, 2, 8} {
+		err := Do(64, p, func(i int) error {
+			switch i {
+			case 7:
+				return fmt.Errorf("item 7: %w", errA)
+			case 3:
+				return fmt.Errorf("item 3: %w", errA)
+			}
+			return nil
+		})
+		if err == nil || !errors.Is(err, errA) {
+			t.Fatalf("p=%d: err = %v", p, err)
+		}
+		// With one worker the loop stops at item 3; with more workers,
+		// item 7 may also fail first, but the reported error must still
+		// be the lowest-numbered failure that actually ran. Sequential
+		// must be exactly item 3.
+		if p == 1 && err.Error() != "item 3: a" {
+			t.Fatalf("sequential error = %v", err)
+		}
+	}
+}
+
+func TestDoStopsIssuingAfterFailure(t *testing.T) {
+	var ran int32
+	err := Do(1000, 2, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		return errors.New("boom")
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if n := atomic.LoadInt32(&ran); n > 16 {
+		t.Fatalf("%d items ran after failure", n)
+	}
+}
+
+func TestDoEmpty(t *testing.T) {
+	if err := Do(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}

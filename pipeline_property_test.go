@@ -8,12 +8,15 @@ package tracefw
 // markers, and I/O.
 
 import (
+	"bytes"
 	"sort"
 	"testing"
 
+	"tracefw/internal/convert"
 	"tracefw/internal/core"
 	"tracefw/internal/events"
 	"tracefw/internal/interval"
+	"tracefw/internal/merge"
 	"tracefw/internal/profile"
 	"tracefw/internal/workload"
 )
@@ -176,6 +179,75 @@ func checkPipelineInvariants(t *testing.T, seed uint64, run *core.Run) {
 		}
 		if diff > int64(len(recs)+run.Slog.Bins) {
 			t.Fatalf("seed %d: preview %s duration %d vs records %d", seed, ty.Name(), got, perState[ty])
+		}
+	}
+}
+
+// TestParallelPipelineMatchesSynchronous: over random workloads with
+// drifting clocks, the parallel pipeline (worker-pool convert, read-ahead
+// merge sources) emits convert outputs and a merged record stream
+// byte-identical to the fully synchronous pipeline, across estimators
+// and clock-record retention.
+func TestParallelPipelineMatchesSynchronous(t *testing.T) {
+	estimators := []merge.Estimator{
+		merge.EstimatorRMS, merge.EstimatorLastPair, merge.EstimatorPiecewise, merge.EstimatorNone,
+	}
+	for seed := uint64(1); seed <= 8; seed++ {
+		run, err := core.Execute(core.Config{
+			Nodes:        3,
+			CPUsPerNode:  2,
+			TasksPerNode: 2,
+			Seed:         seed,
+			Drifts:       []float64{40e-6, -25e-6, 10e-6},
+			Convert:      interval.WriterOptions{FrameBytes: 4096},
+		}, workload.Random{Seed: seed, Steps: 30}.Main())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		raws := run.RawTraces
+		run.Close()
+
+		mopts := merge.Options{
+			Estimator:        estimators[int(seed)%len(estimators)],
+			KeepClockRecords: seed%2 == 0,
+		}
+		pipeline := func(parallel int) (convOuts [][]byte, merged []byte) {
+			t.Helper()
+			outs, _, err := convert.ConvertBuffers(raws, convert.Options{
+				Writer:   interval.WriterOptions{FrameBytes: 4096},
+				Parallel: parallel,
+			})
+			if err != nil {
+				t.Fatalf("seed %d parallel %d: convert: %v", seed, parallel, err)
+			}
+			files := make([]*interval.File, len(outs))
+			for i, sb := range outs {
+				convOuts = append(convOuts, sb.Bytes())
+				if files[i], err = interval.ReadHeader(sb); err != nil {
+					t.Fatal(err)
+				}
+			}
+			mo := mopts
+			mo.Writer = interval.WriterOptions{FrameBytes: 4096}
+			mo.Parallel = parallel
+			msb := interval.NewSeekBuffer()
+			if _, err := merge.Merge(files, msb, mo); err != nil {
+				t.Fatalf("seed %d parallel %d: merge: %v", seed, parallel, err)
+			}
+			return convOuts, msb.Bytes()
+		}
+
+		seqConv, seqMerged := pipeline(1)
+		for _, width := range []int{2, 6} {
+			parConv, parMerged := pipeline(width)
+			for i := range seqConv {
+				if !bytes.Equal(parConv[i], seqConv[i]) {
+					t.Fatalf("seed %d width %d: convert output %d differs from synchronous run", seed, width, i)
+				}
+			}
+			if !bytes.Equal(parMerged, seqMerged) {
+				t.Fatalf("seed %d width %d: merged output differs from synchronous run", seed, width)
+			}
 		}
 	}
 }
