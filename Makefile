@@ -19,12 +19,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# One iteration of the convert benchmarks as a smoke test: catches
-# benchmark bit-rot without paying for a full measurement run.
+# One iteration of the convert and stats benchmarks as a smoke test:
+# catches benchmark bit-rot without paying for a full measurement run.
 bench-smoke:
-	$(GO) test -run xxx -bench 'ConvertPerEvent|ConvertParallel' -benchtime 1x .
+	$(GO) test -run xxx -bench 'ConvertPerEvent|ConvertParallel|StatsWindow|StatsParallel' -benchtime 1x .
 
-# Full measurement run over the pipeline benchmarks (slow; numbers are
-# recorded in BENCH_pipeline.json).
+# Full measurement run over the pipeline and analysis benchmarks (slow;
+# numbers are recorded in BENCH_pipeline.json and BENCH_stats.json).
 bench:
-	$(GO) test -run xxx -bench 'ConvertPerEvent|ConvertParallel|MergeLoserTreeVsLinear|MergeReadAhead|IntervalWriterThroughput|IntervalScan' .
+	$(GO) test -run xxx -bench 'ConvertPerEvent|ConvertParallel|MergeLoserTreeVsLinear|MergeReadAhead|IntervalWriterThroughput|IntervalScan|StatsWindow|StatsParallel' .

@@ -714,3 +714,82 @@ func BenchmarkIntervalScanInto(b *testing.B) {
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/record")
 }
+
+// --- indexed analysis backend: window seeks + parallel stats -------------
+
+// windowBenchFile merges a 4-node run with small frames so the window
+// benchmarks have many frames and directories to skip.
+func windowBenchFile(b *testing.B) *interval.File {
+	b.Helper()
+	raws := stormRawsN(b, 4, 8000)
+	files := convertedFiles(b, raws)
+	sb := interval.NewSeekBuffer()
+	if _, err := merge.Merge(files, sb, merge.Options{Writer: interval.WriterOptions{FrameBytes: 8 << 10}}); err != nil {
+		b.Fatal(err)
+	}
+	mf, err := interval.ReadHeader(sb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mf
+}
+
+// BenchmarkStatsWindow compares a table generated over a narrow (5%)
+// time window through the indexed window path — only frames overlapping
+// the window decode, and whole directories skip on their stored bounds —
+// against the same table paying for the full scan. frames/op reports
+// how many frame payloads each variant actually decoded.
+func BenchmarkStatsWindow(b *testing.B) {
+	mf := windowBenchFile(b)
+	first, last, _, err := mf.Stats()
+	if err != nil {
+		b.Fatal(err)
+	}
+	span := last - first
+	lo, hi := first+span/2, first+span/2+span/20
+	prog := `table name=c x=("node", node) y=("n", dura, count)`
+	for _, v := range []struct {
+		name string
+		opts stats.Options
+	}{
+		{"window", stats.Options{Window: true, Lo: lo, Hi: hi, Parallel: 1}},
+		{"fullscan", stats.Options{Parallel: 1}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			runtime.GC()
+			b.ResetTimer()
+			start := mf.DecodedFrames()
+			for i := 0; i < b.N; i++ {
+				if _, err := stats.GenerateOpts(prog, []*interval.File{mf}, v.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(mf.DecodedFrames()-start)/float64(b.N), "frames/op")
+		})
+	}
+}
+
+// BenchmarkStatsParallel runs the predefined tables at several frame-
+// decode worker counts. The output is byte-identical at every width
+// (asserted by the stats tests), so this measures the engine's
+// scheduling cost and, on multi-core hosts, its speedup; on a 1-CPU
+// host all widths degenerate to the sequential cost.
+func BenchmarkStatsParallel(b *testing.B) {
+	mf := windowBenchFile(b)
+	prog := stats.Predefined(50)
+	for _, width := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("j%d", width), func(b *testing.B) {
+			runtime.GC()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tables, err := stats.GenerateOpts(prog, []*interval.File{mf}, stats.Options{Parallel: width})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(tables[0].Rows) == 0 {
+					b.Fatal("empty table")
+				}
+			}
+		})
+	}
+}

@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	utedump [-n LIMIT] [-frames] FILE
+//	utedump [-n LIMIT] [-frames] [-j N] [-window lo:hi] FILE
+//
+// For interval files, -window lo:hi (seconds; either side may be empty)
+// dumps only records overlapping the window — frames, and on
+// current-format files whole directories, outside it are never decoded —
+// and -j decodes frames on N workers (output is identical for every -j).
 package main
 
 import (
@@ -27,6 +32,8 @@ func main() {
 		limit    = flag.Int("n", 20, "maximum records to print (0 = all)")
 		frames   = flag.Bool("frames", false, "print frame directory structure of interval files")
 		validate = flag.Bool("validate", false, "check an interval file's structural invariants against the standard profile")
+		jobs     = flag.Int("j", 1, "frame-decode workers for interval record dumps (0 = GOMAXPROCS)")
+		window   = flag.String("window", "", "dump only interval records overlapping lo:hi (seconds)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -46,7 +53,7 @@ func main() {
 			validateInterval(path)
 			return
 		}
-		dumpInterval(path, *limit, *frames)
+		dumpInterval(path, *limit, *frames, *jobs, *window)
 	case "UTEPROF1":
 		dumpProfile(path)
 	case "UTESLOG1":
@@ -99,7 +106,7 @@ func dumpRaw(path string, limit int) {
 	fmt.Printf("total: %d records\n", n)
 }
 
-func dumpInterval(path string, limit int, frames bool) {
+func dumpInterval(path string, limit int, frames bool, jobs int, window string) {
 	f, err := interval.Open(path)
 	if err != nil {
 		fatal(err)
@@ -121,7 +128,8 @@ func dumpInterval(path string, limit int, frames bool) {
 			fatal(err)
 		}
 		for di, d := range dirs {
-			fmt.Printf("  dir %d @%d (prev %d, next %d): %d frames\n", di, d.Offset, d.Prev, d.Next, len(d.Entries))
+			fmt.Printf("  dir %d @%d (prev %d, next %d): %d frames, %d records, [%v .. %v]\n",
+				di, d.Offset, d.Prev, d.Next, len(d.Entries), d.Records, d.Start, d.End)
 			for fi, fe := range d.Entries {
 				fmt.Printf("    frame %d @%d: %dB, %d records, [%v .. %v]\n",
 					fi, fe.Offset, fe.Bytes, fe.Records, fe.Start, fe.End)
@@ -132,20 +140,39 @@ func dumpInterval(path string, limit int, frames bool) {
 	if err != nil {
 		fatal(err)
 	}
-	sc := f.Scan()
-	n := 0
-	for {
-		r, err := sc.NextRecord()
-		if err == io.EOF {
-			break
-		}
+	mopts := interval.MapOptions{Parallel: jobs}
+	if window != "" {
+		lo, hi, err := clock.ParseWindow(window)
 		if err != nil {
 			fatal(err)
 		}
-		n++
-		if limit == 0 || n <= limit {
-			fmt.Printf("  %v extras=%v\n", r, r.Extra)
-		}
+		mopts.Window, mopts.Lo, mopts.Hi = true, lo, hi
+	}
+	n := 0
+	err = interval.MapFrames(f, mopts,
+		func(_ interval.FrameEntry, recs []interval.Record) ([]interval.Record, error) {
+			return recs, nil
+		},
+		func(_ interval.FrameEntry, recs []interval.Record) error {
+			for ri := range recs {
+				r := &recs[ri]
+				if mopts.Window && (r.End() < mopts.Lo || r.Start > mopts.Hi) {
+					continue
+				}
+				n++
+				if limit == 0 || n <= limit {
+					fmt.Printf("  %v extras=%v\n", r, r.Extra)
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		fatal(err)
+	}
+	if mopts.Window {
+		fmt.Printf("total: %d records in window (dirs say %d overall), span [%v .. %v], %d frames decoded\n",
+			n, total, first, last, f.DecodedFrames())
+		return
 	}
 	fmt.Printf("total: %d records (dirs say %d), span [%v .. %v]\n", n, total, first, last)
 }

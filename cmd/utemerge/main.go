@@ -81,7 +81,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		bres, err := slog.Build(mf, fp, slog.Options{FrameBytes: *frameBytes})
+		bres, err := slog.Build(mf, fp, slog.Options{FrameBytes: *frameBytes, Parallel: *jobs})
 		if cerr := fp.Close(); err == nil {
 			err = cerr
 		}

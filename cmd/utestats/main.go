@@ -14,7 +14,12 @@
 // Usage:
 //
 //	utestats [-e PROGRAM | -f program.st] [-bins N] [-out DIR] [-svg]
-//	         merged.ute [more.ute ...]
+//	         [-j N] [-window lo:hi] merged.ute [more.ute ...]
+//
+// All input files share one frame-decode worker pool (-j workers), and
+// -window lo:hi (seconds; either side may be empty) restricts the tables
+// to records overlapping the window, decoding only overlapping frames.
+// The tables are byte-identical for every -j.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"tracefw/internal/clock"
 	"tracefw/internal/interval"
 	"tracefw/internal/render"
 	"tracefw/internal/stats"
@@ -36,6 +42,8 @@ func main() {
 		outDir   = flag.String("out", "", "write each table to DIR/<name>.tsv instead of stdout")
 		svg      = flag.Bool("svg", false, "with -out, also write viewer SVGs")
 		checkVer = flag.Bool("check-profile", false, "verify the inputs' profile version against profile.ute next to each input")
+		jobs     = flag.Int("j", 0, "frame-decode workers across all inputs (0 = GOMAXPROCS)")
+		window   = flag.String("window", "", "restrict tables to records overlapping lo:hi (seconds)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -68,7 +76,15 @@ func main() {
 		}
 		files = append(files, f)
 	}
-	tables, err := stats.Generate(program, files)
+	opts := stats.Options{Parallel: *jobs}
+	if *window != "" {
+		lo, hi, err := clock.ParseWindow(*window)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Window, opts.Lo, opts.Hi = true, lo, hi
+	}
+	tables, err := stats.GenerateOpts(program, files, opts)
 	if err != nil {
 		fatal(err)
 	}

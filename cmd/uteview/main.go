@@ -6,7 +6,8 @@
 //
 //	uteview -merged merged.ute [-slog trace.slog]
 //	        [-view thread-activity|processor-activity|thread-processor|processor-thread]
-//	        [-t0 S] [-t1 S] [-connected] [-ascii] [-width N] [-o out.svg]
+//	        [-t0 S] [-t1 S] [-window lo:hi] [-j N]
+//	        [-connected] [-ascii] [-width N] [-o out.svg]
 //	uteview -slog trace.slog -preview [-ascii] [-o preview.svg]
 //	uteview -slog trace.slog -frame-at S        # fetch the frame containing time S
 package main
@@ -29,6 +30,8 @@ func main() {
 		viewName   = flag.String("view", "thread-activity", "time-space diagram kind")
 		t0         = flag.Float64("t0", 0, "window start, seconds")
 		t1         = flag.Float64("t1", 0, "window end, seconds (0 = full run)")
+		window     = flag.String("window", "", "diagram window as lo:hi seconds (shorthand for -t0/-t1)")
+		jobs       = flag.Int("j", 0, "frame-decode workers for diagram construction (0 = GOMAXPROCS)")
 		connected  = flag.Bool("connected", false, "connect interval pieces per call")
 		ascii      = flag.Bool("ascii", false, "render ASCII to stdout instead of SVG")
 		width      = flag.Int("width", 100, "ASCII width in columns")
@@ -116,6 +119,26 @@ func main() {
 		T0:        clock.FromSeconds(*t0),
 		T1:        clock.FromSeconds(*t1),
 		Connected: *connected,
+		Parallel:  *jobs,
+	}
+	if *window != "" {
+		lo, hi, err := clock.ParseWindow(*window)
+		if err != nil {
+			fatal(err)
+		}
+		// Open-ended sides clamp to the run bounds so the rendered axis
+		// stays meaningful.
+		fs, fe, _, err := mf.Stats()
+		if err != nil {
+			fatal(err)
+		}
+		if lo < fs {
+			lo = fs
+		}
+		if hi > fe {
+			hi = fe
+		}
+		opts.T0, opts.T1 = lo, hi
 	}
 	if *arrows {
 		if sf == nil {

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 
 	"tracefw/internal/xrand"
 )
@@ -39,6 +41,36 @@ func FromSeconds(s float64) Time { return Time(math.Round(s * float64(Second))) 
 
 // String formats the time in seconds with microsecond precision.
 func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// ParseWindow parses a "lo:hi" time window in seconds (e.g. "0.5:2")
+// as used by the analysis CLIs' -window flags. Either side may be empty:
+// ":2" means from the start of the run, "0.5:" means to the end (hi
+// becomes the maximum Time). lo must not exceed hi.
+func ParseWindow(s string) (lo, hi Time, err error) {
+	i := strings.IndexByte(s, ':')
+	if i < 0 {
+		return 0, 0, fmt.Errorf("clock: window %q is not lo:hi", s)
+	}
+	lo, hi = math.MinInt64, math.MaxInt64
+	if left := s[:i]; left != "" {
+		v, err := strconv.ParseFloat(left, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("clock: window start %q: %w", left, err)
+		}
+		lo = FromSeconds(v)
+	}
+	if right := s[i+1:]; right != "" {
+		v, err := strconv.ParseFloat(right, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("clock: window end %q: %w", right, err)
+		}
+		hi = FromSeconds(v)
+	}
+	if lo > hi {
+		return 0, 0, fmt.Errorf("clock: window %q has start after end", s)
+	}
+	return lo, hi, nil
+}
 
 // Local is a simulated local clock. The clock reading at true time t is
 //

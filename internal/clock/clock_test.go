@@ -342,3 +342,30 @@ func TestMaxAbsError(t *testing.T) {
 		t.Fatalf("MaxAbsError = %v, want 1s", got)
 	}
 }
+
+func TestParseWindow(t *testing.T) {
+	cases := []struct {
+		in     string
+		lo, hi Time
+		ok     bool
+	}{
+		{"0.5:2", FromSeconds(0.5), 2 * Second, true},
+		{":2", math.MinInt64, 2 * Second, true},
+		{"0.5:", FromSeconds(0.5), math.MaxInt64, true},
+		{":", math.MinInt64, math.MaxInt64, true},
+		{"2:1", 0, 0, false},
+		{"nope", 0, 0, false},
+		{"a:1", 0, 0, false},
+		{"1:b", 0, 0, false},
+	}
+	for _, tc := range cases {
+		lo, hi, err := ParseWindow(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("ParseWindow(%q): err=%v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && (lo != tc.lo || hi != tc.hi) {
+			t.Errorf("ParseWindow(%q) = [%d %d], want [%d %d]", tc.in, lo, hi, tc.lo, tc.hi)
+		}
+	}
+}

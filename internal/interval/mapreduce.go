@@ -1,0 +1,193 @@
+package interval
+
+import (
+	"fmt"
+	"sync"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/par"
+)
+
+// This file is the parallel per-frame map-reduce engine the analysis
+// tools (utestats tables, SLOG construction, diagram building) share.
+// Frames are the format's natural unit of parallelism: each one decodes
+// independently, and the directory metadata names every frame up front.
+// The engine decodes frames on a bounded worker pool (internal/par) and
+// hands the mapped values to a single reducer in strict frame order, so
+// a parallel run reduces in exactly the sequence a sequential scan
+// would — the byte-identity guarantee every consumer builds on.
+
+// MapOptions selects frames and sets the worker count for MapFrames /
+// MapFilesFrames.
+type MapOptions struct {
+	// Parallel is the worker count; <= 0 means GOMAXPROCS. Frames are
+	// decoded concurrently only when every file supports positioned
+	// reads (ConcurrentReads); otherwise the engine falls back to one
+	// worker.
+	Parallel int
+	// Window restricts the run to frames overlapping [Lo, Hi]. Records
+	// inside a selected frame are all delivered, including any spilling
+	// past the window edges — callers filter records exactly as they
+	// would after a full scan, so results do not depend on frame
+	// boundaries.
+	Window bool
+	Lo, Hi clock.Time
+}
+
+// selectFrames lists the frames opts selects for one file.
+func selectFrames(f *File, opts MapOptions) ([]FrameEntry, error) {
+	if opts.Window {
+		return f.FramesInWindow(opts.Lo, opts.Hi)
+	}
+	return f.Frames()
+}
+
+// MapFrames runs mapFn over every selected frame of f, decoding frames
+// concurrently, and calls reduceFn with the mapped values in frame
+// order. See MapFilesFrames for the full contract.
+func MapFrames[T any](f *File, opts MapOptions, mapFn func(fe FrameEntry, recs []Record) (T, error), reduceFn func(fe FrameEntry, v T) error) error {
+	return MapFilesFrames([]*File{f}, opts,
+		func(_ int, fe FrameEntry, recs []Record) (T, error) { return mapFn(fe, recs) },
+		func(_ int, fe FrameEntry, v T) error { return reduceFn(fe, v) })
+}
+
+// MapFilesFrames runs mapFn over every selected frame of every file —
+// all files' frames feed one worker pool, so small files do not idle
+// workers — and calls reduceFn with the mapped values in (file, frame)
+// order, the same order a sequential scan of the files one after
+// another would produce. mapFn runs concurrently and must not touch
+// shared state; reduceFn runs on one goroutine at a time in
+// deterministic order and may keep state. The records passed to mapFn
+// are freshly decoded per frame and may be retained.
+//
+// At most Workers(Parallel, frames) frames are in flight, so memory
+// stays bounded no matter how large the files are. On error the engine
+// stops issuing frames and returns the lowest-ordered failure; the
+// reducer may have consumed an arbitrary prefix.
+func MapFilesFrames[T any](files []*File, opts MapOptions, mapFn func(file int, fe FrameEntry, recs []Record) (T, error), reduceFn func(file int, fe FrameEntry, v T) error) error {
+	type job struct {
+		file int
+		fe   FrameEntry
+	}
+	var jobs []job
+	for fi, f := range files {
+		fes, err := selectFrames(f, opts)
+		if err != nil {
+			return err
+		}
+		for _, fe := range fes {
+			jobs = append(jobs, job{fi, fe})
+		}
+	}
+	p := par.Workers(opts.Parallel, len(jobs))
+	if p > 1 {
+		for _, f := range files {
+			if !f.ConcurrentReads() {
+				p = 1
+				break
+			}
+		}
+	}
+	concurrent := p > 1
+	red := newOrderedReducer()
+	return par.Do(len(jobs), p, func(i int) error {
+		j := jobs[i]
+		pb := getBuf()
+		recs, buf, err := decodeFrame(files[j.file], j.fe, *pb, concurrent)
+		if buf != nil {
+			*pb = buf[:0]
+		}
+		putBuf(pb)
+		if err != nil {
+			red.abort()
+			return err
+		}
+		v, err := mapFn(j.file, j.fe, recs)
+		if err != nil {
+			red.abort()
+			return err
+		}
+		return red.reduce(i, func() error { return reduceFn(j.file, j.fe, v) })
+	})
+}
+
+// decodeFrame reads one frame (positioned read when concurrent,
+// seek-based otherwise) and decodes its records. The returned records
+// do not alias buf, which is handed back (possibly grown) for reuse.
+func decodeFrame(f *File, fe FrameEntry, buf []byte, concurrent bool) ([]Record, []byte, error) {
+	var err error
+	if concurrent {
+		buf, err = f.ReadFrameAt(fe, buf)
+	} else {
+		buf, err = f.readFrameInto(fe, buf)
+	}
+	if err != nil {
+		return nil, buf, err
+	}
+	recs := make([]Record, 0, fe.Records)
+	b := buf
+	for len(b) > 0 {
+		payload, n, err := NextFramed(b)
+		if err != nil {
+			return nil, buf, err
+		}
+		r, err := DecodePayload(payload)
+		if err != nil {
+			return nil, buf, err
+		}
+		recs = append(recs, r)
+		b = b[n:]
+	}
+	if len(recs) != int(fe.Records) {
+		return nil, buf, fmt.Errorf("interval: frame claims %d records, found %d", fe.Records, len(recs))
+	}
+	return recs, buf, nil
+}
+
+// orderedReducer serializes reduce calls into ascending item order.
+// Workers finish map work in any order; each then waits its turn here.
+// Because a worker only takes a new item after reducing its previous
+// one, at most pool-size items are ever parked waiting.
+type orderedReducer struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	next   int
+	failed bool
+}
+
+func newOrderedReducer() *orderedReducer {
+	o := &orderedReducer{}
+	o.cond = sync.NewCond(&o.mu)
+	return o
+}
+
+// abort wakes every parked worker after a map failure so none waits for
+// a turn that will never come.
+func (o *orderedReducer) abort() {
+	o.mu.Lock()
+	o.failed = true
+	o.cond.Broadcast()
+	o.mu.Unlock()
+}
+
+// reduce runs fn once items 0..i-1 have reduced. After an abort it
+// returns nil without running fn; the aborting item's error is the one
+// the caller reports.
+func (o *orderedReducer) reduce(i int, fn func() error) error {
+	o.mu.Lock()
+	for o.next != i && !o.failed {
+		o.cond.Wait()
+	}
+	if o.failed {
+		o.mu.Unlock()
+		return nil
+	}
+	err := fn()
+	if err != nil {
+		o.failed = true
+	}
+	o.next++
+	o.cond.Broadcast()
+	o.mu.Unlock()
+	return err
+}

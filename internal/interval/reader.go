@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 
 	"tracefw/internal/clock"
 )
@@ -24,10 +25,24 @@ type FrameEntry struct {
 
 // FrameDir is one frame directory with its position and links.
 type FrameDir struct {
-	Offset  int64
-	Prev    int64 // 0 = none
-	Next    int64 // 0 = none
+	Offset int64
+	Prev   int64 // 0 = none
+	Next   int64 // 0 = none
+	// Start/End/Records aggregate the directory's frames. Header
+	// version 2 stores them in the directory header so window queries
+	// can skip a directory without reading its entries; for version-1
+	// files they are reconstructed from the entries when the directory
+	// is read.
+	Start   clock.Time
+	End     clock.Time
+	Records int64
 	Entries []FrameEntry
+}
+
+// Overlaps reports whether the directory's frames can intersect the
+// window [lo, hi]. An empty directory overlaps nothing.
+func (d *FrameDir) Overlaps(lo, hi clock.Time) bool {
+	return d.Records > 0 && d.End >= lo && d.Start <= hi
 }
 
 // File provides random and sequential access to an interval file.
@@ -40,8 +55,16 @@ type File struct {
 	Size int64
 
 	r      io.ReadSeeker
+	ra     io.ReaderAt // non-nil when r supports ReadAt (concurrent frame reads)
 	closer io.Closer
+	// decoded counts frame payload reads; tests use it to assert that
+	// window queries touch only the frames overlapping the window.
+	decoded atomic.Int64
 }
+
+// DecodedFrames returns how many frame payloads have been read from the
+// file so far (every ReadFrame/Scanner frame load counts once).
+func (f *File) DecodedFrames() int64 { return f.decoded.Load() }
 
 // ReadHeader parses the header, thread table, and marker table (the
 // paper's readHeader), leaving the file positioned at the first frame
@@ -68,8 +91,17 @@ func ReadHeader(r io.ReadSeeker) (*File, error) {
 	f.Header.FieldMask = binary.LittleEndian.Uint16(fixed[20:])
 	nMarkers := binary.LittleEndian.Uint32(fixed[24:])
 
+	if f.Header.HeaderVersion > CurrentHeaderVersion {
+		return nil, fmt.Errorf("interval: unsupported header version %d (current is %d)", f.Header.HeaderVersion, CurrentHeaderVersion)
+	}
 	if int64(nThreads)*threadEntrySize > size {
 		return nil, fmt.Errorf("interval: thread table (%d entries) exceeds file size %d", nThreads, size)
+	}
+	// Each marker needs at least its 10-byte fixed header; bounding the
+	// count up front turns a corrupt header into a clear error instead
+	// of a long sequence of short reads.
+	if int64(nThreads)*threadEntrySize+int64(nMarkers)*10 > size {
+		return nil, fmt.Errorf("interval: marker table (%d entries) exceeds file size %d", nMarkers, size)
 	}
 	tt := make([]byte, int(nThreads)*threadEntrySize)
 	if _, err := io.ReadFull(r, tt); err != nil {
@@ -105,6 +137,9 @@ func ReadHeader(r io.ReadSeeker) (*File, error) {
 		return nil, err
 	}
 	f.FirstDir = pos
+	if ra, ok := r.(io.ReaderAt); ok {
+		f.ra = ra
+	}
 	if c, ok := r.(io.Closer); ok {
 		f.closer = c
 	}
@@ -147,12 +182,30 @@ func (f *File) MarkerString(id uint64) (string, bool) {
 // not read any directory except the first: the Prev/Next links and the
 // Scanner handle the rest.
 func (f *File) ReadFrameDir(offset int64) (*FrameDir, error) {
-	if _, err := f.r.Seek(offset, io.SeekStart); err != nil {
+	d, n, err := f.readDirHeader(offset)
+	if err != nil {
 		return nil, err
 	}
-	var h [dirHeaderSize]byte
-	if _, err := io.ReadFull(f.r, h[:]); err != nil {
-		return nil, fmt.Errorf("interval: reading frame directory at %d: %w", offset, err)
+	if err := f.readDirEntries(d, n); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// readDirHeader reads only a directory's fixed header: entry count,
+// links, and (header version 2) the aggregate bounds. Window queries
+// use it to decide whether a directory's entries are worth reading at
+// all. The entry count is returned for readDirEntries; for version-1
+// files the aggregate fields stay zero until the entries are read.
+func (f *File) readDirHeader(offset int64) (*FrameDir, int, error) {
+	hdrSize := dirHeaderSize(f.Header.HeaderVersion)
+	if _, err := f.r.Seek(offset, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	var hb [dirHeaderV2Size]byte
+	h := hb[:hdrSize]
+	if _, err := io.ReadFull(f.r, h); err != nil {
+		return nil, 0, fmt.Errorf("interval: reading frame directory at %d: %w", offset, err)
 	}
 	d := &FrameDir{
 		Offset: offset,
@@ -160,27 +213,73 @@ func (f *File) ReadFrameDir(offset int64) (*FrameDir, error) {
 		Next:   int64(binary.LittleEndian.Uint64(h[16:])),
 	}
 	if d.Next < 0 || d.Next > f.Size || d.Prev < 0 || d.Prev > f.Size {
-		return nil, fmt.Errorf("interval: directory at %d has out-of-file links (prev %d, next %d)", offset, d.Prev, d.Next)
+		return nil, 0, fmt.Errorf("interval: directory at %d has out-of-file links (prev %d, next %d)", offset, d.Prev, d.Next)
 	}
 	n := int(binary.LittleEndian.Uint32(h[0:]))
-	if offset+dirHeaderSize+int64(n)*frameEntrySize > f.Size {
-		return nil, fmt.Errorf("interval: directory at %d claims %d entries beyond file size", offset, n)
+	if offset+int64(hdrSize)+int64(n)*frameEntrySize > f.Size {
+		return nil, 0, fmt.Errorf("interval: directory at %d claims %d entries beyond file size", offset, n)
+	}
+	if f.Header.HeaderVersion >= 2 {
+		d.Start = clock.Time(binary.LittleEndian.Uint64(h[24:]))
+		d.End = clock.Time(binary.LittleEndian.Uint64(h[32:]))
+		d.Records = int64(binary.LittleEndian.Uint64(h[40:]))
+		if d.Records < 0 || d.Records*minFramedRecord > f.Size {
+			return nil, 0, fmt.Errorf("interval: directory at %d claims %d records in a %d-byte file", offset, d.Records, f.Size)
+		}
+	}
+	return d, n, nil
+}
+
+// readDirEntries reads and validates the n frame entries following a
+// directory header. For version-1 files it also reconstructs the
+// directory's aggregate bounds from the entries (the lazy path for old
+// files).
+func (f *File) readDirEntries(d *FrameDir, n int) error {
+	if n == 0 {
+		return nil
+	}
+	entOff := d.Offset + int64(dirHeaderSize(f.Header.HeaderVersion))
+	if _, err := f.r.Seek(entOff, io.SeekStart); err != nil {
+		return err
 	}
 	eb := make([]byte, n*frameEntrySize)
 	if _, err := io.ReadFull(f.r, eb); err != nil {
-		return nil, fmt.Errorf("interval: reading %d frame entries: %w", n, err)
+		return fmt.Errorf("interval: reading %d frame entries: %w", n, err)
 	}
+	d.Entries = make([]FrameEntry, 0, n)
 	for i := 0; i < n; i++ {
 		b := eb[i*frameEntrySize:]
-		d.Entries = append(d.Entries, FrameEntry{
+		fe := FrameEntry{
 			Offset:  int64(binary.LittleEndian.Uint64(b[0:])),
 			Bytes:   binary.LittleEndian.Uint32(b[8:]),
 			Records: binary.LittleEndian.Uint32(b[12:]),
 			Start:   clock.Time(binary.LittleEndian.Uint64(b[16:])),
 			End:     clock.Time(binary.LittleEndian.Uint64(b[24:])),
-		})
+		}
+		// Reject corrupt entries here so every consumer (scanners, the
+		// map-reduce engine, record preallocation from Records) sees
+		// only frames that can physically exist in this file.
+		if fe.Offset < 0 || fe.Offset > f.Size || int64(fe.Bytes) > f.Size || fe.Offset+int64(fe.Bytes) > f.Size {
+			return fmt.Errorf("interval: directory at %d entry %d: frame at %d (%d bytes) exceeds file size %d", d.Offset, i, fe.Offset, fe.Bytes, f.Size)
+		}
+		if int64(fe.Records)*minFramedRecord > int64(fe.Bytes) {
+			return fmt.Errorf("interval: directory at %d entry %d: %d records cannot fit in %d bytes", d.Offset, i, fe.Records, fe.Bytes)
+		}
+		d.Entries = append(d.Entries, fe)
 	}
-	return d, nil
+	if f.Header.HeaderVersion < 2 {
+		d.Start, d.End, d.Records = d.Entries[0].Start, d.Entries[0].End, 0
+		for _, fe := range d.Entries {
+			if fe.Start < d.Start {
+				d.Start = fe.Start
+			}
+			if fe.End > d.End {
+				d.End = fe.End
+			}
+			d.Records += int64(fe.Records)
+		}
+	}
+	return nil
 }
 
 // Dirs returns every frame directory in file order. A corrupted link
@@ -219,10 +318,74 @@ func (f *File) Frames() ([]FrameEntry, error) {
 	return fes, nil
 }
 
+// FramesInWindow returns the frame entries whose time range overlaps
+// [lo, hi], in file order, using only directory metadata. On version-2
+// files, directories whose aggregate bounds miss the window entirely
+// are skipped without even reading their entry tables.
+func (f *File) FramesInWindow(lo, hi clock.Time) ([]FrameEntry, error) {
+	var out []FrameEntry
+	v2 := f.Header.HeaderVersion >= 2
+	seen := map[int64]bool{}
+	off := f.FirstDir
+	for {
+		if seen[off] {
+			return nil, fmt.Errorf("interval: frame directory cycle at offset %d", off)
+		}
+		seen[off] = true
+		d, n, err := f.readDirHeader(off)
+		if err != nil {
+			return nil, err
+		}
+		if !(v2 && n > 0 && !d.Overlaps(lo, hi)) {
+			if err := f.readDirEntries(d, n); err != nil {
+				return nil, err
+			}
+			for _, fe := range d.Entries {
+				if fe.End >= lo && fe.Start <= hi {
+					out = append(out, fe)
+				}
+			}
+		}
+		if d.Next == 0 {
+			return out, nil
+		}
+		off = d.Next
+	}
+}
+
 // ReadFrame loads a frame's raw record bytes.
 func (f *File) ReadFrame(fe FrameEntry) ([]byte, error) {
 	return f.readFrameInto(fe, nil)
 }
+
+// ReadFrameAt loads a frame's raw record bytes with a positioned read,
+// never touching the file's seek offset — safe for concurrent use from
+// multiple goroutines. It requires the underlying reader to implement
+// io.ReaderAt (os.File and SeekBuffer both do); callers that need a
+// fallback should check ConcurrentReads first.
+func (f *File) ReadFrameAt(fe FrameEntry, buf []byte) ([]byte, error) {
+	if f.ra == nil {
+		return nil, errors.New("interval: underlying reader does not support ReadAt")
+	}
+	if fe.Offset < 0 || int64(fe.Bytes) > f.Size || fe.Offset+int64(fe.Bytes) > f.Size {
+		return nil, fmt.Errorf("interval: frame at %d (%d bytes) exceeds file size %d", fe.Offset, fe.Bytes, f.Size)
+	}
+	if cap(buf) < int(fe.Bytes) {
+		buf = make([]byte, fe.Bytes)
+	} else {
+		buf = buf[:fe.Bytes]
+	}
+	if _, err := f.ra.ReadAt(buf, fe.Offset); err != nil {
+		return nil, fmt.Errorf("interval: reading frame at %d: %w", fe.Offset, err)
+	}
+	f.decoded.Add(1)
+	return buf, nil
+}
+
+// ConcurrentReads reports whether the file supports ReadFrameAt, i.e.
+// whether the parallel map-reduce engine can decode frames from worker
+// goroutines.
+func (f *File) ConcurrentReads() bool { return f.ra != nil }
 
 // readFrameInto loads a frame's raw record bytes into buf's backing
 // array when it is large enough, allocating otherwise. The Scanner uses
@@ -242,6 +405,7 @@ func (f *File) readFrameInto(fe FrameEntry, buf []byte) ([]byte, error) {
 	if _, err := io.ReadFull(f.r, buf); err != nil {
 		return nil, fmt.Errorf("interval: reading frame at %d: %w", fe.Offset, err)
 	}
+	f.decoded.Add(1)
 	return buf, nil
 }
 
@@ -274,10 +438,23 @@ func (f *File) FrameRecords(fe FrameEntry) ([]Record, error) {
 // using only directory metadata — the fast seek the format exists for.
 // ok is false when t is after the last frame.
 func (f *File) FrameContaining(t clock.Time) (FrameEntry, bool, error) {
+	v2 := f.Header.HeaderVersion >= 2
 	off := f.FirstDir
 	for {
-		d, err := f.ReadFrameDir(off)
+		d, n, err := f.readDirHeader(off)
 		if err != nil {
+			return FrameEntry{}, false, err
+		}
+		if v2 && n > 0 && d.End < t {
+			// Aggregate bounds say every frame here ends before t: follow
+			// the next link without reading the entry table.
+			if d.Next == 0 {
+				return FrameEntry{}, false, nil
+			}
+			off = d.Next
+			continue
+		}
+		if err := f.readDirEntries(d, n); err != nil {
 			return FrameEntry{}, false, err
 		}
 		if n := len(d.Entries); n > 0 && d.Entries[n-1].End >= t {
@@ -302,8 +479,39 @@ func (f *File) FrameContaining(t clock.Time) (FrameEntry, bool, error) {
 }
 
 // Stats aggregates frame-directory information: total elapsed time and
-// total record count (paper §2.4's aggregate routines).
+// total record count (paper §2.4's aggregate routines). On version-2
+// files only the directory headers are read — the per-directory
+// aggregates answer the question without touching any entry table.
 func (f *File) Stats() (first, last clock.Time, records int64, err error) {
+	if f.Header.HeaderVersion >= 2 {
+		seen := map[int64]bool{}
+		off := f.FirstDir
+		any := false
+		for {
+			if seen[off] {
+				return 0, 0, 0, fmt.Errorf("interval: frame directory cycle at offset %d", off)
+			}
+			seen[off] = true
+			d, n, derr := f.readDirHeader(off)
+			if derr != nil {
+				return 0, 0, 0, derr
+			}
+			if n > 0 {
+				if !any || d.Start < first {
+					first = d.Start
+				}
+				if d.End > last {
+					last = d.End
+				}
+				records += d.Records
+				any = true
+			}
+			if d.Next == 0 {
+				return first, last, records, nil
+			}
+			off = d.Next
+		}
+	}
 	fes, err := f.Frames()
 	if err != nil {
 		return 0, 0, 0, err
@@ -333,6 +541,11 @@ type Scanner struct {
 	buf     []byte
 	err     error
 	started bool
+	// win restricts the scan to frames overlapping [winLo, winHi];
+	// version-2 directories whose aggregate bounds miss the window are
+	// skipped without reading their entry tables.
+	win          bool
+	winLo, winHi clock.Time
 	// frameBuf is the pooled backing buffer the current frame was read
 	// into; it is returned to the pool once the scan terminates.
 	frameBuf *[]byte
@@ -341,6 +554,82 @@ type Scanner struct {
 // Scan returns a sequential record scanner positioned before the first
 // record.
 func (f *File) Scan() *Scanner { return &Scanner{f: f} }
+
+// ScanWindow returns a scanner restricted to the frames whose time
+// range overlaps [lo, hi]. Frames (and, on version-2 files, whole
+// directories) outside the window are never decoded; records inside a
+// decoded frame are all produced, including any that spill past the
+// window edges, so callers filter records the same way they would after
+// a full scan.
+func (f *File) ScanWindow(lo, hi clock.Time) *Scanner {
+	return &Scanner{f: f, win: true, winLo: lo, winHi: hi}
+}
+
+// SeekTime repositions the scanner immediately before the first frame
+// whose end time is at or after t, using only directory metadata — the
+// fast seek the frame directory exists for. Scanning then proceeds to
+// the end of the file (or window). Seeking past the last frame leaves
+// the scanner at EOF. A previous io.EOF state is cleared; a real error
+// is not.
+func (s *Scanner) SeekTime(t clock.Time) error {
+	if s.err != nil && !errors.Is(s.err, io.EOF) {
+		return s.err
+	}
+	s.err = nil
+	s.buf = nil
+	s.started = true
+	s.dir = nil
+	v2 := s.f.Header.HeaderVersion >= 2
+	seen := map[int64]bool{}
+	off := s.f.FirstDir
+	for {
+		if seen[off] {
+			s.err = fmt.Errorf("interval: frame directory cycle at offset %d", off)
+			s.release()
+			return s.err
+		}
+		seen[off] = true
+		d, n, err := s.f.readDirHeader(off)
+		if err != nil {
+			s.err = err
+			s.release()
+			return err
+		}
+		if v2 && n > 0 && d.End < t {
+			// Entire directory ends before t: skip its entry table.
+			if d.Next == 0 {
+				return nil
+			}
+			off = d.Next
+			continue
+		}
+		if err := s.f.readDirEntries(d, n); err != nil {
+			s.err = err
+			s.release()
+			return err
+		}
+		if n > 0 && d.Entries[n-1].End >= t {
+			// Frames are end-time ordered: binary search the first frame
+			// with End >= t inside this directory.
+			lo, hi := 0, n-1
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if d.Entries[mid].End >= t {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
+			}
+			s.dir = d
+			s.frame = lo
+			return nil
+		}
+		if d.Next == 0 {
+			return nil
+		}
+		off = d.Next
+	}
+}
 
 // Next returns the next record's payload bytes, or io.EOF after the
 // last record. The returned slice is valid until the following call.
@@ -391,7 +680,17 @@ func (s *Scanner) NextRecordInto(r *Record) error {
 func (s *Scanner) All() ([]Record, error) {
 	var recs []Record
 	if !s.started && s.err == nil {
-		if fes, err := s.f.Frames(); err == nil {
+		fes, err := s.f.Frames()
+		if s.win && err == nil {
+			kept := fes[:0:0]
+			for _, fe := range fes {
+				if fe.End >= s.winLo && fe.Start <= s.winHi {
+					kept = append(kept, fe)
+				}
+			}
+			fes = kept
+		}
+		if err == nil {
 			var total int64
 			for _, fe := range fes {
 				total += int64(fe.Records)
@@ -418,16 +717,19 @@ func (s *Scanner) advanceFrame() error {
 				return io.EOF
 			}
 			s.started = true
-			d, err := s.f.ReadFrameDir(s.f.FirstDir)
-			if err != nil {
+			if err := s.loadDir(s.f.FirstDir); err != nil {
 				return err
 			}
-			s.dir = d
-			s.frame = 0
+			if s.dir == nil {
+				return io.EOF
+			}
 		}
 		if s.frame < len(s.dir.Entries) {
 			fe := s.dir.Entries[s.frame]
 			s.frame++
+			if s.win && (fe.End < s.winLo || fe.Start > s.winHi) {
+				continue
+			}
 			if s.frameBuf == nil {
 				s.frameBuf = getBuf()
 			}
@@ -445,12 +747,40 @@ func (s *Scanner) advanceFrame() error {
 		if s.dir.Next == 0 {
 			return io.EOF
 		}
-		d, err := s.f.ReadFrameDir(s.dir.Next)
+		if err := s.loadDir(s.dir.Next); err != nil {
+			return err
+		}
+		if s.dir == nil {
+			return io.EOF
+		}
+	}
+}
+
+// loadDir reads the directory at off into s.dir. On window scans of
+// version-2 files, directories whose aggregate bounds miss the window
+// are skipped using only their headers; reaching the end of the chain
+// this way leaves s.dir nil (EOF).
+func (s *Scanner) loadDir(off int64) error {
+	v2 := s.f.Header.HeaderVersion >= 2
+	for {
+		d, n, err := s.f.readDirHeader(off)
 		if err != nil {
+			return err
+		}
+		if s.win && v2 && n > 0 && !d.Overlaps(s.winLo, s.winHi) {
+			if d.Next == 0 {
+				s.dir = nil
+				return nil
+			}
+			off = d.Next
+			continue
+		}
+		if err := s.f.readDirEntries(d, n); err != nil {
 			return err
 		}
 		s.dir = d
 		s.frame = 0
+		return nil
 	}
 }
 

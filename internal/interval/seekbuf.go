@@ -47,6 +47,24 @@ func (s *SeekBuffer) Read(p []byte) (int, error) {
 	return n, nil
 }
 
+// ReadAt implements io.ReaderAt: a positioned read that never moves the
+// buffer's seek position, so concurrent frame reads (the parallel
+// map-reduce engine) work on in-memory files exactly as on *os.File.
+// Callers must not Write concurrently with ReadAt.
+func (s *SeekBuffer) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("interval: negative ReadAt offset")
+	}
+	if off >= int64(len(s.b)) {
+		return 0, io.EOF
+	}
+	n := copy(p, s.b[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
 // Seek implements io.Seeker.
 func (s *SeekBuffer) Seek(offset int64, whence int) (int64, error) {
 	var base int64

@@ -68,20 +68,25 @@ func TestValidateDetectsStructuralCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	firstDir := int(f.FirstDir)
+	dh := dirHeaderSize(CurrentHeaderVersion)
 	// Structural fields whose corruption must always be caught: the
 	// thread count (header offset 16), the first directory's frame count,
-	// its prev/next links, and the first frame entry's offset, byte size,
-	// record count, and time bounds.
+	// its prev/next links, its aggregate bounds and record count, and the
+	// first frame entry's offset, byte size, record count, and time
+	// bounds.
 	offsets := map[string]int{
 		"numThreads":   16,
 		"dirNumFrames": firstDir + 0,
 		"dirPrev":      firstDir + 8,
 		"dirNext":      firstDir + 16,
-		"frameOffset":  firstDir + dirHeaderSize + 0,
-		"frameBytes":   firstDir + dirHeaderSize + 8,
-		"frameRecords": firstDir + dirHeaderSize + 12,
-		"frameStart":   firstDir + dirHeaderSize + 16,
-		"frameEnd":     firstDir + dirHeaderSize + 24,
+		"dirStart":     firstDir + 24,
+		"dirEnd":       firstDir + 32,
+		"dirRecords":   firstDir + 40,
+		"frameOffset":  firstDir + dh + 0,
+		"frameBytes":   firstDir + dh + 8,
+		"frameRecords": firstDir + dh + 12,
+		"frameStart":   firstDir + dh + 16,
+		"frameEnd":     firstDir + dh + 24,
 	}
 	for name, off := range offsets {
 		if corruptAt(t, base, off) {
@@ -90,7 +95,7 @@ func TestValidateDetectsStructuralCorruption(t *testing.T) {
 	}
 	// And a flip inside a record's type field must be caught by the
 	// profile check (no spec for the mangled type).
-	recOff := firstDir + dirHeaderSize + 4*frameEntrySize + 1 // skip the length byte
+	recOff := firstDir + dh + 4*frameEntrySize + 1 // skip the length byte
 	if corruptAt(t, base, recOff) {
 		t.Error("corrupting a record type byte went undetected")
 	}

@@ -32,16 +32,36 @@ type Header struct {
 	Markers        map[uint64]string // globally unique marker id -> string
 }
 
-// CurrentHeaderVersion is written into new files.
-const CurrentHeaderVersion uint32 = 1
+// CurrentHeaderVersion is written into new files. Version 2 extends
+// each frame-directory header with aggregate time bounds and a record
+// count covering the directory's frames, so window queries can skip a
+// whole directory without reading its entries. Version 1 files (no
+// aggregates) remain readable; their aggregates are reconstructed from
+// the frame entries when a directory is read.
+const CurrentHeaderVersion uint32 = 2
 
 const (
 	fileMagic       = "UTEIVL1\x00"
 	fixedHeaderSize = 8 + 4 + 4 + 4 + 2 + 2 + 4 + 4
 	threadEntrySize = 4 + 8 + 8 + 2 + 2 + 1 + 3
-	dirHeaderSize   = 4 + 4 + 8 + 8
+	dirHeaderV1Size = 4 + 4 + 8 + 8
+	// Version 2 appends dirStart i64, dirEnd i64, dirRecords u64 after
+	// the next link and before the frame entries.
+	dirHeaderV2Size = dirHeaderV1Size + 8 + 8 + 8
 	frameEntrySize  = 8 + 4 + 4 + 8 + 8
+	// minFramedRecord bounds how small an encoded record can be: a
+	// one-byte length prefix plus the fixed common payload fields. Used
+	// to validate directory record counts against frame sizes.
+	minFramedRecord = 1 + 25 // 1 + profile.CommonSize
 )
+
+// dirHeaderSize returns the directory header size for a header version.
+func dirHeaderSize(headerVersion uint32) int {
+	if headerVersion >= 2 {
+		return dirHeaderV2Size
+	}
+	return dirHeaderV1Size
+}
 
 // WriterOptions tunes frame construction.
 type WriterOptions struct {
@@ -93,6 +113,7 @@ type Writer struct {
 	groupBytes []byte
 	prevDirOff int64 // offset of the previous directory (-1 none)
 	patchOff   int64 // where the previous directory's next field lives
+	dirV2      bool  // write aggregate bounds into directory headers
 	closed     bool
 	err        error
 	// framePB/groupPB are the pooled backing buffers behind frame and
@@ -110,9 +131,18 @@ type frameEntry struct {
 }
 
 // NewWriter writes the header and tables immediately and returns a
-// record writer.
+// record writer. A zero hdr.HeaderVersion is normalized to
+// CurrentHeaderVersion; setting it to 1 explicitly writes the legacy
+// directory layout without aggregate bounds (compatibility tests and
+// old-format fixtures use this).
 func NewWriter(ws io.WriteSeeker, hdr Header, opts WriterOptions) (*Writer, error) {
-	w := &Writer{ws: ws, opts: opts, prevDirOff: -1, patchOff: -1}
+	if hdr.HeaderVersion == 0 {
+		hdr.HeaderVersion = CurrentHeaderVersion
+	}
+	if hdr.HeaderVersion > CurrentHeaderVersion {
+		return nil, fmt.Errorf("interval: cannot write header version %d (current is %d)", hdr.HeaderVersion, CurrentHeaderVersion)
+	}
+	w := &Writer{ws: ws, opts: opts, prevDirOff: -1, patchOff: -1, dirV2: hdr.HeaderVersion >= 2}
 	w.frameMeta = emptyFrameMeta()
 	w.framePB, w.groupPB = getBuf(), getBuf()
 	w.frame, w.groupBytes = *w.framePB, *w.groupPB
@@ -261,7 +291,11 @@ func (w *Writer) flushGroup(last bool) error {
 		return nil
 	}
 	dirOff := w.off
-	dirSize := int64(dirHeaderSize + len(w.group)*frameEntrySize)
+	hdrSize := dirHeaderV1Size
+	if w.dirV2 {
+		hdrSize = dirHeaderV2Size
+	}
+	dirSize := int64(hdrSize + len(w.group)*frameEntrySize)
 
 	// Assign frame offsets now that the directory's size is known.
 	off := dirOff + dirSize
@@ -285,6 +319,22 @@ func (w *Writer) flushGroup(last bool) error {
 	}
 	buf = appendU64(buf, uint64(prev))
 	buf = appendU64(buf, uint64(next))
+	if w.dirV2 {
+		dirStart, dirEnd := w.group[0].start, w.group[0].end
+		var dirRecords uint64
+		for _, fe := range w.group {
+			if fe.start < dirStart {
+				dirStart = fe.start
+			}
+			if fe.end > dirEnd {
+				dirEnd = fe.end
+			}
+			dirRecords += uint64(fe.records)
+		}
+		buf = appendU64(buf, uint64(dirStart))
+		buf = appendU64(buf, uint64(dirEnd))
+		buf = appendU64(buf, dirRecords)
+	}
 	for _, fe := range w.group {
 		buf = appendU64(buf, uint64(fe.offset))
 		buf = appendU32(buf, fe.bytes)
@@ -359,6 +409,12 @@ func (w *Writer) Close() error {
 			buf = appendU32(buf, 0)
 			buf = appendU64(buf, 0)
 			buf = appendU64(buf, 0)
+			if w.dirV2 {
+				// Empty directory: zero aggregate bounds and count.
+				buf = appendU64(buf, 0)
+				buf = appendU64(buf, 0)
+				buf = appendU64(buf, 0)
+			}
 			if _, err := w.ws.Write(buf); err != nil {
 				w.err = err
 				return w.err

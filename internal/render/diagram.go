@@ -8,9 +8,7 @@
 package render
 
 import (
-	"errors"
 	"fmt"
-	"io"
 	"sort"
 
 	"tracefw/internal/clock"
@@ -117,6 +115,9 @@ type Options struct {
 	Connected bool
 	// Arrows overlays message arrows (thread rows only).
 	Arrows []slog.Arrow
+	// Parallel is the frame-decode worker count (<= 0 = GOMAXPROCS);
+	// the diagram is identical for every value.
+	Parallel int
 }
 
 type rowKey struct {
@@ -167,76 +168,89 @@ func BuildDiagram(mf *interval.File, kind ViewKind, opts Options) (*Diagram, err
 	}
 	open := map[rowKey][]openState{}
 
-	sc := mf.Scan()
-	for {
-		r, err := sc.NextRecord()
-		if errors.Is(err, io.EOF) {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		if r.Type == events.EvGlobalClock {
-			continue
-		}
-		var k rowKey
-		var key string
-		switch kind {
-		case ThreadActivity:
-			k = rowKey{r.Node, r.Thread}
-			key = r.Type.Name()
-		case ProcessorActivity:
-			k = rowKey{r.Node, r.CPU}
-			key = r.Type.Name()
-		case ThreadProcessor:
-			k = rowKey{r.Node, r.Thread}
-			key = fmt.Sprintf("cpu%d", r.CPU)
-		case ProcessorThread:
-			k = rowKey{r.Node, r.CPU}
-			key = fmt.Sprintf("thread%d", r.Thread)
-		case StateActivity:
-			k = rowKey{0, uint16(r.Type)}
-			key = fmt.Sprintf("node%d", r.Node)
-		}
-		if opts.Connected && kind == ThreadActivity {
-			switch r.Bebits {
-			case profile.Begin:
-				open[k] = append(open[k], openState{start: r.Start, key: key, depth: len(open[k])})
-				continue
-			case profile.Continuation:
-				continue
-			case profile.End:
-				stack := open[k]
-				merged := false
-				for i := len(stack) - 1; i >= 0; i-- {
-					if stack[i].key == key {
-						seg := Seg{Start: stack[i].start, End: r.End(), Key: key, Depth: stack[i].depth}
-						open[k] = append(stack[:i], stack[i+1:]...)
-						if seg.End >= t0 && seg.Start <= t1 {
-							addKey(key)
-							ensureRow(rows, &rowOrder, k)
-							segs[k] = append(segs[k], seg)
-						}
-						merged = true
-						break
-					}
-				}
-				if merged {
+	// Frames decode concurrently on the map-reduce engine; the
+	// order-sensitive row/segment construction below runs in the
+	// frame-order reduce, so the diagram matches a sequential scan
+	// exactly. An explicit window skips non-overlapping frames entirely
+	// — except in Connected mode, which must see Begin pieces recorded
+	// before the window opens.
+	mopts := interval.MapOptions{Parallel: opts.Parallel}
+	if opts.T1 > opts.T0 && !(opts.Connected && kind == ThreadActivity) {
+		mopts.Window, mopts.Lo, mopts.Hi = true, t0, t1
+	}
+	err := interval.MapFrames(mf, mopts,
+		func(_ interval.FrameEntry, recs []interval.Record) ([]interval.Record, error) {
+			return recs, nil
+		},
+		func(_ interval.FrameEntry, recs []interval.Record) error {
+			for ri := range recs {
+				r := recs[ri]
+				if r.Type == events.EvGlobalClock {
 					continue
 				}
+				var k rowKey
+				var key string
+				switch kind {
+				case ThreadActivity:
+					k = rowKey{r.Node, r.Thread}
+					key = r.Type.Name()
+				case ProcessorActivity:
+					k = rowKey{r.Node, r.CPU}
+					key = r.Type.Name()
+				case ThreadProcessor:
+					k = rowKey{r.Node, r.Thread}
+					key = fmt.Sprintf("cpu%d", r.CPU)
+				case ProcessorThread:
+					k = rowKey{r.Node, r.CPU}
+					key = fmt.Sprintf("thread%d", r.Thread)
+				case StateActivity:
+					k = rowKey{0, uint16(r.Type)}
+					key = fmt.Sprintf("node%d", r.Node)
+				}
+				if opts.Connected && kind == ThreadActivity {
+					switch r.Bebits {
+					case profile.Begin:
+						open[k] = append(open[k], openState{start: r.Start, key: key, depth: len(open[k])})
+						continue
+					case profile.Continuation:
+						continue
+					case profile.End:
+						stack := open[k]
+						merged := false
+						for i := len(stack) - 1; i >= 0; i-- {
+							if stack[i].key == key {
+								seg := Seg{Start: stack[i].start, End: r.End(), Key: key, Depth: stack[i].depth}
+								open[k] = append(stack[:i], stack[i+1:]...)
+								if seg.End >= t0 && seg.Start <= t1 {
+									addKey(key)
+									ensureRow(rows, &rowOrder, k)
+									segs[k] = append(segs[k], seg)
+								}
+								merged = true
+								break
+							}
+						}
+						if merged {
+							continue
+						}
+					}
+				}
+				if r.End() < t0 || r.Start > t1 {
+					continue
+				}
+				seg := Seg{Start: r.Start, End: r.End(), Key: key}
+				if opts.Connected && kind == ThreadActivity {
+					// Complete records nest inside whatever is currently open.
+					seg.Depth = len(open[k])
+				}
+				addKey(key)
+				ensureRow(rows, &rowOrder, k)
+				segs[k] = append(segs[k], seg)
 			}
-		}
-		if r.End() < t0 || r.Start > t1 {
-			continue
-		}
-		seg := Seg{Start: r.Start, End: r.End(), Key: key}
-		if opts.Connected && kind == ThreadActivity {
-			// Complete records nest inside whatever is currently open.
-			seg.Depth = len(open[k])
-		}
-		addKey(key)
-		ensureRow(rows, &rowOrder, k)
-		segs[k] = append(segs[k], seg)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
 	// Deterministic row order: (node, id).

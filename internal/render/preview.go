@@ -13,7 +13,6 @@ import (
 // window of the paper's Figure 7): one stacked bar per time bin, state
 // durations stacked by color.
 func PreviewSVG(p *slog.Preview) string {
-	bins := len(p.Dur[0])
 	keys := make([]string, len(p.States))
 	for i, ty := range p.States {
 		keys[i] = ty.Name()
@@ -24,23 +23,18 @@ func PreviewSVG(p *slog.Preview) string {
 		left   = 60.0
 		bottom = 40.0
 	)
-	// Peak stacked duration over bins scales the y axis.
-	var peak clock.Time
-	for b := 0; b < bins; b++ {
-		var tot clock.Time
-		for s := range p.Dur {
-			tot += p.Dur[s][b]
-		}
-		if tot > peak {
-			peak = tot
-		}
-	}
-	if peak == 0 {
-		peak = 1
-	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, svgHeader, int(w+left+20), int(h+bottom+40))
 	sb.WriteString(`<text x="4" y="14" font-weight="bold">preview</text>` + "\n")
+	if len(p.Dur) == 0 || len(p.Dur[0]) == 0 {
+		// Empty preview (no states or zero bins): an empty chart shell
+		// rather than a panic.
+		sb.WriteString("</svg>\n")
+		return sb.String()
+	}
+	bins := len(p.Dur[0])
+	// Peak stacked duration over bins scales the y axis.
+	_, peak := stackedPeak(p.Dur, -1)
 	bw := w / float64(bins)
 	for b := 0; b < bins; b++ {
 		y := h + 20
@@ -55,31 +49,15 @@ func PreviewSVG(p *slog.Preview) string {
 				left+float64(b)*bw, y, bw-0.5, hh, colorFor(keys, keys[s]), keys[s], b, d)
 		}
 	}
-	// Axis: run time across bins.
-	for i := 0; i <= 5; i++ {
-		t := p.TStart + clock.Time(float64(p.TEnd-p.TStart)*float64(i)/5)
-		x := left + w*float64(i)/5
-		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" text-anchor="middle" fill="#555">%.1fs</text>`+"\n", x, h+34, t.Seconds())
-	}
-	// Legend for states that actually appear.
-	lx, ly := left, h+48.0
-	for s, ty := range p.States {
+	// Axis: run time across bins. Legend only for states that appear.
+	timeAxis(&sb, p.TStart, p.TEnd, 5, left, w, h+34, 0, 0, "%.1fs")
+	legend(&sb, keys, func(s int) bool {
 		var tot clock.Time
 		for _, d := range p.Dur[s] {
 			tot += d
 		}
-		if tot == 0 {
-			continue
-		}
-		name := ty.Name()
-		fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n", lx, ly, colorFor(keys, name))
-		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f">%s</text>`+"\n", lx+13, ly+9, escape(name))
-		lx += 13 + float64(7*len(name)) + 18
-		if lx > left+w-120 {
-			lx = left
-			ly += 14
-		}
-	}
+		return tot != 0
+	}, left, left+w-120, h+48.0)
 	sb.WriteString("</svg>\n")
 	return sb.String()
 }
@@ -90,32 +68,17 @@ func PreviewASCII(p *slog.Preview, width int) string {
 	if width <= 0 {
 		width = 60
 	}
-	bins := len(p.Dur[0])
 	runningIdx := -1
 	for i, ty := range p.States {
 		if ty.Name() == "Running" {
 			runningIdx = i
 		}
 	}
-	totals := make([]clock.Time, bins)
-	var peak clock.Time
-	for b := 0; b < bins; b++ {
-		for s := range p.Dur {
-			if s == runningIdx {
-				continue
-			}
-			totals[b] += p.Dur[s][b]
-		}
-		if totals[b] > peak {
-			peak = totals[b]
-		}
-	}
-	if peak == 0 {
-		peak = 1
-	}
+	// Running time is background, not signal; exclude it from the bars.
+	totals, peak := stackedPeak(p.Dur, runningIdx)
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "preview: interesting time per bin, run [%v .. %v]\n", p.TStart, p.TEnd)
-	for b := 0; b < bins; b++ {
+	for b := range totals {
 		lo, _ := p.BinBounds(b)
 		n := int(int64(totals[b]) * int64(width) / int64(peak))
 		fmt.Fprintf(&sb, "%8.2fs |%s\n", lo.Seconds(), strings.Repeat("#", n))
@@ -150,9 +113,7 @@ func StatsHeatmapSVG(tb *stats.Table) string {
 			peak = r.Y[0]
 		}
 	}
-	if peak == 0 {
-		peak = 1
-	}
+	peak = peakOr1(peak)
 	const cell = 14.0
 	left, top := 80.0, 30.0
 	wTotal := int(left + float64(len(xs))*cell + 20)
@@ -184,9 +145,7 @@ func StatsBarsSVG(tb *stats.Table) string {
 			peak = r.Y[0]
 		}
 	}
-	if peak == 0 {
-		peak = 1
-	}
+	peak = peakOr1(peak)
 	const rowHt = 16.0
 	left := 160.0
 	w := 600.0

@@ -33,6 +33,76 @@ const (
 	svgHeader = `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">` + "\n"
 )
 
+// stackedPeak sums each bin's stacked duration across states (state
+// index skip excluded; pass -1 to keep all) and returns the per-bin
+// totals with the peak total, floored at 1 so callers can divide by it.
+// A preview with no states or no bins yields nil totals and peak 1.
+func stackedPeak(dur [][]clock.Time, skip int) ([]clock.Time, clock.Time) {
+	if len(dur) == 0 || len(dur[0]) == 0 {
+		return nil, 1
+	}
+	totals := make([]clock.Time, len(dur[0]))
+	var peak clock.Time
+	for b := range totals {
+		for s := range dur {
+			if s == skip {
+				continue
+			}
+			totals[b] += dur[s][b]
+		}
+		if totals[b] > peak {
+			peak = totals[b]
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	return totals, peak
+}
+
+// peakOr1 guards a bar/heatmap scale against an all-zero table.
+func peakOr1(p float64) float64 {
+	if p == 0 {
+		return 1
+	}
+	return p
+}
+
+// timeAxis writes n+1 evenly spaced time labels along a horizontal axis
+// from x0 over width, with tick marks between tickTop and tickBot when
+// tickBot > tickTop. format renders the label from the tick time in
+// seconds (e.g. "%.3fs").
+func timeAxis(b *strings.Builder, t0, t1 clock.Time, n int, x0, width, textY, tickTop, tickBot float64, format string) {
+	for i := 0; i <= n; i++ {
+		t := t0 + clock.Time(float64(t1-t0)*float64(i)/float64(n))
+		x := x0 + width*float64(i)/float64(n)
+		if tickBot > tickTop {
+			fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#999"/>`+"\n", x, tickTop, x, tickBot)
+		}
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" text-anchor="middle" fill="#555">`+format+`</text>`+"\n", x, textY, t.Seconds())
+	}
+}
+
+// legend writes color-swatch/name rows for keys, wrapping to a new line
+// once a row extends past wrapX. include filters keys (nil keeps all);
+// colors come from colorFor over the full key list, so filtered and
+// unfiltered legends agree with the chart body.
+func legend(b *strings.Builder, keys []string, include func(i int) bool, left, wrapX, y float64) {
+	lx, ly := left, y
+	for i, k := range keys {
+		if include != nil && !include(i) {
+			continue
+		}
+		fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n", lx, ly, colorFor(keys, k))
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f">%s</text>`+"\n", lx+13, ly+9, escape(k))
+		lx += 13 + float64(7*len(k)) + 18
+		if lx > wrapX {
+			lx = left
+			ly += 14
+		}
+	}
+}
+
 // SVG renders the diagram as a standalone SVG document.
 func (d *Diagram) SVG() string {
 	var b strings.Builder
@@ -81,26 +151,10 @@ func (d *Diagram) SVG() string {
 	if len(d.Arrows) > 0 {
 		b.WriteString(`<defs><marker id="ah" markerWidth="6" markerHeight="6" refX="5" refY="3" orient="auto"><path d="M0,0 L6,3 L0,6 z"/></marker></defs>` + "\n")
 	}
-	// Time axis.
+	// Time axis and legend (helpers shared with the preview renderer).
 	axisY := top + float64(rows)*(rowH+rowGap) + 12
-	for i := 0; i <= 10; i++ {
-		t := d.T0 + clock.Time(float64(d.T1-d.T0)*float64(i)/10)
-		x := xOf(t)
-		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#999"/>`+"\n", x, axisY-6, x, axisY-2)
-		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle" fill="#555">%.3fs</text>`+"\n", x, axisY+9, t.Seconds())
-	}
-	// Legend.
-	lx := labelW
-	ly := axisY + 16
-	for _, k := range d.Keys {
-		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n", lx, ly, colorFor(d.Keys, k))
-		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f">%s</text>`+"\n", lx+13, ly+9, escape(k))
-		lx += 13 + float64(7*len(k)) + 18
-		if lx > labelW+chartW-100 {
-			lx = labelW
-			ly += 14
-		}
-	}
+	timeAxis(&b, d.T0, d.T1, 10, labelW, chartW, axisY+9, axisY-6, axisY-2, "%.3fs")
+	legend(&b, d.Keys, nil, labelW, labelW+chartW-100, axisY+16)
 	b.WriteString("</svg>\n")
 	return b.String()
 }

@@ -1,7 +1,6 @@
 package slog
 
 import (
-	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -24,6 +23,13 @@ type Options struct {
 	// NoCrossingCopies disables pseudo copies of frame-spanning arrows
 	// (ablation; the viewer then misses arrows in middle frames).
 	NoCrossingCopies bool
+	// Parallel is the frame-decode worker count for both build passes
+	// (<= 0 means GOMAXPROCS). The output is byte-identical for every
+	// worker count: frames decode and pre-bin concurrently, while the
+	// order-sensitive work (frame partitioning, arrow matching,
+	// serialization) runs in the engine's deterministic frame-order
+	// reduce.
+	Parallel int
 }
 
 func (o Options) frameBytes() int {
@@ -135,40 +141,73 @@ func Build(mf *interval.File, ws io.WriteSeeker, opts Options) (*BuildResult, er
 		recvs: map[arrowKey]recvHalf{},
 	}
 
-	sc := mf.Scan()
+	// The preview's proportional bin allocation is the per-record O(bins)
+	// hot loop, and it sums integer durations — associative, so per-frame
+	// partial matrices merged in any order equal the sequential result
+	// exactly. It runs in the concurrent map; everything order-sensitive
+	// (arrow matching, frame partitioning) runs in the frame-order
+	// reduce.
+	type p1partial struct {
+		dur   [][]clock.Time
+		count []int64
+		recs  []interval.Record
+	}
+	mopts := interval.MapOptions{Parallel: opts.Parallel}
 	var idx int64
-	for {
-		r, err := sc.NextRecord()
-		if errors.Is(err, io.EOF) {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		// Preview: proportional duration allocation plus call counters.
-		if si, ok := sidx[r.Type]; ok {
-			if r.Bebits == profile.Begin || r.Bebits == profile.Complete {
-				prev.Count[si]++
+	err = interval.MapFrames(mf, mopts,
+		func(_ interval.FrameEntry, recs []interval.Record) (*p1partial, error) {
+			pp := &p1partial{
+				dur:   make([][]clock.Time, len(events.StateTypes)),
+				count: make([]int64, len(events.StateTypes)),
+				recs:  recs,
 			}
-			allocate(prev, si, r.Start, r.End(), bins)
-		}
-		// Arrow matching on final pieces of p2p and wait operations.
-		if r.Bebits == profile.Complete || r.Bebits == profile.End {
-			m.observe(&r, &arrows, arrowFrame, len(frames))
-		}
-		if r.Start < cur.lo {
-			cur.lo = r.Start
-		}
-		if e := r.End(); e > cur.hi {
-			cur.hi = e
-		}
-		closes := part.add(r.EncodedSize())
-		cur.lastIdx = idx
-		if closes {
-			frames = append(frames, cur)
-			cur = newInfo(idx + 1)
-		}
-		idx++
+			for i := range pp.dur {
+				pp.dur[i] = make([]clock.Time, bins)
+			}
+			scratch := &Preview{TStart: tStart, TEnd: tEnd, Dur: pp.dur}
+			for ri := range recs {
+				r := &recs[ri]
+				if si, ok := sidx[r.Type]; ok {
+					if r.Bebits == profile.Begin || r.Bebits == profile.Complete {
+						pp.count[si]++
+					}
+					allocate(scratch, si, r.Start, r.End(), bins)
+				}
+			}
+			return pp, nil
+		},
+		func(_ interval.FrameEntry, pp *p1partial) error {
+			for si := range prev.Dur {
+				dst, src := prev.Dur[si], pp.dur[si]
+				for b := range dst {
+					dst[b] += src[b]
+				}
+				prev.Count[si] += pp.count[si]
+			}
+			for ri := range pp.recs {
+				r := &pp.recs[ri]
+				// Arrow matching on final pieces of p2p and wait operations.
+				if r.Bebits == profile.Complete || r.Bebits == profile.End {
+					m.observe(r, &arrows, arrowFrame, len(frames))
+				}
+				if r.Start < cur.lo {
+					cur.lo = r.Start
+				}
+				if e := r.End(); e > cur.hi {
+					cur.hi = e
+				}
+				closes := part.add(r.EncodedSize())
+				cur.lastIdx = idx
+				if closes {
+					frames = append(frames, cur)
+					cur = newInfo(idx + 1)
+				}
+				idx++
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	if cur.lastIdx >= cur.firstIdx {
 		frames = append(frames, cur)
@@ -208,7 +247,6 @@ func Build(mf *interval.File, ws io.WriteSeeker, opts Options) (*BuildResult, er
 	}
 	part = &partitioner{limit: opts.frameBytes()}
 	trk := newTracker()
-	sc = mf.Scan()
 	fi := 0
 	var frameRecs []interval.Record
 	var lastEnd clock.Time = tStart
@@ -240,21 +278,29 @@ func Build(mf *interval.File, ws io.WriteSeeker, opts Options) (*BuildResult, er
 		frameStartStamp = lastEnd
 		return nil
 	}
-	for {
-		r, err := sc.NextRecord()
-		if errors.Is(err, io.EOF) {
-			break
-		}
-		if err != nil {
-			return nil, err
-		}
-		frameRecs = append(frameRecs, r)
-		lastEnd = r.End()
-		if part.add(r.EncodedSize()) {
-			if err := flush(); err != nil {
-				return nil, err
+	// Pass 2's map stage only decodes (concurrently); the serialization
+	// itself consumes records in frame order inside the reduce. Engine
+	// records are freshly decoded per frame, so retaining them across
+	// SLOG frame boundaries in frameRecs is safe.
+	err = interval.MapFrames(mf, mopts,
+		func(_ interval.FrameEntry, recs []interval.Record) ([]interval.Record, error) {
+			return recs, nil
+		},
+		func(_ interval.FrameEntry, recs []interval.Record) error {
+			for ri := range recs {
+				r := recs[ri]
+				frameRecs = append(frameRecs, r)
+				lastEnd = r.End()
+				if part.add(r.EncodedSize()) {
+					if err := flush(); err != nil {
+						return err
+					}
+				}
 			}
-		}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	if err := flush(); err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package slog_test
 
 import (
+	"bytes"
 	"testing"
 
 	"tracefw/internal/clock"
@@ -318,6 +319,27 @@ func TestWaitallEnvelopesProduceArrows(t *testing.T) {
 			if a.Bytes != 2048 || a.RecvTime < a.SendTime {
 				t.Fatalf("bad arrow: %+v", a)
 			}
+		}
+	}
+}
+
+// TestBuildParallelByteIdentical: the SLOG writer must emit the exact
+// same bytes at every frame-decode worker count — all order-sensitive
+// work (matching, partitioning, serialization) runs in the engine's
+// frame-order reduce. Do not weaken this to a structural comparison.
+func TestBuildParallelByteIdentical(t *testing.T) {
+	mf, _ := testutil.Pipeline(t, shape, merge.Options{}, phased)
+	build := func(j int) []byte {
+		sb := interval.NewSeekBuffer()
+		if _, err := slog.Build(mf, sb, slog.Options{FrameBytes: 1024, Parallel: j}); err != nil {
+			t.Fatal(err)
+		}
+		return append([]byte(nil), sb.Bytes()...)
+	}
+	want := build(1)
+	for _, j := range []int{2, 4, 9} {
+		if !bytes.Equal(build(j), want) {
+			t.Fatalf("-j %d slog bytes differ from sequential build", j)
 		}
 	}
 }

@@ -425,3 +425,75 @@ func TestParseNeverPanics(t *testing.T) {
 		_, _ = stats.Parse(src)
 	}
 }
+
+// TestParallelIdenticalTSV is the engine's determinism guarantee: the
+// predefined tables must render to byte-identical TSV at every worker
+// count, because aggregation is per-frame partials merged in frame
+// order. Do not weaken this comparison.
+func TestParallelIdenticalTSV(t *testing.T) {
+	mf := mergedFile(t)
+	mf2 := mergedFile(t)
+	files := []*interval.File{mf, mf2}
+	program := stats.Predefined(16)
+	render := func(parallel int) string {
+		tables, err := stats.GenerateOpts(program, files, stats.Options{Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, tb := range tables {
+			b.WriteString(tb.Name)
+			b.WriteByte('\n')
+			b.WriteString(tb.TSV())
+		}
+		return b.String()
+	}
+	want := render(1)
+	for _, j := range []int{2, 3, 8} {
+		if got := render(j); got != want {
+			t.Fatalf("-j %d TSV differs from sequential", j)
+		}
+	}
+}
+
+// TestWindowedCountMatchesScanOracle checks -window semantics against a
+// brute-force record filter over a full scan: a record contributes iff
+// it overlaps [lo, hi], independent of how records fell into frames.
+func TestWindowedCountMatchesScanOracle(t *testing.T) {
+	mf := mergedFile(t)
+	recs, err := mf.Scan().All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, fe, _, err := mf.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, win := range [][2]clock.Time{
+		{fs, fe},
+		{fs + (fe-fs)/4, fs + (fe-fs)/2},
+		{fe + 1, fe + 1000}, // empty
+	} {
+		lo, hi := win[0], win[1]
+		tables, err := stats.GenerateOpts(`table name=c y=("n", dura, count)`,
+			[]*interval.File{mf},
+			stats.Options{Parallel: 4, Window: true, Lo: lo, Hi: hi})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want float64
+		for _, r := range recs {
+			if r.End() < lo || r.Start > hi {
+				continue
+			}
+			want++
+		}
+		got := 0.0
+		if len(tables[0].Rows) > 0 {
+			got = tables[0].Rows[0].Y[0]
+		}
+		if got != want {
+			t.Fatalf("window [%v %v]: count %v, scan oracle %v", lo, hi, got, want)
+		}
+	}
+}

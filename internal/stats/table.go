@@ -3,7 +3,6 @@ package stats
 import (
 	"errors"
 	"fmt"
-	"io"
 	"math"
 	"sort"
 	"strings"
@@ -36,17 +35,47 @@ type group struct {
 	y []cell
 }
 
+// Options tunes table generation.
+type Options struct {
+	// Parallel is the frame-decode worker count handed to the interval
+	// map-reduce engine; <= 0 means GOMAXPROCS. Results are
+	// byte-identical for every worker count: aggregation is per-frame
+	// partials merged in frame order, so float summation order never
+	// depends on scheduling.
+	Parallel int
+	// Window restricts aggregation to records overlapping [Lo, Hi]
+	// (end >= Lo and start <= Hi). Frames — and on current-format files
+	// whole directories — outside the window are never decoded. The
+	// bin() builtin keeps using full-run bounds so bin numbers mean the
+	// same thing windowed or not.
+	Window bool
+	Lo, Hi clock.Time
+}
+
 // Generate runs every table of the program over the interval files.
 func Generate(program string, files []*interval.File) ([]*Table, error) {
+	return GenerateOpts(program, files, Options{})
+}
+
+// GenerateOpts is Generate with explicit Options.
+func GenerateOpts(program string, files []*interval.File, opts Options) ([]*Table, error) {
 	specs, err := Parse(program)
 	if err != nil {
 		return nil, err
 	}
-	return GenerateSpecs(specs, files)
+	return GenerateSpecsOpts(specs, files, opts)
 }
 
 // GenerateSpecs runs parsed table specs over the interval files.
 func GenerateSpecs(specs []*TableSpec, files []*interval.File) ([]*Table, error) {
+	return GenerateSpecsOpts(specs, files, Options{})
+}
+
+// GenerateSpecsOpts runs parsed table specs over the interval files on
+// the per-frame map-reduce engine: frames decode and evaluate
+// concurrently into partial group maps, which merge into the global
+// groups in frame order.
+func GenerateSpecsOpts(specs []*TableSpec, files []*interval.File, opts Options) ([]*Table, error) {
 	// Run bounds over all inputs, for bin().
 	var tStart, tEnd clock.Time
 	firstStats := true
@@ -72,24 +101,38 @@ func GenerateSpecs(specs []*TableSpec, files []*interval.File) ([]*Table, error)
 		groups[i] = make(map[string]*group)
 	}
 
-	for _, f := range files {
-		ctx := &evalCtx{markers: f.Header.Markers, tStart: tStart, tEnd: tEnd}
-		sc := f.Scan()
-		for {
-			rec, err := sc.NextRecord()
-			if errors.Is(err, io.EOF) {
-				break
+	mopts := interval.MapOptions{Parallel: opts.Parallel, Window: opts.Window, Lo: opts.Lo, Hi: opts.Hi}
+	err := interval.MapFilesFrames(files, mopts,
+		func(file int, _ interval.FrameEntry, recs []interval.Record) ([]map[string]*group, error) {
+			ctx := &evalCtx{markers: files[file].Header.Markers, tStart: tStart, tEnd: tEnd}
+			pg := make([]map[string]*group, len(specs))
+			for i := range pg {
+				pg[i] = make(map[string]*group)
 			}
-			if err != nil {
-				return nil, err
-			}
-			ctx.rec = &rec
-			for si, spec := range specs {
-				if err := accumulate(spec, ctx, groups[si]); err != nil {
-					return nil, err
+			for ri := range recs {
+				rec := &recs[ri]
+				if opts.Window && (rec.End() < opts.Lo || rec.Start > opts.Hi) {
+					// Filter at the record level so the result does not
+					// depend on how records happened to be framed.
+					continue
+				}
+				ctx.rec = rec
+				for si, spec := range specs {
+					if err := accumulate(spec, ctx, pg[si]); err != nil {
+						return nil, err
+					}
 				}
 			}
-		}
+			return pg, nil
+		},
+		func(_ int, _ interval.FrameEntry, pg []map[string]*group) error {
+			for si := range specs {
+				mergeGroups(groups[si], pg[si])
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
 	tables := make([]*Table, len(specs))
@@ -118,6 +161,31 @@ func GenerateSpecs(specs []*TableSpec, files []*interval.File) ([]*Table, error)
 		tables[si] = t
 	}
 	return tables, nil
+}
+
+// mergeGroups folds one frame's partial groups into the running global
+// groups. Each key's cells combine commutatively except for the float
+// sum, whose order is fixed by the reducer's frame ordering — the merge
+// itself is per-key independent, so map iteration order is harmless.
+func mergeGroups(dst, src map[string]*group) {
+	for k, g := range src {
+		d := dst[k]
+		if d == nil {
+			dst[k] = g
+			continue
+		}
+		for i := range g.y {
+			c, s := &d.y[i], &g.y[i]
+			c.sum += s.sum
+			c.n += s.n
+			if s.min < c.min {
+				c.min = s.min
+			}
+			if s.max > c.max {
+				c.max = s.max
+			}
+		}
+	}
 }
 
 func accumulate(spec *TableSpec, ctx *evalCtx, groups map[string]*group) error {
