@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench
+.PHONY: ci vet build test race bench-smoke bench fuzz-smoke
 
-ci: vet build test race bench-smoke
+ci: vet build test race bench-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +23,17 @@ race:
 # catches benchmark bit-rot without paying for a full measurement run.
 bench-smoke:
 	$(GO) test -run xxx -bench 'ConvertPerEvent|ConvertParallel|StatsWindow|StatsParallel' -benchtime 1x .
+
+# A short fuzz of every target, one at a time (the fuzz engine allows a
+# single -fuzz pattern per invocation): catches regressions the checked-in
+# seed corpus alone would miss. Longer runs: raise FUZZTIME.
+FUZZTIME ?= 5s
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz '^FuzzOpen$$' -fuzztime $(FUZZTIME) ./internal/interval
+	$(GO) test -run xxx -fuzz '^FuzzNextRecord$$' -fuzztime $(FUZZTIME) ./internal/interval
+	$(GO) test -run xxx -fuzz '^FuzzScanWindow$$' -fuzztime $(FUZZTIME) ./internal/interval
+	$(GO) test -run xxx -fuzz '^FuzzSalvage$$' -fuzztime $(FUZZTIME) ./internal/interval
+	$(GO) test -run xxx -fuzz '^FuzzParseWindow$$' -fuzztime $(FUZZTIME) ./internal/clock
 
 # Full measurement run over the pipeline and analysis benchmarks (slow;
 # numbers are recorded in BENCH_pipeline.json and BENCH_stats.json).

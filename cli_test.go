@@ -5,18 +5,26 @@ package tracefw
 // → utestats / uteview / utedump.
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/events"
+	"tracefw/internal/interval"
+	"tracefw/internal/profile"
+	"tracefw/internal/xrand"
 )
 
 // buildCmds compiles every cmd once per test binary invocation.
 func buildCmds(t *testing.T) string {
 	t.Helper()
 	bin := t.TempDir()
-	for _, name := range []string{"tracegen", "uteconvert", "utemerge", "utestats", "uteview", "utedump"} {
+	for _, name := range []string{"tracegen", "uteconvert", "utemerge", "utestats", "uteview", "utedump", "utecheck"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(bin, name), "./cmd/"+name)
 		cmd.Env = os.Environ()
 		if out, err := cmd.CombinedOutput(); err != nil {
@@ -186,4 +194,231 @@ func TestCLIWrapTolerant(t *testing.T) {
 	}
 	runCmd(t, bin, "utemerge", "-o", filepath.Join(dir, "merged.ute"),
 		filepath.Join(dir, "trace.0.ute"), filepath.Join(dir, "trace.1.ute"))
+}
+
+// runCmdFail runs a command expecting failure and returns its exit code
+// and stderr. A panic trace on stderr fails the test: CLI errors must be
+// one-line diagnostics.
+func runCmdFail(t *testing.T, bin, name string, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(bin, name), args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		t.Fatalf("%s %v unexpectedly exited 0\nstderr: %s", name, args, stderr.String())
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("%s %v: %v", name, args, err)
+	}
+	msg := stderr.String()
+	if strings.Contains(msg, "panic:") || strings.Contains(msg, "goroutine ") {
+		t.Fatalf("%s %v panicked:\n%s", name, args, msg)
+	}
+	// A diagnostic must land somewhere: usage and I/O errors on stderr,
+	// utecheck's verdict one-liner on stdout.
+	if strings.TrimSpace(msg) == "" && strings.TrimSpace(stdout.String()) == "" {
+		t.Fatalf("%s %v failed silently (no output)", name, args)
+	}
+	return ee.ExitCode(), msg
+}
+
+// writeIntervalFile writes a small valid interval file under the given
+// header version and returns the records it holds.
+func writeIntervalFile(t *testing.T, path string, version uint32, n int) []interval.Record {
+	t.Helper()
+	rng := xrand.New(42)
+	recs := make([]interval.Record, n)
+	end := clock.Time(0)
+	for i := range recs {
+		end += clock.Time(rng.Int63n(int64(clock.Millisecond)))
+		recs[i] = interval.Record{
+			Type:   events.EvMPISend,
+			Bebits: profile.Complete,
+			Start:  end - clock.Time(rng.Int63n(int64(clock.Microsecond))),
+			Node:   uint16(i % 2),
+			Extra:  []uint64{uint64(i), 7, 0, 0, 0, 0},
+		}
+		recs[i].Dura = end - recs[i].Start
+	}
+	hdr := interval.Header{
+		ProfileVersion: profile.StdVersion,
+		HeaderVersion:  version,
+		FieldMask:      profile.MaskIndividual,
+		Threads: []interval.ThreadEntry{
+			{Task: 0, PID: 100, SysTID: 1, Node: 0, LTID: 0, Type: events.ThreadMPI},
+			{Task: 1, PID: 101, SysTID: 2, Node: 1, LTID: 0, Type: events.ThreadMPI},
+		},
+	}
+	fl, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := interval.NewWriter(fl, hdr, interval.WriterOptions{FrameBytes: 512, FramesPerDir: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := w.Add(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// TestCLIErrorPaths drives every command down its failure paths: missing
+// inputs, corrupt inputs, and invalid flag values must produce a non-zero
+// exit and a one-line stderr diagnostic — never a panic or a silent 0.
+func TestCLIErrorPaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bin := buildCmds(t)
+	dir := t.TempDir()
+
+	missing := filepath.Join(dir, "nope.ute")
+	garbage := filepath.Join(dir, "garbage.ute")
+	if err := os.WriteFile(garbage, []byte("this is no trace format at all, but long enough to peek at"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	good := filepath.Join(dir, "good.ute")
+	writeIntervalFile(t, good, interval.CurrentHeaderVersion, 64)
+
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"uteconvert", nil, 2},
+		{"uteconvert", []string{missing}, 1},
+		{"uteconvert", []string{garbage}, 1},
+		{"uteconvert", []string{"-j", "-1", good}, 2},
+
+		{"utemerge", nil, 2},
+		{"utemerge", []string{"-o", filepath.Join(dir, "out.ute"), missing}, 1},
+		{"utemerge", []string{"-o", filepath.Join(dir, "out.ute"), garbage}, 1},
+		{"utemerge", []string{"-j", "-2", "-o", filepath.Join(dir, "out.ute"), good}, 2},
+
+		{"utestats", nil, 2},
+		{"utestats", []string{missing}, 1},
+		{"utestats", []string{garbage}, 1},
+		{"utestats", []string{"-j", "-1", good}, 2},
+		{"utestats", []string{"-window", "2:1", good}, 1},
+		{"utestats", []string{"-window", "NaN:1", good}, 1},
+		{"utestats", []string{"-window", "abc", good}, 1},
+
+		{"utedump", nil, 2},
+		{"utedump", []string{missing}, 1},
+		{"utedump", []string{garbage}, 1},
+		{"utedump", []string{"-j", "-1", good}, 2},
+		{"utedump", []string{"-window", "Inf:", good}, 1},
+		{"utedump", []string{"-window", "1:0.5", good}, 1},
+
+		{"uteview", nil, 1}, // needs -merged
+		{"uteview", []string{"-merged", missing}, 1},
+		{"uteview", []string{"-merged", garbage}, 1},
+		{"uteview", []string{"-j", "-1", "-merged", good}, 2},
+		{"uteview", []string{"-t0", "2", "-t1", "1", "-merged", good}, 2},
+		{"uteview", []string{"-window", "2:1", "-merged", good, "-ascii"}, 1},
+
+		{"utecheck", nil, 3},
+		{"utecheck", []string{good, good}, 3},
+		{"utecheck", []string{"-nosuchflag", good}, 3},
+		{"utecheck", []string{missing}, 3},
+		{"utecheck", []string{garbage}, 2},
+	}
+	for _, tc := range cases {
+		code, msg := runCmdFail(t, bin, tc.name, tc.args...)
+		if code != tc.code {
+			t.Errorf("%s %v: exit %d, want %d\nstderr: %s", tc.name, tc.args, code, tc.code, msg)
+		}
+	}
+
+	// The same valid file must pass the success paths these failures
+	// bracket.
+	out := runCmd(t, bin, "utecheck", good)
+	if !strings.Contains(out, "valid (") {
+		t.Fatalf("utecheck on a valid file: %s", out)
+	}
+	runCmd(t, bin, "utedump", "-n", "2", "-window", "0:1", good)
+}
+
+// utecheckReport mirrors utecheck's -json output shape.
+type utecheckReport struct {
+	Valid   bool                    `json:"valid"`
+	Salvage *interval.SalvageReport `json:"salvage"`
+	Repair  *interval.RepairReport  `json:"repair"`
+}
+
+// TestCLICheckRepair covers the acceptance path: utecheck -repair on a
+// truncated v2 file must exit 1 and write a fresh file that validates
+// and carries every salvaged frame.
+func TestCLICheckRepair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bin := buildCmds(t)
+	dir := t.TempDir()
+
+	pristine := filepath.Join(dir, "pristine.ute")
+	writeIntervalFile(t, pristine, 2, 200)
+	data, err := os.ReadFile(pristine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.ute")
+	if err := os.WriteFile(trunc, data[:len(data)*7/10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	repaired := filepath.Join(dir, "repaired.ute")
+	cmd := exec.Command(filepath.Join(bin, "utecheck"), "-json", "-repair", repaired, trunc)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err = cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("utecheck -repair on truncated file: err=%v (want exit 1)\nstderr: %s", err, stderr.String())
+	}
+	var rep utecheckReport
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("bad -json output: %v\n%s", err, stdout.String())
+	}
+	if rep.Valid || rep.Salvage == nil || rep.Repair == nil {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+	if rep.Salvage.FramesRecovered == 0 {
+		t.Fatal("truncated file salvaged zero frames")
+	}
+	if rep.Repair.FramesWritten != rep.Salvage.FramesRecovered {
+		t.Fatalf("repair wrote %d of %d salvaged frames",
+			rep.Repair.FramesWritten, rep.Salvage.FramesRecovered)
+	}
+
+	// The repaired file must be fully valid and hold the salvaged records.
+	rf, err := interval.Open(repaired)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	vrep, err := rf.Validate(nil)
+	if err != nil {
+		t.Fatalf("repaired file fails validation: %v", err)
+	}
+	if vrep.Records != rep.Salvage.RecordsRecovered {
+		t.Fatalf("repaired file has %d records, salvage recovered %d",
+			vrep.Records, rep.Salvage.RecordsRecovered)
+	}
+	out := runCmd(t, bin, "utecheck", repaired)
+	if !strings.Contains(out, "valid (") {
+		t.Fatalf("utecheck on repaired file: %s", out)
+	}
 }

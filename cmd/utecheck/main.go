@@ -1,0 +1,158 @@
+// Command utecheck validates an interval trace file and, when the file
+// is damaged, reports what a best-effort salvage can still recover —
+// optionally writing the recovered records to a fresh, valid interval
+// file.
+//
+// Usage:
+//
+//	utecheck [-json] [-repair OUT] FILE
+//
+// The exit code is machine-readable:
+//
+//	0  the file validates; nothing was lost
+//	1  the file is damaged but salvage recovered at least one frame
+//	2  the file is damaged beyond salvage (no frame could be verified)
+//	3  usage error, or the file could not be read or OUT written
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"tracefw/internal/interval"
+	"tracefw/internal/profile"
+)
+
+// report is the -json output. Exit codes carry the verdict; the report
+// carries the details.
+type report struct {
+	File          string                     `json:"file"`
+	HeaderVersion uint32                     `json:"headerVersion,omitempty"`
+	Valid         bool                       `json:"valid"`
+	Error         string                     `json:"error,omitempty"`
+	Validation    *interval.ValidationReport `json:"validation,omitempty"`
+	Salvage       *interval.SalvageReport    `json:"salvage,omitempty"`
+	RepairPath    string                     `json:"repairPath,omitempty"`
+	Repair        *interval.RepairReport     `json:"repair,omitempty"`
+}
+
+func main() {
+	fs := flag.NewFlagSet("utecheck", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON report on stdout")
+	repairTo := fs.String("repair", "", "write the salvaged records to a fresh interval file at `OUT`")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: utecheck [-json] [-repair OUT] FILE")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(3)
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "utecheck: need exactly one interval file")
+		os.Exit(3)
+	}
+	path := fs.Arg(0)
+	rep := &report{File: path}
+
+	if _, err := os.Stat(path); err != nil {
+		fatal(rep, *jsonOut, err)
+	}
+	f, err := interval.Open(path)
+	if err != nil {
+		// The fixed header did not parse: salvage has nothing to anchor
+		// on, so the file is beyond recovery.
+		rep.Error = err.Error()
+		emit(rep, *jsonOut, fmt.Sprintf("%s: unsalvageable: %v", path, err))
+		os.Exit(2)
+	}
+	defer f.Close()
+	rep.HeaderVersion = f.Header.HeaderVersion
+
+	// Validate against the standard profile when the file was written
+	// under it; structural checks only otherwise.
+	prof := profile.Standard()
+	if prof.Version != f.Header.ProfileVersion {
+		prof = nil
+	}
+	vrep, verr := f.Validate(prof)
+	rep.Validation = vrep
+	if verr == nil {
+		rep.Valid = true
+		if *repairTo != "" {
+			sv := f.Salvage()
+			rep.Salvage = &sv.Report
+			repair(rep, f, sv, *repairTo, *jsonOut)
+		}
+		emit(rep, *jsonOut, fmt.Sprintf("%s: valid (%d records in %d frames, %d directories)",
+			path, vrep.Records, vrep.Frames, vrep.Dirs))
+		os.Exit(0)
+	}
+	rep.Error = verr.Error()
+
+	sv := f.Salvage()
+	rep.Salvage = &sv.Report
+	if *repairTo != "" {
+		repair(rep, f, sv, *repairTo, *jsonOut)
+	}
+	if sv.Report.FramesRecovered == 0 {
+		emit(rep, *jsonOut, fmt.Sprintf("%s: unsalvageable: %v", path, verr))
+		os.Exit(2)
+	}
+	emit(rep, *jsonOut, fmt.Sprintf(
+		"%s: damaged (%v); salvaged %d frames, %d records, %d bytes lost%s",
+		path, verr, sv.Report.FramesRecovered, sv.Report.RecordsRecovered,
+		sv.Report.BytesLost, repairNote(rep)))
+	os.Exit(1)
+}
+
+// repair writes the salvaged frames to a fresh interval file at out.
+func repair(rep *report, f *interval.File, sv *interval.SalvageResult, out string, jsonOut bool) {
+	dst, err := os.Create(out)
+	if err != nil {
+		fatal(rep, jsonOut, err)
+	}
+	rrep, err := interval.Repair(f, sv, dst, interval.WriterOptions{})
+	if err == nil {
+		err = dst.Close()
+	} else {
+		dst.Close()
+	}
+	if err != nil {
+		os.Remove(out)
+		fatal(rep, jsonOut, fmt.Errorf("repair %s: %w", out, err))
+	}
+	rep.RepairPath = out
+	rep.Repair = rrep
+}
+
+func repairNote(rep *report) string {
+	if rep.Repair == nil {
+		return ""
+	}
+	return fmt.Sprintf("; wrote %d frames to %s", rep.Repair.FramesWritten, rep.RepairPath)
+}
+
+// emit prints the human one-liner, or the JSON report when -json is on.
+func emit(rep *report, jsonOut bool, line string) {
+	if !jsonOut {
+		fmt.Println(line)
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "utecheck:", err)
+		os.Exit(3)
+	}
+}
+
+func fatal(rep *report, jsonOut bool, err error) {
+	rep.Error = err.Error()
+	if jsonOut {
+		emit(rep, true, "")
+	}
+	fmt.Fprintln(os.Stderr, "utecheck:", err)
+	os.Exit(3)
+}

@@ -43,6 +43,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "uteconvert: no input files")
 		os.Exit(2)
 	}
+	if *jobs < 0 {
+		fmt.Fprintln(os.Stderr, "uteconvert: -j must be >= 0")
+		os.Exit(2)
+	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}

@@ -40,6 +40,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "utedump: need exactly one file")
 		os.Exit(2)
 	}
+	if *jobs < 0 {
+		fmt.Fprintln(os.Stderr, "utedump: -j must be >= 0")
+		os.Exit(2)
+	}
 	path := flag.Arg(0)
 	magic, err := peekMagic(path)
 	if err != nil {

@@ -47,6 +47,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "utemerge: no input files")
 		os.Exit(2)
 	}
+	if *jobs < 0 {
+		fmt.Fprintln(os.Stderr, "utemerge: -j must be >= 0")
+		os.Exit(2)
+	}
 	est, err := merge.ParseEstimator(*estimator)
 	if err != nil {
 		fatal(err)

@@ -50,6 +50,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "utestats: no input files")
 		os.Exit(2)
 	}
+	if *jobs < 0 {
+		fmt.Fprintln(os.Stderr, "utestats: -j must be >= 0")
+		os.Exit(2)
+	}
 	program := *exprSrc
 	if *fileSrc != "" {
 		b, err := os.ReadFile(*fileSrc)

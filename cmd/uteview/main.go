@@ -42,6 +42,14 @@ func main() {
 		htmlOut    = flag.String("html", "", "write a self-contained interactive HTML viewer (needs -slog)")
 	)
 	flag.Parse()
+	if *jobs < 0 {
+		fmt.Fprintln(os.Stderr, "uteview: -j must be >= 0")
+		os.Exit(2)
+	}
+	if *t1 != 0 && *t1 < *t0 {
+		fmt.Fprintln(os.Stderr, "uteview: -t1 is before -t0")
+		os.Exit(2)
+	}
 
 	var sf *slog.File
 	if *slogPath != "" {

@@ -53,23 +53,38 @@ func ParseWindow(s string) (lo, hi Time, err error) {
 	}
 	lo, hi = math.MinInt64, math.MaxInt64
 	if left := s[:i]; left != "" {
-		v, err := strconv.ParseFloat(left, 64)
-		if err != nil {
-			return 0, 0, fmt.Errorf("clock: window start %q: %w", left, err)
+		if lo, err = parseWindowBound("start", left); err != nil {
+			return 0, 0, err
 		}
-		lo = FromSeconds(v)
 	}
 	if right := s[i+1:]; right != "" {
-		v, err := strconv.ParseFloat(right, 64)
-		if err != nil {
-			return 0, 0, fmt.Errorf("clock: window end %q: %w", right, err)
+		if hi, err = parseWindowBound("end", right); err != nil {
+			return 0, 0, err
 		}
-		hi = FromSeconds(v)
 	}
 	if lo > hi {
 		return 0, 0, fmt.Errorf("clock: window %q has start after end", s)
 	}
 	return lo, hi, nil
+}
+
+// parseWindowBound parses one side of a window. ParseFloat accepts
+// "NaN" and "Inf", which would turn into nonsense Time values (the
+// float-to-int conversion of a non-finite or out-of-range value is not
+// specified), so both are rejected here along with any magnitude the
+// Time range cannot hold.
+func parseWindowBound(side, s string) (Time, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("clock: window %s %q: %w", side, s, err)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("clock: window %s %q is not finite", side, s)
+	}
+	if math.Abs(v) > math.MaxInt64/float64(Second) {
+		return 0, fmt.Errorf("clock: window %s %q overflows the time range", side, s)
+	}
+	return FromSeconds(v), nil
 }
 
 // Local is a simulated local clock. The clock reading at true time t is

@@ -357,6 +357,14 @@ func TestParseWindow(t *testing.T) {
 		{"nope", 0, 0, false},
 		{"a:1", 0, 0, false},
 		{"1:b", 0, 0, false},
+		// ParseFloat accepts these; ParseWindow must not.
+		{"NaN:1", 0, 0, false},
+		{"1:NaN", 0, 0, false},
+		{"Inf:1", 0, 0, false},
+		{"-Inf:Inf", 0, 0, false},
+		{"1:+Inf", 0, 0, false},
+		{"1e300:2e300", 0, 0, false},
+		{"-1e300:", 0, 0, false},
 	}
 	for _, tc := range cases {
 		lo, hi, err := ParseWindow(tc.in)

@@ -1,0 +1,49 @@
+package clock
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseWindow checks the -window parser's contract on arbitrary
+// input: it never panics, and whenever it succeeds the bounds are
+// ordered and came from finite, in-range numbers.
+func FuzzParseWindow(f *testing.F) {
+	for _, s := range []string{
+		"0.5:2", ":2", "0.5:", ":", "2:1", "nope", "a:1", "1:b",
+		"NaN:1", "Inf:", "-Inf:Inf", "1e300:2e300", "-0:0", "1:1",
+		"0x1p4:0x1p5", "1_0:2_0", ":::", "-1:-0.5",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		lo, hi, err := ParseWindow(s)
+		if err != nil {
+			return
+		}
+		if !strings.Contains(s, ":") {
+			t.Fatalf("ParseWindow(%q) accepted input without a separator", s)
+		}
+		if lo > hi {
+			t.Fatalf("ParseWindow(%q) = [%d, %d]: start after end", s, lo, hi)
+		}
+		// An explicit bound must round-trip from a finite float; the
+		// sentinel extremes are only legal for an empty side.
+		i := strings.IndexByte(s, ':')
+		if s[:i] != "" {
+			if v := lo.Seconds(); math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("ParseWindow(%q): non-finite start %v", s, lo)
+			}
+		} else if lo != math.MinInt64 {
+			t.Fatalf("ParseWindow(%q): empty start gave %d", s, lo)
+		}
+		if s[i+1:] != "" {
+			if v := hi.Seconds(); math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("ParseWindow(%q): non-finite end %v", s, hi)
+			}
+		} else if hi != math.MaxInt64 {
+			t.Fatalf("ParseWindow(%q): empty end gave %d", s, hi)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sync/atomic"
@@ -21,6 +22,9 @@ type FrameEntry struct {
 	Records uint32
 	Start   clock.Time
 	End     clock.Time
+	// Sum is the CRC-32C of the frame's record bytes, stored by header
+	// version 3; zero on older files. Frame reads verify it.
+	Sum uint32
 }
 
 // FrameDir is one frame directory with its position and links.
@@ -37,6 +41,9 @@ type FrameDir struct {
 	End     clock.Time
 	Records int64
 	Entries []FrameEntry
+	// sum is the stored v3 metadata checksum, verified once the entry
+	// table has been read.
+	sum uint32
 }
 
 // Overlaps reports whether the directory's frames can intersect the
@@ -202,7 +209,7 @@ func (f *File) readDirHeader(offset int64) (*FrameDir, int, error) {
 	if _, err := f.r.Seek(offset, io.SeekStart); err != nil {
 		return nil, 0, err
 	}
-	var hb [dirHeaderV2Size]byte
+	var hb [dirHeaderV3Size]byte
 	h := hb[:hdrSize]
 	if _, err := io.ReadFull(f.r, h); err != nil {
 		return nil, 0, fmt.Errorf("interval: reading frame directory at %d: %w", offset, err)
@@ -212,11 +219,14 @@ func (f *File) readDirHeader(offset int64) (*FrameDir, int, error) {
 		Prev:   int64(binary.LittleEndian.Uint64(h[8:])),
 		Next:   int64(binary.LittleEndian.Uint64(h[16:])),
 	}
+	if f.Header.HeaderVersion >= 3 && binary.LittleEndian.Uint32(h[4:]) != dirMagic {
+		return nil, 0, fmt.Errorf("interval: directory at %d has bad magic %#x", offset, binary.LittleEndian.Uint32(h[4:]))
+	}
 	if d.Next < 0 || d.Next > f.Size || d.Prev < 0 || d.Prev > f.Size {
 		return nil, 0, fmt.Errorf("interval: directory at %d has out-of-file links (prev %d, next %d)", offset, d.Prev, d.Next)
 	}
 	n := int(binary.LittleEndian.Uint32(h[0:]))
-	if offset+int64(hdrSize)+int64(n)*frameEntrySize > f.Size {
+	if offset+int64(hdrSize)+int64(n)*int64(entrySize(f.Header.HeaderVersion)) > f.Size {
 		return nil, 0, fmt.Errorf("interval: directory at %d claims %d entries beyond file size", offset, n)
 	}
 	if f.Header.HeaderVersion >= 2 {
@@ -225,6 +235,12 @@ func (f *File) readDirHeader(offset int64) (*FrameDir, int, error) {
 		d.Records = int64(binary.LittleEndian.Uint64(h[40:]))
 		if d.Records < 0 || d.Records*minFramedRecord > f.Size {
 			return nil, 0, fmt.Errorf("interval: directory at %d claims %d records in a %d-byte file", offset, d.Records, f.Size)
+		}
+	}
+	if f.Header.HeaderVersion >= 3 {
+		d.sum = binary.LittleEndian.Uint32(h[48:])
+		if n == 0 && dirChecksum(0, d.Start, d.End, uint64(d.Records), nil) != d.sum {
+			return nil, 0, fmt.Errorf("interval: directory at %d fails metadata checksum", offset)
 		}
 	}
 	return d, n, nil
@@ -238,23 +254,33 @@ func (f *File) readDirEntries(d *FrameDir, n int) error {
 	if n == 0 {
 		return nil
 	}
-	entOff := d.Offset + int64(dirHeaderSize(f.Header.HeaderVersion))
+	ver := f.Header.HeaderVersion
+	esz := entrySize(ver)
+	entOff := d.Offset + int64(dirHeaderSize(ver))
 	if _, err := f.r.Seek(entOff, io.SeekStart); err != nil {
 		return err
 	}
-	eb := make([]byte, n*frameEntrySize)
+	eb := make([]byte, n*esz)
 	if _, err := io.ReadFull(f.r, eb); err != nil {
 		return fmt.Errorf("interval: reading %d frame entries: %w", n, err)
 	}
+	if ver >= 3 {
+		if dirChecksum(uint32(n), d.Start, d.End, uint64(d.Records), eb) != d.sum {
+			return fmt.Errorf("interval: directory at %d fails metadata checksum", d.Offset)
+		}
+	}
 	d.Entries = make([]FrameEntry, 0, n)
 	for i := 0; i < n; i++ {
-		b := eb[i*frameEntrySize:]
+		b := eb[i*esz:]
 		fe := FrameEntry{
 			Offset:  int64(binary.LittleEndian.Uint64(b[0:])),
 			Bytes:   binary.LittleEndian.Uint32(b[8:]),
 			Records: binary.LittleEndian.Uint32(b[12:]),
 			Start:   clock.Time(binary.LittleEndian.Uint64(b[16:])),
 			End:     clock.Time(binary.LittleEndian.Uint64(b[24:])),
+		}
+		if ver >= 3 {
+			fe.Sum = binary.LittleEndian.Uint32(b[32:])
 		}
 		// Reject corrupt entries here so every consumer (scanners, the
 		// map-reduce engine, record preallocation from Records) sees
@@ -378,8 +404,20 @@ func (f *File) ReadFrameAt(fe FrameEntry, buf []byte) ([]byte, error) {
 	if _, err := f.ra.ReadAt(buf, fe.Offset); err != nil {
 		return nil, fmt.Errorf("interval: reading frame at %d: %w", fe.Offset, err)
 	}
+	if err := f.checkFrameSum(fe, buf); err != nil {
+		return nil, err
+	}
 	f.decoded.Add(1)
 	return buf, nil
+}
+
+// checkFrameSum verifies a frame's stored payload checksum on version-3
+// files; older versions store none.
+func (f *File) checkFrameSum(fe FrameEntry, buf []byte) error {
+	if f.Header.HeaderVersion >= 3 && crc32.Checksum(buf, crcTable) != fe.Sum {
+		return fmt.Errorf("interval: frame at %d fails payload checksum", fe.Offset)
+	}
+	return nil
 }
 
 // ConcurrentReads reports whether the file supports ReadFrameAt, i.e.
@@ -404,6 +442,9 @@ func (f *File) readFrameInto(fe FrameEntry, buf []byte) ([]byte, error) {
 	}
 	if _, err := io.ReadFull(f.r, buf); err != nil {
 		return nil, fmt.Errorf("interval: reading frame at %d: %w", fe.Offset, err)
+	}
+	if err := f.checkFrameSum(fe, buf); err != nil {
+		return nil, err
 	}
 	f.decoded.Add(1)
 	return buf, nil

@@ -95,7 +95,7 @@ func TestValidateDetectsStructuralCorruption(t *testing.T) {
 	}
 	// And a flip inside a record's type field must be caught by the
 	// profile check (no spec for the mangled type).
-	recOff := firstDir + dh + 4*frameEntrySize + 1 // skip the length byte
+	recOff := firstDir + dh + 4*entrySize(CurrentHeaderVersion) + 1 // skip the length byte
 	if corruptAt(t, base, recOff) {
 		t.Error("corrupting a record type byte went undetected")
 	}

@@ -3,6 +3,7 @@ package interval
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sort"
@@ -35,10 +36,14 @@ type Header struct {
 // CurrentHeaderVersion is written into new files. Version 2 extends
 // each frame-directory header with aggregate time bounds and a record
 // count covering the directory's frames, so window queries can skip a
-// whole directory without reading its entries. Version 1 files (no
-// aggregates) remain readable; their aggregates are reconstructed from
-// the frame entries when a directory is read.
-const CurrentHeaderVersion uint32 = 2
+// whole directory without reading its entries. Version 3 additionally
+// stores a magic word and a CRC-32C checksum in every directory header
+// and a CRC-32C of each frame's record bytes in its entry, so damaged
+// metadata is detected on read and salvage can re-synchronize on the
+// directory magic. Version 1 and 2 files (no checksums) remain
+// readable; v1 aggregates are reconstructed from the frame entries when
+// a directory is read.
+const CurrentHeaderVersion uint32 = 3
 
 const (
 	fileMagic       = "UTEIVL1\x00"
@@ -48,19 +53,62 @@ const (
 	// Version 2 appends dirStart i64, dirEnd i64, dirRecords u64 after
 	// the next link and before the frame entries.
 	dirHeaderV2Size = dirHeaderV1Size + 8 + 8 + 8
+	// Version 3 stores dirMagic in the formerly reserved word and
+	// appends a CRC-32C over the directory metadata after the
+	// aggregates (see dirChecksum for exact coverage).
+	dirHeaderV3Size = dirHeaderV2Size + 4
 	frameEntrySize  = 8 + 4 + 4 + 8 + 8
+	// Version 3 appends a CRC-32C of the frame's record bytes to each
+	// directory entry.
+	frameEntryV3Size = frameEntrySize + 4
 	// minFramedRecord bounds how small an encoded record can be: a
 	// one-byte length prefix plus the fixed common payload fields. Used
 	// to validate directory record counts against frame sizes.
 	minFramedRecord = 1 + 25 // 1 + profile.CommonSize
 )
 
+// dirMagic is stored in the second word of every version-3 directory
+// header ("DIR3" little-endian). Salvage scans for it to find directory
+// headers after the link chain is damaged.
+const dirMagic uint32 = 'D' | 'I'<<8 | 'R'<<16 | '3'<<24
+
+// crcTable is the Castagnoli polynomial used for all v3 checksums.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
 // dirHeaderSize returns the directory header size for a header version.
 func dirHeaderSize(headerVersion uint32) int {
-	if headerVersion >= 2 {
+	switch {
+	case headerVersion >= 3:
+		return dirHeaderV3Size
+	case headerVersion == 2:
 		return dirHeaderV2Size
+	default:
+		return dirHeaderV1Size
 	}
-	return dirHeaderV1Size
+}
+
+// entrySize returns the directory entry size for a header version.
+func entrySize(headerVersion uint32) int {
+	if headerVersion >= 3 {
+		return frameEntryV3Size
+	}
+	return frameEntrySize
+}
+
+// dirChecksum computes the v3 directory checksum: the entry count, the
+// magic word, the three aggregate fields, then the raw entry table. The
+// prev/next links are deliberately excluded — the writer patches them
+// after the directory is on disk (Close rewrites the last link to 0) —
+// and readers validate them structurally instead.
+func dirChecksum(count uint32, start, end clock.Time, records uint64, entries []byte) uint32 {
+	var cov [32]byte
+	binary.LittleEndian.PutUint32(cov[0:], count)
+	binary.LittleEndian.PutUint32(cov[4:], dirMagic)
+	binary.LittleEndian.PutUint64(cov[8:], uint64(start))
+	binary.LittleEndian.PutUint64(cov[16:], uint64(end))
+	binary.LittleEndian.PutUint64(cov[24:], records)
+	sum := crc32.Update(0, crcTable, cov[:])
+	return crc32.Update(sum, crcTable, entries)
 }
 
 // WriterOptions tunes frame construction.
@@ -111,9 +159,9 @@ type Writer struct {
 	frameMeta  frameEntry
 	group      []frameEntry // closed frames of the pending directory
 	groupBytes []byte
-	prevDirOff int64 // offset of the previous directory (-1 none)
-	patchOff   int64 // where the previous directory's next field lives
-	dirV2      bool  // write aggregate bounds into directory headers
+	prevDirOff int64  // offset of the previous directory (-1 none)
+	patchOff   int64  // where the previous directory's next field lives
+	version    uint32 // directory layout version being written
 	closed     bool
 	err        error
 	// framePB/groupPB are the pooled backing buffers behind frame and
@@ -128,6 +176,7 @@ type frameEntry struct {
 	records uint32
 	start   clock.Time
 	end     clock.Time
+	sum     uint32 // CRC-32C of the frame's record bytes (v3 only)
 }
 
 // NewWriter writes the header and tables immediately and returns a
@@ -142,7 +191,7 @@ func NewWriter(ws io.WriteSeeker, hdr Header, opts WriterOptions) (*Writer, erro
 	if hdr.HeaderVersion > CurrentHeaderVersion {
 		return nil, fmt.Errorf("interval: cannot write header version %d (current is %d)", hdr.HeaderVersion, CurrentHeaderVersion)
 	}
-	w := &Writer{ws: ws, opts: opts, prevDirOff: -1, patchOff: -1, dirV2: hdr.HeaderVersion >= 2}
+	w := &Writer{ws: ws, opts: opts, prevDirOff: -1, patchOff: -1, version: hdr.HeaderVersion}
 	w.frameMeta = emptyFrameMeta()
 	w.framePB, w.groupPB = getBuf(), getBuf()
 	w.frame, w.groupBytes = *w.framePB, *w.groupPB
@@ -278,10 +327,66 @@ func (w *Writer) closeFrame() {
 		return
 	}
 	w.frameMeta.bytes = uint32(len(w.frame))
+	if w.version >= 3 {
+		w.frameMeta.sum = crc32.Checksum(w.frame, crcTable)
+	}
 	w.group = append(w.group, w.frameMeta)
 	w.groupBytes = append(w.groupBytes, w.frame...)
 	w.frame = w.frame[:0]
 	w.frameMeta = emptyFrameMeta()
+}
+
+// appendDir serializes a directory header and entry table for version,
+// computing the v3 checksum when applicable.
+func appendDir(buf []byte, version uint32, prev, next int64, group []frameEntry) []byte {
+	buf = appendU32(buf, uint32(len(group)))
+	if version >= 3 {
+		buf = appendU32(buf, dirMagic)
+	} else {
+		buf = appendU32(buf, 0)
+	}
+	buf = appendU64(buf, uint64(prev))
+	buf = appendU64(buf, uint64(next))
+	var dirStart, dirEnd clock.Time
+	var dirRecords uint64
+	if len(group) > 0 {
+		dirStart, dirEnd = group[0].start, group[0].end
+		for _, fe := range group {
+			if fe.start < dirStart {
+				dirStart = fe.start
+			}
+			if fe.end > dirEnd {
+				dirEnd = fe.end
+			}
+			dirRecords += uint64(fe.records)
+		}
+	}
+	if version >= 2 {
+		buf = appendU64(buf, uint64(dirStart))
+		buf = appendU64(buf, uint64(dirEnd))
+		buf = appendU64(buf, dirRecords)
+	}
+	crcAt := -1
+	if version >= 3 {
+		crcAt = len(buf)
+		buf = appendU32(buf, 0) // checksum, patched below
+	}
+	entStart := len(buf)
+	for _, fe := range group {
+		buf = appendU64(buf, uint64(fe.offset))
+		buf = appendU32(buf, fe.bytes)
+		buf = appendU32(buf, fe.records)
+		buf = appendU64(buf, uint64(fe.start))
+		buf = appendU64(buf, uint64(fe.end))
+		if version >= 3 {
+			buf = appendU32(buf, fe.sum)
+		}
+	}
+	if version >= 3 {
+		sum := dirChecksum(uint32(len(group)), dirStart, dirEnd, dirRecords, buf[entStart:])
+		binary.LittleEndian.PutUint32(buf[crcAt:], sum)
+	}
+	return buf
 }
 
 // flushGroup writes the pending directory and its frames. last marks the
@@ -291,11 +396,7 @@ func (w *Writer) flushGroup(last bool) error {
 		return nil
 	}
 	dirOff := w.off
-	hdrSize := dirHeaderV1Size
-	if w.dirV2 {
-		hdrSize = dirHeaderV2Size
-	}
-	dirSize := int64(hdrSize + len(w.group)*frameEntrySize)
+	dirSize := int64(dirHeaderSize(w.version) + len(w.group)*entrySize(w.version))
 
 	// Assign frame offsets now that the directory's size is known.
 	off := dirOff + dirSize
@@ -307,41 +408,15 @@ func (w *Writer) flushGroup(last bool) error {
 	if last {
 		next = 0
 	}
-
-	db := getBuf()
-	buf := *db
-	defer func() { *db = buf[:0]; putBuf(db) }()
-	buf = appendU32(buf, uint32(len(w.group)))
-	buf = appendU32(buf, 0)
 	prev := w.prevDirOff
 	if prev < 0 {
 		prev = 0
 	}
-	buf = appendU64(buf, uint64(prev))
-	buf = appendU64(buf, uint64(next))
-	if w.dirV2 {
-		dirStart, dirEnd := w.group[0].start, w.group[0].end
-		var dirRecords uint64
-		for _, fe := range w.group {
-			if fe.start < dirStart {
-				dirStart = fe.start
-			}
-			if fe.end > dirEnd {
-				dirEnd = fe.end
-			}
-			dirRecords += uint64(fe.records)
-		}
-		buf = appendU64(buf, uint64(dirStart))
-		buf = appendU64(buf, uint64(dirEnd))
-		buf = appendU64(buf, dirRecords)
-	}
-	for _, fe := range w.group {
-		buf = appendU64(buf, uint64(fe.offset))
-		buf = appendU32(buf, fe.bytes)
-		buf = appendU32(buf, fe.records)
-		buf = appendU64(buf, uint64(fe.start))
-		buf = appendU64(buf, uint64(fe.end))
-	}
+
+	db := getBuf()
+	buf := *db
+	defer func() { *db = buf[:0]; putBuf(db) }()
+	buf = appendDir(buf, w.version, prev, next, w.group)
 	buf = append(buf, w.groupBytes...)
 	if _, err := w.ws.Write(buf); err != nil {
 		w.err = fmt.Errorf("interval: writing frame directory: %w", err)
@@ -404,17 +479,9 @@ func (w *Writer) Close() error {
 				return err
 			}
 		} else {
-			var buf []byte
-			buf = appendU32(buf, 0)
-			buf = appendU32(buf, 0)
-			buf = appendU64(buf, 0)
-			buf = appendU64(buf, 0)
-			if w.dirV2 {
-				// Empty directory: zero aggregate bounds and count.
-				buf = appendU64(buf, 0)
-				buf = appendU64(buf, 0)
-				buf = appendU64(buf, 0)
-			}
+			// Empty file: one directory with no entries (and, for v2+,
+			// zero aggregate bounds) so readers always find a directory.
+			buf := appendDir(nil, w.version, 0, 0, nil)
 			if _, err := w.ws.Write(buf); err != nil {
 				w.err = err
 				return w.err
