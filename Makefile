@@ -22,7 +22,7 @@ race:
 # One iteration of the convert and stats benchmarks as a smoke test:
 # catches benchmark bit-rot without paying for a full measurement run.
 bench-smoke:
-	$(GO) test -run xxx -bench 'ConvertPerEvent|ConvertParallel|StatsWindow|StatsParallel' -benchtime 1x .
+	$(GO) test -run xxx -bench 'ConvertPerEvent|ConvertParallel|StatsWindow|StatsParallel|IntervalEncodeV4|IntervalScanV4' -benchtime 1x .
 
 # A short fuzz of every target, one at a time (the fuzz engine allows a
 # single -fuzz pattern per invocation): catches regressions the checked-in
@@ -38,4 +38,4 @@ fuzz-smoke:
 # Full measurement run over the pipeline and analysis benchmarks (slow;
 # numbers are recorded in BENCH_pipeline.json and BENCH_stats.json).
 bench:
-	$(GO) test -run xxx -bench 'ConvertPerEvent|ConvertParallel|MergeLoserTreeVsLinear|MergeReadAhead|IntervalWriterThroughput|IntervalScan|StatsWindow|StatsParallel' .
+	$(GO) test -run xxx -bench 'ConvertPerEvent|ConvertParallel|MergeLoserTreeVsLinear|MergeReadAhead|IntervalWriterThroughput|IntervalScan|IntervalEncodeV4|StatsWindow|StatsParallel' .

@@ -715,6 +715,91 @@ func BenchmarkIntervalScanInto(b *testing.B) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/record")
 }
 
+// --- header v4 compact encoding ------------------------------------------
+
+// benchIntervalRecords builds the record mix the v3/v4 comparison
+// benchmarks share: MPI sends with six extras, increasing start times.
+func benchIntervalRecords(n int) []interval.Record {
+	recs := make([]interval.Record, n)
+	for i := range recs {
+		recs[i] = interval.Record{
+			Type: events.EvMPISend, Bebits: profile.Complete,
+			Start: clock.Time(i) * 100, Dura: 10,
+			CPU: uint16(i % 4), Node: uint16(i % 2), Thread: uint16(i % 8),
+			Extra: []uint64{1, 2, 3, 4, 5, 6},
+		}
+	}
+	return recs
+}
+
+func writeBenchInterval(b *testing.B, version uint32, recs []interval.Record) *interval.SeekBuffer {
+	b.Helper()
+	hdr := interval.Header{ProfileVersion: profile.StdVersion, HeaderVersion: version, Markers: map[uint64]string{}}
+	sb := interval.NewSeekBuffer()
+	w, err := interval.NewWriter(sb, hdr, interval.WriterOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range recs {
+		if err := w.Add(&recs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return sb
+}
+
+// BenchmarkIntervalEncodeV4 compares write throughput and on-disk size
+// between the fixed-width v3 frames and the v4 compact encoding
+// (B/record is the whole-file size divided by the record count).
+func BenchmarkIntervalEncodeV4(b *testing.B) {
+	const n = 20000
+	recs := benchIntervalRecords(n)
+	for _, v := range []uint32{3, 4} {
+		b.Run(fmt.Sprintf("v%d", v), func(b *testing.B) {
+			b.ReportAllocs()
+			var size int
+			for i := 0; i < b.N; i++ {
+				size = len(writeBenchInterval(b, v, recs).Bytes())
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/record")
+			b.ReportMetric(float64(size)/n, "B/record")
+		})
+	}
+}
+
+// BenchmarkIntervalScanV4 compares sequential decode throughput
+// (NextRecordInto) over the same records at v3 and v4 — the acceptance
+// bar for the compact encoding is scan speed no worse than v3.
+func BenchmarkIntervalScanV4(b *testing.B) {
+	const n = 100000
+	recs := benchIntervalRecords(n)
+	for _, v := range []uint32{3, 4} {
+		b.Run(fmt.Sprintf("v%d", v), func(b *testing.B) {
+			f, err := interval.ReadHeader(writeBenchInterval(b, v, recs))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc := f.Scan()
+				var r interval.Record
+				count := 0
+				for sc.NextRecordInto(&r) == nil {
+					count++
+				}
+				if count != n {
+					b.Fatalf("scanned %d records", count)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/record")
+		})
+	}
+}
+
 // --- indexed analysis backend: window seeks + parallel stats -------------
 
 // windowBenchFile merges a 4-node run with small frames so the window

@@ -292,6 +292,13 @@ func TestCLIErrorPaths(t *testing.T) {
 	good := filepath.Join(dir, "good.ute")
 	writeIntervalFile(t, good, interval.CurrentHeaderVersion, 64)
 
+	// A structurally intact v4 file whose compact frame payload is
+	// damaged: checks must catch varint-stream corruption, not just
+	// header rot.
+	badv4 := filepath.Join(dir, "badv4.ute")
+	writeIntervalFile(t, badv4, interval.CurrentHeaderVersion, 64)
+	corruptFirstFrame(t, badv4)
+
 	cases := []struct {
 		name string
 		args []string
@@ -334,6 +341,9 @@ func TestCLIErrorPaths(t *testing.T) {
 		{"utecheck", []string{"-nosuchflag", good}, 3},
 		{"utecheck", []string{missing}, 3},
 		{"utecheck", []string{garbage}, 2},
+		{"utecheck", []string{badv4}, 1},
+
+		{"utedump", []string{"-validate", badv4}, 1},
 	}
 	for _, tc := range cases {
 		code, msg := runCmdFail(t, bin, tc.name, tc.args...)
@@ -349,6 +359,40 @@ func TestCLIErrorPaths(t *testing.T) {
 		t.Fatalf("utecheck on a valid file: %s", out)
 	}
 	runCmd(t, bin, "utedump", "-n", "2", "-window", "0:1", good)
+	if out := runCmd(t, bin, "utedump", "-sizes", good); !strings.Contains(out, "B/record") {
+		t.Fatalf("utedump -sizes output missing statistics:\n%s", out)
+	}
+}
+
+// corruptFirstFrame flips one byte inside the first frame's encoded
+// record bytes, leaving every checksum and directory intact.
+func corruptFirstFrame(t *testing.T, path string) {
+	t.Helper()
+	f, err := interval.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := f.Frames()
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) == 0 {
+		t.Fatal("no frames to corrupt")
+	}
+	fl, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	var b [1]byte
+	if _, err := fl.ReadAt(b[:], frames[0].Offset); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if _, err := fl.WriteAt(b[:], frames[0].Offset); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // utecheckReport mirrors utecheck's -json output shape.

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	utedump [-n LIMIT] [-frames] [-j N] [-window lo:hi] FILE
+//	utedump [-n LIMIT] [-frames] [-sizes] [-j N] [-window lo:hi] FILE
 //
 // For interval files, -window lo:hi (seconds; either side may be empty)
 // dumps only records overlapping the window — frames, and on
@@ -32,6 +32,7 @@ func main() {
 		limit    = flag.Int("n", 20, "maximum records to print (0 = all)")
 		frames   = flag.Bool("frames", false, "print frame directory structure of interval files")
 		validate = flag.Bool("validate", false, "check an interval file's structural invariants against the standard profile")
+		sizes    = flag.Bool("sizes", false, "print per-frame encoded size statistics of an interval file")
 		jobs     = flag.Int("j", 1, "frame-decode workers for interval record dumps (0 = GOMAXPROCS)")
 		window   = flag.String("window", "", "dump only interval records overlapping lo:hi (seconds)")
 	)
@@ -55,6 +56,10 @@ func main() {
 	case "UTEIVL1\x00":
 		if *validate {
 			validateInterval(path)
+			return
+		}
+		if *sizes {
+			sizesInterval(path)
 			return
 		}
 		dumpInterval(path, *limit, *frames, *jobs, *window)
@@ -179,6 +184,40 @@ func dumpInterval(path string, limit int, frames bool, jobs int, window string) 
 		return
 	}
 	fmt.Printf("total: %d records (dirs say %d), span [%v .. %v]\n", n, total, first, last)
+}
+
+// sizesInterval reports how many bytes each frame's record encoding
+// occupies on disk — the number the version-4 compact encoding exists
+// to shrink. Per frame: encoded bytes, record count, bytes per record;
+// then file-wide totals.
+func sizesInterval(path string) {
+	f, err := interval.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	frames, err := f.Frames()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("interval file: header v%d, %d frames\n", f.Header.HeaderVersion, len(frames))
+	var bytes, records int64
+	for i, fe := range frames {
+		bytes += int64(fe.Bytes)
+		records += int64(fe.Records)
+		per := 0.0
+		if fe.Records > 0 {
+			per = float64(fe.Bytes) / float64(fe.Records)
+		}
+		fmt.Printf("  frame %4d @%d: %6dB %5d records  %6.1f B/record\n",
+			i, fe.Offset, fe.Bytes, fe.Records, per)
+	}
+	per := 0.0
+	if records > 0 {
+		per = float64(bytes) / float64(records)
+	}
+	fmt.Printf("total: %dB of frame data, %d records, %.1f B/record (file is %dB)\n",
+		bytes, records, per, f.Size)
 }
 
 // validateInterval runs the full structural check: directory links,

@@ -229,6 +229,7 @@ func corpusSeeds(t *testing.T) map[string][]byte {
 		fmt.Sprintf("v%d-pipeline", interval.CurrentHeaderVersion): current,
 		"v1-small":     reencode(1, recs[:n], small),
 		"v2-small":     reencode(2, recs[:n], small),
+		"v3-small":     reencode(3, recs[:n], small),
 		"empty":        reencode(interval.CurrentHeaderVersion, nil, interval.WriterOptions{}),
 		"single-frame": reencode(interval.CurrentHeaderVersion, recs[:4], interval.WriterOptions{}),
 	}

@@ -1,7 +1,6 @@
 package interval
 
 import (
-	"fmt"
 	"sync"
 
 	"tracefw/internal/clock"
@@ -124,24 +123,8 @@ func decodeFrame(f *File, fe FrameEntry, buf []byte, concurrent bool) ([]Record,
 	if err != nil {
 		return nil, buf, err
 	}
-	recs := make([]Record, 0, fe.Records)
-	b := buf
-	for len(b) > 0 {
-		payload, n, err := NextFramed(b)
-		if err != nil {
-			return nil, buf, err
-		}
-		r, err := DecodePayload(payload)
-		if err != nil {
-			return nil, buf, err
-		}
-		recs = append(recs, r)
-		b = b[n:]
-	}
-	if len(recs) != int(fe.Records) {
-		return nil, buf, fmt.Errorf("interval: frame claims %d records, found %d", fe.Records, len(recs))
-	}
-	return recs, buf, nil
+	recs, err := decodeFrameRecords(f.Header.HeaderVersion, fe, buf)
+	return recs, buf, err
 }
 
 // orderedReducer serializes reduce calls into ascending item order.

@@ -233,7 +233,7 @@ func (f *File) readDirHeader(offset int64) (*FrameDir, int, error) {
 		d.Start = clock.Time(binary.LittleEndian.Uint64(h[24:]))
 		d.End = clock.Time(binary.LittleEndian.Uint64(h[32:]))
 		d.Records = int64(binary.LittleEndian.Uint64(h[40:]))
-		if d.Records < 0 || d.Records*minFramedRecord > f.Size {
+		if d.Records < 0 || d.Records*minRecordBytes(f.Header.HeaderVersion) > f.Size {
 			return nil, 0, fmt.Errorf("interval: directory at %d claims %d records in a %d-byte file", offset, d.Records, f.Size)
 		}
 	}
@@ -288,7 +288,7 @@ func (f *File) readDirEntries(d *FrameDir, n int) error {
 		if fe.Offset < 0 || fe.Offset > f.Size || int64(fe.Bytes) > f.Size || fe.Offset+int64(fe.Bytes) > f.Size {
 			return fmt.Errorf("interval: directory at %d entry %d: frame at %d (%d bytes) exceeds file size %d", d.Offset, i, fe.Offset, fe.Bytes, f.Size)
 		}
-		if int64(fe.Records)*minFramedRecord > int64(fe.Bytes) {
+		if int64(fe.Records)*minRecordBytes(ver) > int64(fe.Bytes) {
 			return fmt.Errorf("interval: directory at %d entry %d: %d records cannot fit in %d bytes", d.Offset, i, fe.Records, fe.Bytes)
 		}
 		d.Entries = append(d.Entries, fe)
@@ -456,18 +456,27 @@ func (f *File) FrameRecords(fe FrameEntry) ([]Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	return decodeFrameRecords(f.Header.HeaderVersion, fe, buf)
+}
+
+// decodeFrameRecords decodes a frame's already-read (and
+// checksum-verified) payload and cross-checks the record count claimed
+// by the directory entry. Extra/Vec slices come from one arena, so a
+// frame costs O(1) allocations instead of one per record; the records
+// own their blocks and may be retained (the MapFrames contract).
+func decodeFrameRecords(version uint32, fe FrameEntry, buf []byte) ([]Record, error) {
+	var cur frameCursor
+	if err := cur.init(version, buf); err != nil {
+		return nil, err
+	}
 	recs := make([]Record, 0, fe.Records)
-	for len(buf) > 0 {
-		payload, n, err := NextFramed(buf)
-		if err != nil {
-			return nil, err
-		}
-		r, err := DecodePayload(payload)
-		if err != nil {
+	var a u64Arena
+	for len(cur.buf) > 0 {
+		var r Record
+		if err := cur.next(&r, &a); err != nil {
 			return nil, err
 		}
 		recs = append(recs, r)
-		buf = buf[n:]
 	}
 	if len(recs) != int(fe.Records) {
 		return nil, fmt.Errorf("interval: frame claims %d records, found %d", fe.Records, len(recs))
@@ -590,6 +599,19 @@ type Scanner struct {
 	// frameBuf is the pooled backing buffer the current frame was read
 	// into; it is returned to the pool once the scan terminates.
 	frameBuf *[]byte
+	// cur decodes the current frame on v4 files (dictionary and base
+	// start are frame-local); buf mirrors cur.buf there so the
+	// "frame exhausted" check is shared across versions.
+	cur frameCursor
+	// arena backs the Extra/Vec slices of records returned by NextRecord
+	// and All, replacing one allocation per record with one per ~4096
+	// field values. Chunks are never reused, so the records stay valid
+	// after the scan.
+	arena u64Arena
+	// scratch/pbuf serve Next on v4 files: the record is decoded into
+	// scratch and re-encoded fixed-width into pbuf.
+	scratch Record
+	pbuf    []byte
 }
 
 // Scan returns a sequential record scanner positioned before the first
@@ -672,47 +694,108 @@ func (s *Scanner) SeekTime(t clock.Time) error {
 	}
 }
 
-// Next returns the next record's payload bytes, or io.EOF after the
-// last record. The returned slice is valid until the following call.
-func (s *Scanner) Next() ([]byte, error) {
+// ensure positions the scanner on a frame with undecoded records,
+// loading directories and frames as needed.
+func (s *Scanner) ensure() error {
 	if s.err != nil {
-		return nil, s.err
+		return s.err
 	}
 	for len(s.buf) == 0 {
 		if err := s.advanceFrame(); err != nil {
 			s.err = err
 			s.release()
-			return nil, err
+			return err
 		}
+	}
+	return nil
+}
+
+// fail records a mid-frame decode error; the scanner is sticky after it.
+func (s *Scanner) fail(err error) error {
+	s.err = err
+	s.release()
+	return err
+}
+
+// Next returns the next record's payload bytes in the fixed-width
+// encoding, or io.EOF after the last record. On v4 files the payload is
+// synthesized from the compact frame encoding, so consumers of raw
+// payload bytes see every header version identically. The returned
+// slice is valid until the following call.
+func (s *Scanner) Next() ([]byte, error) {
+	if err := s.ensure(); err != nil {
+		return nil, err
+	}
+	if s.f.Header.HeaderVersion >= 4 {
+		if err := s.cur.next(&s.scratch, nil); err != nil {
+			return nil, s.fail(err)
+		}
+		s.buf = s.cur.buf
+		s.pbuf = s.scratch.AppendPayload(s.pbuf[:0])
+		return s.pbuf, nil
 	}
 	payload, n, err := NextFramed(s.buf)
 	if err != nil {
-		s.err = err
-		s.release()
-		return nil, err
+		return nil, s.fail(err)
 	}
 	s.buf = s.buf[n:]
 	return payload, nil
 }
 
-// NextRecord decodes the next record.
+// NextRecord decodes the next record. The record's Extra/Vec slices are
+// carved from the scanner's chunked arena: they stay valid after the
+// scan and after further NextRecord calls, they share backing chunks
+// with other records from the same scanner, and they are
+// capacity-clamped so appending to one never overwrites another.
 func (s *Scanner) NextRecord() (Record, error) {
-	payload, err := s.Next()
-	if err != nil {
-		return Record{}, err
+	var r Record
+	if err := s.ensure(); err != nil {
+		return r, err
 	}
-	return DecodePayload(payload)
+	if s.f.Header.HeaderVersion >= 4 {
+		if err := s.cur.next(&r, &s.arena); err != nil {
+			return Record{}, s.fail(err)
+		}
+		s.buf = s.cur.buf
+		return r, nil
+	}
+	payload, n, err := NextFramed(s.buf)
+	if err != nil {
+		return r, s.fail(err)
+	}
+	s.buf = s.buf[n:]
+	if err := decodePayload(payload, &r, &s.arena); err != nil {
+		return Record{}, s.fail(err)
+	}
+	return r, nil
 }
 
 // NextRecordInto decodes the next record into *r, reusing r's Extra and
-// Vec capacity. Hot sequential consumers (merge sources, clock-pair
-// extraction) use it to avoid one allocation per record.
+// Vec capacity — the decoded slices alias r's previous ones, so a
+// record must be consumed (or copied) before the next call overwrites
+// it. Hot sequential consumers (merge sources, clock-pair extraction)
+// use it to avoid one allocation per record; on v4 files the varints
+// decode straight into *r with no intermediate payload.
 func (s *Scanner) NextRecordInto(r *Record) error {
-	payload, err := s.Next()
-	if err != nil {
+	if err := s.ensure(); err != nil {
 		return err
 	}
-	return DecodePayloadInto(payload, r)
+	if s.f.Header.HeaderVersion >= 4 {
+		if err := s.cur.next(r, nil); err != nil {
+			return s.fail(err)
+		}
+		s.buf = s.cur.buf
+		return nil
+	}
+	payload, n, err := NextFramed(s.buf)
+	if err != nil {
+		return s.fail(err)
+	}
+	s.buf = s.buf[n:]
+	if err := DecodePayloadInto(payload, r); err != nil {
+		return s.fail(err)
+	}
+	return nil
 }
 
 // All drains the scanner. The result slice is sized up front from the
@@ -781,6 +864,18 @@ func (s *Scanner) advanceFrame() error {
 			*s.frameBuf = buf
 			if len(buf) == 0 {
 				continue
+			}
+			if s.f.Header.HeaderVersion >= 4 {
+				// Parse the frame-local dictionary and base start; s.buf
+				// mirrors the cursor's remaining bytes from here on.
+				if err := s.cur.init(s.f.Header.HeaderVersion, buf); err != nil {
+					return err
+				}
+				if len(s.cur.buf) == 0 {
+					continue
+				}
+				s.buf = s.cur.buf
+				return nil
 			}
 			s.buf = buf
 			return nil

@@ -155,6 +155,14 @@ func DecodePayload(payload []byte) (Record, error) {
 // (the Scanner, the merge read-ahead stage) avoid one allocation per
 // record. Zero-length Extra/Vec are set to nil, matching DecodePayload.
 func DecodePayloadInto(payload []byte, r *Record) error {
+	return decodePayload(payload, r, nil)
+}
+
+// decodePayload is DecodePayloadInto with a pluggable allocation
+// policy: a nil arena reuses r's capacity (records overwritten by the
+// next decode), a non-nil arena carves fresh capacity-clamped blocks
+// (records that escape the decode loop, one allocation per chunk).
+func decodePayload(payload []byte, r *Record, a *u64Arena) error {
 	if len(payload) < profile.CommonSize {
 		return fmt.Errorf("interval: payload %d bytes, need at least %d", len(payload), profile.CommonSize)
 	}
@@ -165,7 +173,7 @@ func DecodePayloadInto(payload []byte, r *Record) error {
 	r.CPU = binary.LittleEndian.Uint16(payload[19:])
 	r.Node = binary.LittleEndian.Uint16(payload[21:])
 	r.Thread = binary.LittleEndian.Uint16(payload[23:])
-	r.Extra, r.Vec = r.Extra[:0], nil
+	r.Vec = nil
 	rest := payload[profile.CommonSize:]
 	if events.VectorField(r.Type) != "" {
 		// Fixed scalar extras, then the counter-prefixed vector.
@@ -173,7 +181,7 @@ func DecodePayloadInto(payload []byte, r *Record) error {
 		if len(rest) < 8*nx+2 {
 			return fmt.Errorf("interval: %s record too short for %d extras + vector counter", r.Type.Name(), nx)
 		}
-		r.Extra = growU64(r.Extra, nx)
+		r.Extra = allocU64(r.Extra, nx, a)
 		for i := range r.Extra {
 			r.Extra[i] = binary.LittleEndian.Uint64(rest[8*i:])
 		}
@@ -184,7 +192,7 @@ func DecodePayloadInto(payload []byte, r *Record) error {
 			return fmt.Errorf("interval: vector claims %d elements, %d bytes follow", n, len(rest))
 		}
 		if n > 0 {
-			r.Vec = make([]uint64, n)
+			r.Vec = allocU64(nil, n, a)
 			for i := range r.Vec {
 				r.Vec[i] = binary.LittleEndian.Uint64(rest[8*i:])
 			}
@@ -195,15 +203,27 @@ func DecodePayloadInto(payload []byte, r *Record) error {
 		return fmt.Errorf("interval: %d trailing bytes not a whole number of extras", len(rest))
 	}
 	if len(rest) > 0 {
-		r.Extra = growU64(r.Extra, len(rest)/8)
+		r.Extra = allocU64(r.Extra, len(rest)/8, a)
 		for i := range r.Extra {
 			r.Extra[i] = binary.LittleEndian.Uint64(rest[8*i:])
 		}
-	}
-	if len(r.Extra) == 0 {
+	} else {
 		r.Extra = nil
 	}
 	return nil
+}
+
+// allocU64 returns an n-element slice: from the arena when one is
+// supplied, otherwise reusing b's capacity. n == 0 yields nil either
+// way, matching DecodePayload.
+func allocU64(b []uint64, n int, a *u64Arena) []uint64 {
+	if n == 0 {
+		return nil
+	}
+	if a != nil {
+		return a.alloc(n)
+	}
+	return growU64(b, n)
 }
 
 // growU64 returns b resized to n elements, reusing its capacity.

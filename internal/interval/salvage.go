@@ -360,7 +360,7 @@ func (f *File) salvageDir(off int64) (*rawDir, bool) {
 	// A corrupt count can claim billions of entries; report at most as
 	// many dropped frames as the file could physically hold.
 	d.entriesDropped = d.n - nRead
-	if most := int(f.Size / minFramedRecord); d.entriesDropped > most {
+	if most := int(f.Size / minRecordBytes(ver)); d.entriesDropped > most {
 		d.entriesDropped = most
 	}
 	if nRead == 0 {
@@ -412,7 +412,7 @@ func (f *File) salvageDir(off int64) (*rawDir, bool) {
 		// at least one record, and cannot claim more records than fit in
 		// its bytes.
 		if fe.Offset < frameFloor || int64(fe.Bytes) > f.Size-fe.Offset ||
-			fe.Records < 1 || int64(fe.Records)*minFramedRecord > int64(fe.Bytes) ||
+			fe.Records < 1 || int64(fe.Records)*minRecordBytes(ver) > int64(fe.Bytes) ||
 			fe.Start > fe.End {
 			d.entriesDropped++
 			continue
@@ -423,17 +423,24 @@ func (f *File) salvageDir(off int64) (*rawDir, bool) {
 }
 
 // salvageFrame verifies a frame's bytes against its directory entry:
-// the version-3 payload checksum when present, then a full decode
+// the payload checksum on version 3 and above, then a full decode
 // cross-checked against the entry's record count and time bounds, with
-// record end times nondecreasing inside the frame. Only frames passing
-// every check are recovered, which is what keeps salvage from ever
-// inventing a record.
+// record end times nondecreasing inside the frame. On v4 frames the
+// decode is the compact varint stream (dictionary, base start, then
+// records): the frame is recovered only if that stream decodes exactly
+// to the entry's record count with no trailing bytes. Only frames
+// passing every check are recovered, which is what keeps salvage from
+// ever inventing a record.
 func (f *File) salvageFrame(fe FrameEntry) bool {
 	buf := make([]byte, fe.Bytes)
 	if !f.readRaw(fe.Offset, buf) {
 		return false
 	}
 	if f.Header.HeaderVersion >= 3 && crc32.Checksum(buf, crcTable) != fe.Sum {
+		return false
+	}
+	var cur frameCursor
+	if cur.init(f.Header.HeaderVersion, buf) != nil {
 		return false
 	}
 	var (
@@ -443,12 +450,8 @@ func (f *File) salvageFrame(fe FrameEntry) bool {
 		anyYet   bool
 		scratchR Record
 	)
-	for len(buf) > 0 {
-		payload, consumed, err := NextFramed(buf)
-		if err != nil {
-			return false
-		}
-		if err := DecodePayloadInto(payload, &scratchR); err != nil {
+	for len(cur.buf) > 0 {
+		if cur.next(&scratchR, nil) != nil {
 			return false
 		}
 		end := scratchR.End()
@@ -464,7 +467,6 @@ func (f *File) salvageFrame(fe FrameEntry) bool {
 		}
 		anyYet = true
 		n++
-		buf = buf[consumed:]
 	}
 	return n == fe.Records && lo == fe.Start && hi == fe.End
 }
@@ -593,19 +595,24 @@ type RepairReport struct {
 
 // Repair writes the salvaged frames to dst as a fresh, fully valid
 // interval file with the same header (and header version) as the
-// source. Record bytes are copied verbatim; directory metadata and
-// checksums are rebuilt by the writer. Frames that would break the
-// format's global end-time ordering (possible only when salvage had to
-// resync around damage) are skipped and counted.
+// source. Record content is copied exactly — verbatim payload bytes
+// below version 4, decode-and-re-encode through the compact codec on
+// v4 — while directory metadata and checksums are rebuilt by the
+// writer. Frames that would break the format's global end-time
+// ordering (possible only when salvage had to resync around damage)
+// are skipped and counted.
 func Repair(f *File, sv *SalvageResult, dst io.WriteSeeker, opts WriterOptions) (*RepairReport, error) {
 	w, err := NewWriter(dst, f.Header, opts)
 	if err != nil {
 		return nil, err
 	}
 	rep := &RepairReport{}
+	ver := f.Header.HeaderVersion
 	var lastEnd clock.Time
 	var wroteAny bool
+	var cur frameCursor
 	var scratch Record
+	var pbuf []byte
 	for _, fe := range sv.Frames {
 		buf, err := f.ReadFrame(fe)
 		if err != nil {
@@ -615,29 +622,25 @@ func Repair(f *File, sv *SalvageResult, dst io.WriteSeeker, opts WriterOptions) 
 			continue
 		}
 		// Salvage verified intra-frame ordering; the frame's first
-		// record carries its minimum end time.
-		if wroteAny {
-			first, _, err := NextFramed(buf)
-			if err != nil {
-				rep.FramesSkipped++
-				continue
-			}
-			if err := DecodePayloadInto(first, &scratch); err != nil {
-				rep.FramesSkipped++
-				continue
-			}
-			if scratch.End() < lastEnd {
-				rep.FramesSkipped++
-				continue
-			}
+		// record carries its minimum end time. Decode it before writing
+		// anything so a degraded frame is skipped whole.
+		if cur.init(ver, buf) != nil || len(cur.buf) == 0 {
+			rep.FramesSkipped++
+			continue
 		}
-		for len(buf) > 0 {
-			payload, consumed, err := NextFramed(buf)
-			if err != nil {
-				return nil, fmt.Errorf("interval: repair: frame at %d no longer decodes: %w", fe.Offset, err)
-			}
-			if err := DecodePayloadInto(payload, &scratch); err != nil {
-				return nil, fmt.Errorf("interval: repair: frame at %d no longer decodes: %w", fe.Offset, err)
+		if err := cur.next(&scratch, nil); err != nil {
+			rep.FramesSkipped++
+			continue
+		}
+		if wroteAny && scratch.End() < lastEnd {
+			rep.FramesSkipped++
+			continue
+		}
+		for {
+			payload := cur.payload
+			if payload == nil {
+				pbuf = scratch.AppendPayload(pbuf[:0])
+				payload = pbuf
 			}
 			end := scratch.End()
 			if err := w.AddPayload(payload, scratch.Start, end); err != nil {
@@ -646,7 +649,12 @@ func Repair(f *File, sv *SalvageResult, dst io.WriteSeeker, opts WriterOptions) 
 			lastEnd = end
 			wroteAny = true
 			rep.RecordsWritten++
-			buf = buf[consumed:]
+			if len(cur.buf) == 0 {
+				break
+			}
+			if err := cur.next(&scratch, nil); err != nil {
+				return nil, fmt.Errorf("interval: repair: frame at %d no longer decodes: %w", fe.Offset, err)
+			}
 		}
 		rep.FramesWritten++
 	}

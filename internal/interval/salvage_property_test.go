@@ -23,7 +23,9 @@ import (
 // drawn from the metadata regions only (directory headers and entry
 // tables): those layouts carry no payload checksums, so a payload flip
 // that still decodes is undetectable by design (the reason v3 exists).
-// On v3 the flips range over the whole body, payload included.
+// On v3 and v4 the flips range over the whole body, payload included —
+// on v4 that also exercises the compact frame encoding's own decode
+// validation underneath the CRC.
 
 // pristineFile is the undamaged oracle a scenario compares against.
 type pristineFile struct {
@@ -143,7 +145,7 @@ func checkScenario(t *testing.T, p *pristineFile, damaged []byte, fault faultfs.
 // one-third bit flips.
 func TestSalvageDifferential(t *testing.T) {
 	const perKind = 70
-	for _, version := range []uint32{1, 2, CurrentHeaderVersion} {
+	for _, version := range []uint32{1, 2, 3, CurrentHeaderVersion} {
 		version := version
 		t.Run(fmt.Sprintf("v%d", version), func(t *testing.T) {
 			p := buildPristine(t, version, 1000+uint64(version), 700)
@@ -188,7 +190,7 @@ func TestSalvageDifferential(t *testing.T) {
 // fully below the horizon must salvage; nothing not in the clean
 // reference file may appear.
 func TestSalvageTornWriterCrash(t *testing.T) {
-	for _, version := range []uint32{1, 2, CurrentHeaderVersion} {
+	for _, version := range []uint32{1, 2, 3, CurrentHeaderVersion} {
 		// Clean reference: identical records, graceful Close.
 		refBuf, _ := writeRandomFile(t, 31, 700, version)
 		ref := openFile(t, refBuf)

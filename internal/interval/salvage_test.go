@@ -37,7 +37,7 @@ func recordsOf(t *testing.T, f *File, frames []FrameEntry) []Record {
 // exactly the frame list and report a clean pass, on every header
 // version.
 func TestSalvageCleanFile(t *testing.T) {
-	for _, version := range []uint32{1, 2, CurrentHeaderVersion} {
+	for _, version := range []uint32{1, 2, 3, CurrentHeaderVersion} {
 		sb, recs := writeRandomFile(t, 21, 500, version)
 		f := openFile(t, sb)
 		want, err := f.Frames()
@@ -64,7 +64,7 @@ func TestSalvageCleanFile(t *testing.T) {
 // TestSalvageTruncatedTail: cutting the file mid-way must keep every
 // frame that physically survived and report the tail lost.
 func TestSalvageTruncatedTail(t *testing.T) {
-	for _, version := range []uint32{1, 2, CurrentHeaderVersion} {
+	for _, version := range []uint32{1, 2, 3, CurrentHeaderVersion} {
 		sb, _ := writeRandomFile(t, 22, 600, version)
 		base := sb.Bytes()
 		pf := openFile(t, sb)
@@ -113,7 +113,7 @@ func TestSalvageTruncatedTail(t *testing.T) {
 // must lose only that directory's frames; the chain is re-found by
 // scanning and later directories survive.
 func TestSalvageResyncAfterBrokenLink(t *testing.T) {
-	for _, version := range []uint32{1, 2, CurrentHeaderVersion} {
+	for _, version := range []uint32{1, 2, 3, CurrentHeaderVersion} {
 		sb, _ := writeRandomFile(t, 23, 900, version)
 		base := append([]byte(nil), sb.Bytes()...)
 		pf := openFile(t, sb)
@@ -195,7 +195,7 @@ func TestSalvageEmptyAndTinyFiles(t *testing.T) {
 // TestSalvageRejectsFlippedEntry: a bit flip inside a frame entry must
 // drop (only) that frame — the entry no longer matches its payload.
 func TestSalvageRejectsFlippedEntry(t *testing.T) {
-	for _, version := range []uint32{1, 2, CurrentHeaderVersion} {
+	for _, version := range []uint32{1, 2, 3, CurrentHeaderVersion} {
 		sb, _ := writeRandomFile(t, 24, 400, version)
 		base := append([]byte(nil), sb.Bytes()...)
 		pf := openFile(t, sb)
@@ -226,7 +226,7 @@ func entrySizeSlack(uint32) int { return 1 }
 // TestRepairProducesValidFile: repairing a truncated file yields a new
 // file that passes Validate and contains exactly the salvaged records.
 func TestRepairProducesValidFile(t *testing.T) {
-	for _, version := range []uint32{1, 2, CurrentHeaderVersion} {
+	for _, version := range []uint32{1, 2, 3, CurrentHeaderVersion} {
 		sb, _ := writeRandomFile(t, 25, 500, version)
 		base := sb.Bytes()
 		f, sv := salvageOpen(t, base[:len(base)*3/4])

@@ -67,25 +67,36 @@ func (f *File) Validate(p *profile.Profile) (*ValidationReport, error) {
 	}
 
 	lastEnd := int64(-1 << 62)
+	var (
+		cur  frameCursor
+		rec  Record
+		pbuf []byte
+	)
 	for _, d := range dirs {
 		for fi, fe := range d.Entries {
 			buf, err := f.ReadFrame(fe)
 			if err != nil {
 				return nil, err
 			}
+			if err := cur.init(f.Header.HeaderVersion, buf); err != nil {
+				return nil, fmt.Errorf("interval: frame %d at %d: %w", fi, fe.Offset, err)
+			}
 			var n uint32
 			first := true
 			var lo, hi int64
-			for len(buf) > 0 {
-				payload, consumed, err := NextFramed(buf)
-				if err != nil {
+			for len(cur.buf) > 0 {
+				if err := cur.next(&rec, nil); err != nil {
 					return nil, fmt.Errorf("interval: frame %d at %d: %w", fi, fe.Offset, err)
 				}
-				rec, err := DecodePayload(payload)
-				if err != nil {
-					return nil, err
-				}
 				if p != nil {
+					// The profile describes the fixed-width layout; on v4
+					// frames check it against the synthesized payload, which
+					// is what any profile-driven consumer would see.
+					payload := cur.payload
+					if payload == nil {
+						pbuf = rec.AppendPayload(pbuf[:0])
+						payload = pbuf
+					}
 					spec := p.Lookup(rec.Type, rec.Bebits)
 					if spec == nil {
 						return nil, fmt.Errorf("interval: no profile spec for %s/%s", rec.Type.Name(), rec.Bebits)
@@ -112,7 +123,6 @@ func (f *File) Validate(p *profile.Profile) (*ValidationReport, error) {
 				}
 				first = false
 				n++
-				buf = buf[consumed:]
 			}
 			if n != fe.Records {
 				return nil, fmt.Errorf("interval: frame claims %d records, found %d", fe.Records, n)

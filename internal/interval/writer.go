@@ -40,10 +40,14 @@ type Header struct {
 // stores a magic word and a CRC-32C checksum in every directory header
 // and a CRC-32C of each frame's record bytes in its entry, so damaged
 // metadata is detected on read and salvage can re-synchronize on the
-// directory magic. Version 1 and 2 files (no checksums) remain
-// readable; v1 aggregates are reconstructed from the frame entries when
-// a directory is read.
-const CurrentHeaderVersion uint32 = 3
+// directory magic. Version 4 keeps the v3 directory layout (and its
+// checksums) but encodes each frame's records compactly: start times
+// as varint deltas from the frame's minimum start, durations and
+// extras as varints, and the repeating (type, bebits, cpu, node,
+// thread) tuples through a per-frame dictionary (see frame_v4.go).
+// Files at every older version remain fully readable; v1 aggregates
+// are reconstructed from the frame entries when a directory is read.
+const CurrentHeaderVersion uint32 = 4
 
 const (
 	fileMagic       = "UTEIVL1\x00"
@@ -61,9 +65,10 @@ const (
 	// Version 3 appends a CRC-32C of the frame's record bytes to each
 	// directory entry.
 	frameEntryV3Size = frameEntrySize + 4
-	// minFramedRecord bounds how small an encoded record can be: a
-	// one-byte length prefix plus the fixed common payload fields. Used
-	// to validate directory record counts against frame sizes.
+	// minFramedRecord bounds how small an encoded record can be on
+	// header versions below 4: a one-byte length prefix plus the fixed
+	// common payload fields. Used (via minRecordBytes) to validate
+	// directory record counts against frame sizes.
 	minFramedRecord = 1 + 25 // 1 + profile.CommonSize
 )
 
@@ -115,7 +120,10 @@ func dirChecksum(count uint32, start, end clock.Time, records uint64, entries []
 type WriterOptions struct {
 	// FrameBytes closes a frame once its records reach this size
 	// (default 64 KiB). "The frame size is chosen so that the display of
-	// a single frame is quick" (paper §4).
+	// a single frame is quick" (paper §4). The threshold is measured on
+	// the fixed-width accumulation encoding, so frame boundaries (and
+	// with them record-to-frame assignment) are identical across header
+	// versions; v4 frames are typically much smaller on disk.
 	FrameBytes int
 	// FramesPerDir is the number of frame entries per directory
 	// (default 32).
@@ -162,6 +170,7 @@ type Writer struct {
 	prevDirOff int64  // offset of the previous directory (-1 none)
 	patchOff   int64  // where the previous directory's next field lives
 	version    uint32 // directory layout version being written
+	enc        v4EncState
 	closed     bool
 	err        error
 	// framePB/groupPB are the pooled backing buffers behind frame and
@@ -265,7 +274,9 @@ func (w *Writer) Add(r *Record) error {
 		w.frameMeta.end = end
 	}
 	if len(w.frame) >= w.opts.frameBytes() {
-		w.closeFrame()
+		if err := w.closeFrame(); err != nil {
+			return err
+		}
 		if len(w.group) >= w.opts.framesPerDir() {
 			return w.flushGroup(false)
 		}
@@ -314,7 +325,9 @@ func (w *Writer) AddPayload(payload []byte, start, end clock.Time) error {
 		w.frameMeta.end = end
 	}
 	if len(w.frame) >= w.opts.frameBytes() {
-		w.closeFrame()
+		if err := w.closeFrame(); err != nil {
+			return err
+		}
 		if len(w.group) >= w.opts.framesPerDir() {
 			return w.flushGroup(false)
 		}
@@ -322,18 +335,36 @@ func (w *Writer) AddPayload(payload []byte, start, end clock.Time) error {
 	return nil
 }
 
-func (w *Writer) closeFrame() {
+// closeFrame seals the accumulated frame into the pending directory
+// group. Records accumulate fixed-width in w.frame regardless of
+// version (Add/AddPayload stay simple and frame boundaries stay
+// version-independent); from version 4 on the frame is transcoded into
+// the compact varint encoding as it moves into the group buffer, and
+// the per-frame CRC covers those encoded bytes.
+func (w *Writer) closeFrame() error {
 	if w.frameMeta.records == 0 {
-		return
+		return nil
 	}
-	w.frameMeta.bytes = uint32(len(w.frame))
+	mark := len(w.groupBytes)
+	if w.version >= 4 {
+		gb, err := encodeFrameV4(w.groupBytes, w.frame, &w.enc)
+		if err != nil {
+			w.err = fmt.Errorf("interval: encoding v4 frame: %w", err)
+			return w.err
+		}
+		w.groupBytes = gb
+	} else {
+		w.groupBytes = append(w.groupBytes, w.frame...)
+	}
+	encoded := w.groupBytes[mark:]
+	w.frameMeta.bytes = uint32(len(encoded))
 	if w.version >= 3 {
-		w.frameMeta.sum = crc32.Checksum(w.frame, crcTable)
+		w.frameMeta.sum = crc32.Checksum(encoded, crcTable)
 	}
 	w.group = append(w.group, w.frameMeta)
-	w.groupBytes = append(w.groupBytes, w.frame...)
 	w.frame = w.frame[:0]
 	w.frameMeta = emptyFrameMeta()
+	return nil
 }
 
 // appendDir serializes a directory header and entry table for version,
@@ -466,7 +497,9 @@ func (w *Writer) Close() error {
 	if w.err != nil {
 		return w.err
 	}
-	w.closeFrame()
+	if err := w.closeFrame(); err != nil {
+		return err
+	}
 	if len(w.group) > 0 {
 		if err := w.flushGroup(true); err != nil {
 			return err
