@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/http/httptest"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"testing"
@@ -29,6 +31,7 @@ import (
 	"tracefw/internal/slog"
 	"tracefw/internal/stats"
 	"tracefw/internal/trace"
+	"tracefw/internal/tracesvc"
 	"tracefw/internal/workload"
 )
 
@@ -876,5 +879,70 @@ func BenchmarkStatsParallel(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// --- trace query service (utetraced's serving layer) -------------------
+
+// serveBench builds a service with one registered on-disk trace and
+// returns it with the request URL of a half-run window query in count
+// mode (all decode, no JSON bodies — the purest cache measurement).
+func serveBench(b *testing.B, n int) (*tracesvc.Service, *tracesvc.Trace, string) {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), "bench.ute")
+	writeIntervalFile(b, path, interval.CurrentHeaderVersion, n)
+	svc := tracesvc.New(tracesvc.Config{})
+	tr, err := svc.Registry().Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start, end, _ := tr.Bounds()
+	lo, hi := start.Seconds(), (start + (end-start)/2).Seconds()
+	url := fmt.Sprintf("/v1/traces/%s/records?window=%.9f:%.9f&count=1", tr.ID, lo, hi)
+	return svc, tr, url
+}
+
+func serveOnce(b *testing.B, svc *tracesvc.Service, url string) {
+	b.Helper()
+	w := httptest.NewRecorder()
+	svc.Handler().ServeHTTP(w, httptest.NewRequest("GET", url, nil))
+	if w.Code != 200 {
+		b.Fatalf("GET %s: %d %s", url, w.Code, w.Body)
+	}
+}
+
+// BenchmarkServeWindowCold measures the window query with the cache
+// flushed before every request: each iteration re-reads and re-decodes
+// every overlapping frame.
+func BenchmarkServeWindowCold(b *testing.B) {
+	svc, tr, url := serveBench(b, 20000)
+	defer svc.Close()
+	runtime.GC()
+	b.ResetTimer()
+	start := tr.File().DecodedFrames()
+	for i := 0; i < b.N; i++ {
+		svc.Cache().Flush()
+		serveOnce(b, svc, url)
+	}
+	b.ReportMetric(float64(tr.File().DecodedFrames()-start)/float64(b.N), "frames/op")
+}
+
+// BenchmarkServeWindowCached is the same query against a warm cache:
+// the acceptance bar is ≥5x faster than cold with zero frames decoded
+// per operation (the frames/op metric must print 0).
+func BenchmarkServeWindowCached(b *testing.B) {
+	svc, tr, url := serveBench(b, 20000)
+	defer svc.Close()
+	serveOnce(b, svc, url) // warm the cache
+	runtime.GC()
+	b.ResetTimer()
+	start := tr.File().DecodedFrames()
+	for i := 0; i < b.N; i++ {
+		serveOnce(b, svc, url)
+	}
+	decoded := tr.File().DecodedFrames() - start
+	b.ReportMetric(float64(decoded)/float64(b.N), "frames/op")
+	if decoded != 0 {
+		b.Fatalf("warm queries decoded %d frames", decoded)
 	}
 }

@@ -5,8 +5,11 @@ package tracefw
 // → utestats / uteview / utedump.
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -24,7 +27,7 @@ import (
 func buildCmds(t *testing.T) string {
 	t.Helper()
 	bin := t.TempDir()
-	for _, name := range []string{"tracegen", "uteconvert", "utemerge", "utestats", "uteview", "utedump", "utecheck"} {
+	for _, name := range []string{"tracegen", "uteconvert", "utemerge", "utestats", "uteview", "utedump", "utecheck", "utetraced"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(bin, name), "./cmd/"+name)
 		cmd.Env = os.Environ()
 		if out, err := cmd.CombinedOutput(); err != nil {
@@ -227,7 +230,7 @@ func runCmdFail(t *testing.T, bin, name string, args ...string) (int, string) {
 
 // writeIntervalFile writes a small valid interval file under the given
 // header version and returns the records it holds.
-func writeIntervalFile(t *testing.T, path string, version uint32, n int) []interval.Record {
+func writeIntervalFile(t testing.TB, path string, version uint32, n int) []interval.Record {
 	t.Helper()
 	rng := xrand.New(42)
 	recs := make([]interval.Record, n)
@@ -464,5 +467,102 @@ func TestCLICheckRepair(t *testing.T) {
 	out := runCmd(t, bin, "utecheck", repaired)
 	if !strings.Contains(out, "valid (") {
 		t.Fatalf("utecheck on repaired file: %s", out)
+	}
+}
+
+// TestCLITraceDaemon drives utetraced end to end: start on an ephemeral
+// port with a preloaded trace, parse the printed listen address, query
+// the JSON and TSV endpoints over real HTTP, and shut down with SIGINT
+// expecting a clean exit.
+func TestCLITraceDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bin := buildCmds(t)
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.ute")
+	writeIntervalFile(t, tracePath, interval.CurrentHeaderVersion, 200)
+
+	cmd := exec.Command(filepath.Join(bin, "utetraced"), "-addr", "127.0.0.1:0", tracePath)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon prints "opened ... as t1" then "listening on http://...".
+	sc := bufio.NewScanner(stdout)
+	var base string
+	for sc.Scan() {
+		if _, addr, ok := strings.Cut(sc.Text(), "listening on "); ok {
+			base = addr
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("no listen line; daemon output ended: %v", sc.Err())
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	code, body := get("/v1/traces")
+	if code != 200 || !strings.Contains(body, tracePath) {
+		t.Fatalf("list: %d %s", code, body)
+	}
+	var list struct {
+		Traces []struct {
+			ID      string `json:"id"`
+			Records int64  `json:"records"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) != 1 || list.Traces[0].Records != 200 {
+		t.Fatalf("preloaded trace metadata: %+v", list)
+	}
+	id := list.Traces[0].ID
+
+	if code, body = get("/v1/traces/" + id + "/records?count=1"); code != 200 || !strings.Contains(body, `"count": 200`) {
+		t.Fatalf("records count: %d %s", code, body)
+	}
+	if code, body = get("/v1/traces/" + id + "/stats"); code != 200 || !strings.Contains(body, "# table") {
+		t.Fatalf("stats: %d %.200s", code, body)
+	}
+	if code, body = get("/v1/traces/" + id + "/preview.svg"); code != 200 || !strings.HasPrefix(body, "<svg") {
+		t.Fatalf("preview: %d %.200s", code, body)
+	}
+	if code, body = get("/metrics"); code != 200 || !strings.Contains(body, "tracesvc_traces_open 1") {
+		t.Fatalf("metrics: %d %.200s", code, body)
+	}
+
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	var tail strings.Builder
+	for sc.Scan() {
+		tail.WriteString(sc.Text())
+		tail.WriteByte('\n')
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit after SIGINT: %v\n%s", err, tail.String())
+	}
+	if !strings.Contains(tail.String(), "shut down") {
+		t.Fatalf("daemon did not announce shutdown:\n%s", tail.String())
 	}
 }

@@ -1,6 +1,7 @@
 package interval
 
 import (
+	"context"
 	"sync"
 
 	"tracefw/internal/clock"
@@ -31,6 +32,12 @@ type MapOptions struct {
 	// boundaries.
 	Window bool
 	Lo, Hi clock.Time
+	// Context, when non-nil, aborts the run once it is cancelled: no
+	// new frames are issued and the engine returns the context's error.
+	// Cancellation is checked per frame, so a long run stops within one
+	// frame's worth of work. Servers set it to the request context;
+	// batch callers leave it nil (context.Background()).
+	Context context.Context
 }
 
 // selectFrames lists the frames opts selects for one file.
@@ -64,12 +71,19 @@ func MapFrames[T any](f *File, opts MapOptions, mapFn func(fe FrameEntry, recs [
 // stops issuing frames and returns the lowest-ordered failure; the
 // reducer may have consumed an arbitrary prefix.
 func MapFilesFrames[T any](files []*File, opts MapOptions, mapFn func(file int, fe FrameEntry, recs []Record) (T, error), reduceFn func(file int, fe FrameEntry, v T) error) error {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	type job struct {
 		file int
 		fe   FrameEntry
 	}
 	var jobs []job
 	for fi, f := range files {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		fes, err := selectFrames(f, opts)
 		if err != nil {
 			return err
@@ -87,12 +101,15 @@ func MapFilesFrames[T any](files []*File, opts MapOptions, mapFn func(file int, 
 			}
 		}
 	}
-	concurrent := p > 1
 	red := newOrderedReducer()
 	return par.Do(len(jobs), p, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			red.abort()
+			return err
+		}
 		j := jobs[i]
 		pb := getBuf()
-		recs, buf, err := decodeFrame(files[j.file], j.fe, *pb, concurrent)
+		recs, buf, err := decodeFrame(files[j.file], j.fe, *pb)
 		if buf != nil {
 			*pb = buf[:0]
 		}
@@ -110,12 +127,21 @@ func MapFilesFrames[T any](files []*File, opts MapOptions, mapFn func(file int, 
 	})
 }
 
-// decodeFrame reads one frame (positioned read when concurrent,
-// seek-based otherwise) and decodes its records. The returned records
-// do not alias buf, which is handed back (possibly grown) for reuse.
-func decodeFrame(f *File, fe FrameEntry, buf []byte, concurrent bool) ([]Record, []byte, error) {
+// decodeFrame produces one frame's records: through the file's
+// frame-decode hook when one is installed (serving layers cache decoded
+// frames there), otherwise by reading and decoding directly. Direct
+// reads are positioned whenever the reader supports it — they never
+// move the file's seek offset, so concurrent engine runs over one File
+// are safe — with a seek-based fallback for plain readers. The returned
+// records do not alias buf, which is handed back (possibly grown) for
+// reuse.
+func decodeFrame(f *File, fe FrameEntry, buf []byte) ([]Record, []byte, error) {
+	if f.hook != nil {
+		recs, err := f.hook(f, fe)
+		return recs, buf, err
+	}
 	var err error
-	if concurrent {
+	if f.ra != nil {
 		buf, err = f.ReadFrameAt(fe, buf)
 	} else {
 		buf, err = f.readFrameInto(fe, buf)

@@ -1,0 +1,110 @@
+package interval
+
+import (
+	"io"
+	"os"
+)
+
+// This file is the package's single entry point for opening interval
+// data. Historically there were three: Open (a path), ReadHeader (an
+// io.ReadSeeker), and OpenSalvage (a path, tolerating damage). They are
+// now one pair — Open for paths, NewFile for readers — configured by
+// functional options; the old names remain as thin deprecated wrappers
+// so existing callers keep compiling unchanged.
+
+// Option configures Open and NewFile.
+type Option func(*openOptions)
+
+type openOptions struct {
+	verifySums bool
+	salvage    *SalvageResult
+}
+
+func defaultOpenOptions() openOptions {
+	return openOptions{verifySums: true}
+}
+
+// WithVerifyChecksums controls verification of per-frame payload
+// CRC-32C checksums on version-3+ files (the default is true). Turning
+// it off skips the checksum pass on every frame read — useful when the
+// file was just written or validated and the reread cost matters.
+// Directory metadata checksums are always verified: they are read once
+// and guard every offset the reader will trust. Salvage ignores this
+// option and always verifies payloads; its soundness bar does not bend.
+func WithVerifyChecksums(v bool) Option {
+	return func(o *openOptions) { o.verifySums = v }
+}
+
+// WithSalvage opens the file in best-effort recovery mode: after the
+// fixed header parses, a full Salvage pass runs and its result — the
+// recovered frames and the SalvageReport — is stored in *sink. Open
+// then only fails when the fixed header itself is unreadable;
+// everything after it is handled tolerantly by the salvage pass, which
+// never fails. The sink must be non-nil.
+func WithSalvage(sink *SalvageResult) Option {
+	return func(o *openOptions) { o.salvage = sink }
+}
+
+// Open opens an interval file on disk. With no options it behaves
+// exactly as the historical Open; see WithSalvage and
+// WithVerifyChecksums for the configurable behaviors.
+func Open(path string, opts ...Option) (*File, error) {
+	fp, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := NewFile(fp, opts...)
+	if err != nil {
+		fp.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// NewFile parses the header, thread table, and marker table from r (the
+// paper's readHeader), leaving r positioned at the first frame
+// directory. It accepts the same options as Open. When r implements
+// io.Closer the returned File owns it and Close closes it; when r
+// implements io.ReaderAt frames can be read concurrently
+// (ConcurrentReads).
+func NewFile(r io.ReadSeeker, opts ...Option) (*File, error) {
+	o := defaultOpenOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	f, err := readFileHeader(r)
+	if err != nil {
+		return nil, err
+	}
+	f.verifySums = o.verifySums
+	if o.salvage != nil {
+		*o.salvage = *f.Salvage()
+	}
+	return f, nil
+}
+
+// ReadHeader parses the header, thread table, and marker table, leaving
+// the file positioned at the first frame directory.
+//
+// Deprecated: use NewFile, which additionally accepts Options. ReadHeader
+// is NewFile with no options.
+func ReadHeader(r io.ReadSeeker) (*File, error) { return NewFile(r) }
+
+// OpenSalvage opens an interval file for best-effort recovery. Unlike
+// plain Open it only fails when the fixed header itself is unreadable —
+// everything after the header is handled by the salvage pass, which
+// never fails. The returned File must still be closed by the caller.
+//
+// Deprecated: use Open with WithSalvage, which reports the recovery
+// through the option's sink:
+//
+//	var res SalvageResult
+//	f, err := Open(path, WithSalvage(&res))
+func OpenSalvage(path string) (*File, *SalvageResult, error) {
+	var res SalvageResult
+	f, err := Open(path, WithSalvage(&res))
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, &res, nil
+}

@@ -1,6 +1,7 @@
 package interval
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -64,19 +65,54 @@ type File struct {
 	r      io.ReadSeeker
 	ra     io.ReaderAt // non-nil when r supports ReadAt (concurrent frame reads)
 	closer io.Closer
+	// closed flips once on the first Close; every read path checks it so
+	// a closed File fails with ErrClosed instead of an os-level error
+	// from a dead handle.
+	closed atomic.Bool
+	// verifySums gates per-frame payload checksum verification (v3+);
+	// set from WithVerifyChecksums at open, default true. Salvage does
+	// not consult it.
+	verifySums bool
+	// hook, when non-nil, intercepts frame decodes (DecodeFrame, the
+	// map-reduce engine, scanners): serving layers use it to answer from
+	// a decoded-frame cache. Set it before the File is shared between
+	// goroutines.
+	hook FrameDecoder
+	// dirs/dirAt hold the preloaded directory chain (Preload): when
+	// non-nil, every directory-metadata operation is answered from
+	// memory without touching r's seek offset.
+	dirs  []*FrameDir
+	dirAt map[int64]*FrameDir
 	// decoded counts frame payload reads; tests use it to assert that
 	// window queries touch only the frames overlapping the window.
 	decoded atomic.Int64
 }
 
+// ErrClosed is returned by reads on a File after Close. It is distinct
+// from the underlying os error so servers that close traces under load
+// can recognize the condition.
+var ErrClosed = errors.New("interval: file already closed")
+
+// FrameDecoder supplies the decoded records of a frame, typically from
+// a cache shared between readers of the same file. A decoder's miss
+// path must call DecodeFrameDirect (never DecodeFrame, which would
+// recurse). Records handed out by a decoder are shared: callers must
+// treat them, including their Extra/Vec slices, as read-only.
+type FrameDecoder func(f *File, fe FrameEntry) ([]Record, error)
+
+// SetFrameDecoder installs (or, with nil, removes) the frame-decode
+// hook. It must be called before the File is used from multiple
+// goroutines; the field is read without synchronization.
+func (f *File) SetFrameDecoder(h FrameDecoder) { f.hook = h }
+
 // DecodedFrames returns how many frame payloads have been read from the
 // file so far (every ReadFrame/Scanner frame load counts once).
 func (f *File) DecodedFrames() int64 { return f.decoded.Load() }
 
-// ReadHeader parses the header, thread table, and marker table (the
+// readFileHeader parses the header, thread table, and marker table (the
 // paper's readHeader), leaving the file positioned at the first frame
-// directory.
-func ReadHeader(r io.ReadSeeker) (*File, error) {
+// directory. NewFile and Open wrap it with option handling.
+func readFileHeader(r io.ReadSeeker) (*File, error) {
 	size, err := r.Seek(0, io.SeekEnd)
 	if err != nil {
 		return nil, err
@@ -91,7 +127,7 @@ func ReadHeader(r io.ReadSeeker) (*File, error) {
 	if string(fixed[:8]) != fileMagic {
 		return nil, fmt.Errorf("interval: bad magic %q", fixed[:8])
 	}
-	f := &File{r: r, Size: size}
+	f := &File{r: r, Size: size, verifySums: true}
 	f.Header.ProfileVersion = binary.LittleEndian.Uint32(fixed[8:])
 	f.Header.HeaderVersion = binary.LittleEndian.Uint32(fixed[12:])
 	nThreads := binary.LittleEndian.Uint32(fixed[16:])
@@ -153,29 +189,52 @@ func ReadHeader(r io.ReadSeeker) (*File, error) {
 	return f, nil
 }
 
-// Open opens an interval file on disk.
-func Open(path string) (*File, error) {
-	fp, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	f, err := ReadHeader(fp)
-	if err != nil {
-		fp.Close()
-		return nil, err
-	}
-	return f, nil
-}
-
-// Close closes the underlying file if the File owns one.
+// Close closes the underlying file if the File owns one. It is
+// idempotent and safe to call concurrently with reads: the first call
+// closes, every later call returns nil, and reads that race with or
+// follow Close fail with ErrClosed.
 func (f *File) Close() error {
+	if !f.closed.CompareAndSwap(false, true) {
+		return nil
+	}
 	if f.closer != nil {
-		c := f.closer
-		f.closer = nil
-		return c.Close()
+		return f.closer.Close()
 	}
 	return nil
 }
+
+// closedErr maps a read error on a closed (or concurrently closing)
+// File to ErrClosed so callers see one distinct sentinel instead of an
+// os-level error from a dead handle.
+func (f *File) closedErr(err error) error {
+	if f.closed.Load() || errors.Is(err, os.ErrClosed) {
+		return ErrClosed
+	}
+	return err
+}
+
+// Preload reads the whole directory chain once and keeps it in memory.
+// Afterwards every directory-metadata operation — Dirs, Frames,
+// FramesInWindow, FrameContaining, Stats, and scanner positioning — is
+// answered from memory without touching the underlying reader or its
+// seek offset, which (together with positioned frame reads, see
+// ConcurrentReads) makes the File safe for concurrent window queries.
+// Long-running serving layers call it at registration time.
+func (f *File) Preload() error {
+	dirs, err := f.Dirs()
+	if err != nil {
+		return err
+	}
+	at := make(map[int64]*FrameDir, len(dirs))
+	for _, d := range dirs {
+		at[d.Offset] = d
+	}
+	f.dirs, f.dirAt = dirs, at
+	return nil
+}
+
+// Preloaded reports whether the directory chain is resident in memory.
+func (f *File) Preloaded() bool { return f.dirs != nil }
 
 // MarkerString retrieves a marker string by identifier (the paper's
 // marker-table lookup routine).
@@ -205,14 +264,25 @@ func (f *File) ReadFrameDir(offset int64) (*FrameDir, error) {
 // all. The entry count is returned for readDirEntries; for version-1
 // files the aggregate fields stay zero until the entries are read.
 func (f *File) readDirHeader(offset int64) (*FrameDir, int, error) {
+	if f.dirAt != nil {
+		// Preloaded chain: the directory (entries included) is resident;
+		// nothing touches the reader or its seek offset.
+		if d, ok := f.dirAt[offset]; ok {
+			return d, len(d.Entries), nil
+		}
+		return nil, 0, fmt.Errorf("interval: no preloaded directory at offset %d", offset)
+	}
+	if f.closed.Load() {
+		return nil, 0, ErrClosed
+	}
 	hdrSize := dirHeaderSize(f.Header.HeaderVersion)
 	if _, err := f.r.Seek(offset, io.SeekStart); err != nil {
-		return nil, 0, err
+		return nil, 0, f.closedErr(err)
 	}
 	var hb [dirHeaderV3Size]byte
 	h := hb[:hdrSize]
 	if _, err := io.ReadFull(f.r, h); err != nil {
-		return nil, 0, fmt.Errorf("interval: reading frame directory at %d: %w", offset, err)
+		return nil, 0, f.closedErr(fmt.Errorf("interval: reading frame directory at %d: %w", offset, err))
 	}
 	d := &FrameDir{
 		Offset: offset,
@@ -251,8 +321,12 @@ func (f *File) readDirHeader(offset int64) (*FrameDir, int, error) {
 // directory's aggregate bounds from the entries (the lazy path for old
 // files).
 func (f *File) readDirEntries(d *FrameDir, n int) error {
-	if n == 0 {
+	if n == 0 || f.dirAt != nil {
+		// Preloaded directories carry their entries already.
 		return nil
+	}
+	if f.closed.Load() {
+		return ErrClosed
 	}
 	ver := f.Header.HeaderVersion
 	esz := entrySize(ver)
@@ -262,7 +336,7 @@ func (f *File) readDirEntries(d *FrameDir, n int) error {
 	}
 	eb := make([]byte, n*esz)
 	if _, err := io.ReadFull(f.r, eb); err != nil {
-		return fmt.Errorf("interval: reading %d frame entries: %w", n, err)
+		return f.closedErr(fmt.Errorf("interval: reading %d frame entries: %w", n, err))
 	}
 	if ver >= 3 {
 		if dirChecksum(uint32(n), d.Start, d.End, uint64(d.Records), eb) != d.sum {
@@ -310,7 +384,12 @@ func (f *File) readDirEntries(d *FrameDir, n int) error {
 
 // Dirs returns every frame directory in file order. A corrupted link
 // that revisits an offset is reported as an error rather than looping.
+// After Preload the resident chain is returned directly; callers must
+// treat it as read-only.
 func (f *File) Dirs() ([]*FrameDir, error) {
+	if f.dirs != nil {
+		return f.dirs, nil
+	}
 	var dirs []*FrameDir
 	seen := map[int64]bool{}
 	off := f.FirstDir
@@ -393,6 +472,9 @@ func (f *File) ReadFrameAt(fe FrameEntry, buf []byte) ([]byte, error) {
 	if f.ra == nil {
 		return nil, errors.New("interval: underlying reader does not support ReadAt")
 	}
+	if f.closed.Load() {
+		return nil, ErrClosed
+	}
 	if fe.Offset < 0 || int64(fe.Bytes) > f.Size || fe.Offset+int64(fe.Bytes) > f.Size {
 		return nil, fmt.Errorf("interval: frame at %d (%d bytes) exceeds file size %d", fe.Offset, fe.Bytes, f.Size)
 	}
@@ -402,7 +484,7 @@ func (f *File) ReadFrameAt(fe FrameEntry, buf []byte) ([]byte, error) {
 		buf = buf[:fe.Bytes]
 	}
 	if _, err := f.ra.ReadAt(buf, fe.Offset); err != nil {
-		return nil, fmt.Errorf("interval: reading frame at %d: %w", fe.Offset, err)
+		return nil, f.closedErr(fmt.Errorf("interval: reading frame at %d: %w", fe.Offset, err))
 	}
 	if err := f.checkFrameSum(fe, buf); err != nil {
 		return nil, err
@@ -412,9 +494,10 @@ func (f *File) ReadFrameAt(fe FrameEntry, buf []byte) ([]byte, error) {
 }
 
 // checkFrameSum verifies a frame's stored payload checksum on version-3
-// files; older versions store none.
+// files; older versions store none, and WithVerifyChecksums(false)
+// skips the pass (Salvage runs its own unconditional check).
 func (f *File) checkFrameSum(fe FrameEntry, buf []byte) error {
-	if f.Header.HeaderVersion >= 3 && crc32.Checksum(buf, crcTable) != fe.Sum {
+	if f.verifySums && f.Header.HeaderVersion >= 3 && crc32.Checksum(buf, crcTable) != fe.Sum {
 		return fmt.Errorf("interval: frame at %d fails payload checksum", fe.Offset)
 	}
 	return nil
@@ -429,11 +512,14 @@ func (f *File) ConcurrentReads() bool { return f.ra != nil }
 // array when it is large enough, allocating otherwise. The Scanner uses
 // it to reuse one pooled buffer across all frames of a scan.
 func (f *File) readFrameInto(fe FrameEntry, buf []byte) ([]byte, error) {
+	if f.closed.Load() {
+		return nil, ErrClosed
+	}
 	if fe.Offset < 0 || int64(fe.Bytes) > f.Size || fe.Offset+int64(fe.Bytes) > f.Size {
 		return nil, fmt.Errorf("interval: frame at %d (%d bytes) exceeds file size %d", fe.Offset, fe.Bytes, f.Size)
 	}
 	if _, err := f.r.Seek(fe.Offset, io.SeekStart); err != nil {
-		return nil, err
+		return nil, f.closedErr(err)
 	}
 	if cap(buf) < int(fe.Bytes) {
 		buf = make([]byte, fe.Bytes)
@@ -441,7 +527,7 @@ func (f *File) readFrameInto(fe FrameEntry, buf []byte) ([]byte, error) {
 		buf = buf[:fe.Bytes]
 	}
 	if _, err := io.ReadFull(f.r, buf); err != nil {
-		return nil, fmt.Errorf("interval: reading frame at %d: %w", fe.Offset, err)
+		return nil, f.closedErr(fmt.Errorf("interval: reading frame at %d: %w", fe.Offset, err))
 	}
 	if err := f.checkFrameSum(fe, buf); err != nil {
 		return nil, err
@@ -450,13 +536,51 @@ func (f *File) readFrameInto(fe FrameEntry, buf []byte) ([]byte, error) {
 	return buf, nil
 }
 
-// FrameRecords decodes every record of a frame.
+// FrameRecords decodes every record of a frame with a fresh read,
+// ignoring any frame-decode hook.
 func (f *File) FrameRecords(fe FrameEntry) ([]Record, error) {
 	buf, err := f.ReadFrame(fe)
 	if err != nil {
 		return nil, err
 	}
 	return decodeFrameRecords(f.Header.HeaderVersion, fe, buf)
+}
+
+// DecodeFrame returns fe's decoded records through the frame-decode
+// hook when one is installed (a cache hit costs no read and no decode),
+// falling back to DecodeFrameDirect. The result may be shared with
+// other callers and must be treated as read-only.
+func (f *File) DecodeFrame(fe FrameEntry) ([]Record, error) {
+	if f.hook != nil {
+		return f.hook(f, fe)
+	}
+	return f.DecodeFrameDirect(fe)
+}
+
+// DecodeFrameDirect reads and decodes fe, bypassing the frame-decode
+// hook — it is the miss path a FrameDecoder itself must use. The read
+// is positioned (never moving the file's seek offset) whenever the
+// underlying reader supports it, so concurrent calls are safe on such
+// files.
+func (f *File) DecodeFrameDirect(fe FrameEntry) ([]Record, error) {
+	pb := getBuf()
+	var buf []byte
+	var err error
+	if f.ra != nil {
+		buf, err = f.ReadFrameAt(fe, *pb)
+	} else {
+		buf, err = f.readFrameInto(fe, *pb)
+	}
+	if buf != nil {
+		*pb = buf[:0]
+	}
+	if err != nil {
+		putBuf(pb)
+		return nil, err
+	}
+	recs, err := decodeFrameRecords(f.Header.HeaderVersion, fe, buf)
+	putBuf(pb)
+	return recs, err
 }
 
 // decodeFrameRecords decodes a frame's already-read (and
@@ -596,6 +720,15 @@ type Scanner struct {
 	// skipped without reading their entry tables.
 	win          bool
 	winLo, winHi clock.Time
+	// ctx, when non-nil, aborts the scan between frames once it is
+	// cancelled (SetContext / ScanWindowCtx). Cancellation is checked
+	// per frame, not per record, so a cancelled long scan stops within
+	// one frame's worth of records.
+	ctx context.Context
+	// recs/recIdx serve frames obtained from the file's frame-decode
+	// hook (cached, already-decoded records); buf stays empty then.
+	recs   []Record
+	recIdx int
 	// frameBuf is the pooled backing buffer the current frame was read
 	// into; it is returned to the pool once the scan terminates.
 	frameBuf *[]byte
@@ -627,6 +760,18 @@ func (f *File) Scan() *Scanner { return &Scanner{f: f} }
 func (f *File) ScanWindow(lo, hi clock.Time) *Scanner {
 	return &Scanner{f: f, win: true, winLo: lo, winHi: hi}
 }
+
+// ScanWindowCtx is ScanWindow with a context: the scan fails with the
+// context's error at the next frame boundary after cancellation.
+// Servers use it to honor request deadlines; batch callers pass
+// context.Background() (or just use ScanWindow).
+func (f *File) ScanWindowCtx(ctx context.Context, lo, hi clock.Time) *Scanner {
+	return &Scanner{f: f, ctx: ctx, win: true, winLo: lo, winHi: hi}
+}
+
+// SetContext attaches a cancellation context to the scanner; see
+// ScanWindowCtx. It must be called before scanning starts.
+func (s *Scanner) SetContext(ctx context.Context) { s.ctx = ctx }
 
 // SeekTime repositions the scanner immediately before the first frame
 // whose end time is at or after t, using only directory metadata — the
@@ -700,7 +845,7 @@ func (s *Scanner) ensure() error {
 	if s.err != nil {
 		return s.err
 	}
-	for len(s.buf) == 0 {
+	for len(s.buf) == 0 && s.recIdx >= len(s.recs) {
 		if err := s.advanceFrame(); err != nil {
 			s.err = err
 			s.release()
@@ -725,6 +870,13 @@ func (s *Scanner) fail(err error) error {
 func (s *Scanner) Next() ([]byte, error) {
 	if err := s.ensure(); err != nil {
 		return nil, err
+	}
+	if s.recIdx < len(s.recs) {
+		// Hook-decoded frame: synthesize the fixed-width payload from
+		// the cached record, exactly as the v4 path does.
+		s.pbuf = s.recs[s.recIdx].AppendPayload(s.pbuf[:0])
+		s.recIdx++
+		return s.pbuf, nil
 	}
 	if s.f.Header.HeaderVersion >= 4 {
 		if err := s.cur.next(&s.scratch, nil); err != nil {
@@ -751,6 +903,13 @@ func (s *Scanner) NextRecord() (Record, error) {
 	var r Record
 	if err := s.ensure(); err != nil {
 		return r, err
+	}
+	if s.recIdx < len(s.recs) {
+		// Hook-decoded frame: the record (and its Extra/Vec slices) is
+		// shared with the cache — callers must not mutate it.
+		r = s.recs[s.recIdx]
+		s.recIdx++
+		return r, nil
 	}
 	if s.f.Header.HeaderVersion >= 4 {
 		if err := s.cur.next(&r, &s.arena); err != nil {
@@ -779,6 +938,13 @@ func (s *Scanner) NextRecord() (Record, error) {
 func (s *Scanner) NextRecordInto(r *Record) error {
 	if err := s.ensure(); err != nil {
 		return err
+	}
+	if s.recIdx < len(s.recs) {
+		// Hook-decoded frame: *r's slices alias the shared cached
+		// record; consumers must copy before mutating.
+		*r = s.recs[s.recIdx]
+		s.recIdx++
+		return nil
 	}
 	if s.f.Header.HeaderVersion >= 4 {
 		if err := s.cur.next(r, nil); err != nil {
@@ -835,6 +1001,7 @@ func (s *Scanner) All() ([]Record, error) {
 }
 
 func (s *Scanner) advanceFrame() error {
+	s.recs, s.recIdx = nil, 0
 	for {
 		if s.dir == nil {
 			if s.started {
@@ -853,6 +1020,22 @@ func (s *Scanner) advanceFrame() error {
 			s.frame++
 			if s.win && (fe.End < s.winLo || fe.Start > s.winHi) {
 				continue
+			}
+			if s.ctx != nil {
+				if err := s.ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if s.f.hook != nil {
+				recs, err := s.f.hook(s.f, fe)
+				if err != nil {
+					return err
+				}
+				if len(recs) == 0 {
+					continue
+				}
+				s.recs, s.recIdx = recs, 0
+				return nil
 			}
 			if s.frameBuf == nil {
 				s.frameBuf = getBuf()

@@ -6,6 +6,25 @@
 // the records before it. Records within a file are in ascending order of
 // their end time (start + duration), the property the merge utility
 // relies on.
+//
+// # Opening files
+//
+// Open (a path) and NewFile (an io.ReadSeeker) are the package's entry
+// points, configured by functional options: WithVerifyChecksums
+// controls the per-frame payload checksum pass, WithSalvage opens in
+// best-effort recovery mode and reports what was recovered through its
+// sink. The historical entry points remain as thin deprecated wrappers
+// — ReadHeader(r) is NewFile(r) with no options, and OpenSalvage(path)
+// is Open(path, WithSalvage(&res)) — so existing callers migrate
+// mechanically or not at all.
+//
+// A File may be shared by concurrent readers when ConcurrentReads
+// reports true (the underlying reader implements io.ReaderAt); Preload
+// makes the directory chain resident so metadata operations are
+// seek-free too. Close is idempotent and safe under concurrency;
+// operations on a closed file fail with ErrClosed. Long-running callers
+// cancel work mid-scan through MapOptions.Context, ScanWindowCtx, or
+// Scanner.SetContext — cancellation is checked at frame granularity.
 package interval
 
 import (

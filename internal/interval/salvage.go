@@ -58,18 +58,6 @@ type SalvageResult struct {
 	Report SalvageReport
 }
 
-// OpenSalvage opens an interval file for best-effort recovery. Unlike
-// Open it only fails when the fixed header itself is unreadable —
-// everything after the header is handled by Salvage, which never
-// fails. The returned File must still be closed by the caller.
-func OpenSalvage(path string) (*File, *SalvageResult, error) {
-	f, err := Open(path)
-	if err != nil {
-		return nil, nil, err
-	}
-	return f, f.Salvage(), nil
-}
-
 // Salvage walks the frame directories tolerantly and returns every
 // frame that provably survived: its directory entry passes all bounds
 // checks, its payload decodes completely, and the decoded records agree

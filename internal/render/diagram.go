@@ -8,6 +8,7 @@
 package render
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -118,6 +119,10 @@ type Options struct {
 	// Parallel is the frame-decode worker count (<= 0 = GOMAXPROCS);
 	// the diagram is identical for every value.
 	Parallel int
+	// Context, when non-nil, aborts construction once it is cancelled
+	// (checked per frame by the map-reduce engine). The trace query
+	// service sets it to the request context; CLIs leave it nil.
+	Context context.Context
 }
 
 type rowKey struct {
@@ -174,7 +179,7 @@ func BuildDiagram(mf *interval.File, kind ViewKind, opts Options) (*Diagram, err
 	// exactly. An explicit window skips non-overlapping frames entirely
 	// — except in Connected mode, which must see Begin pieces recorded
 	// before the window opens.
-	mopts := interval.MapOptions{Parallel: opts.Parallel}
+	mopts := interval.MapOptions{Parallel: opts.Parallel, Context: opts.Context}
 	if opts.T1 > opts.T0 && !(opts.Connected && kind == ThreadActivity) {
 		mopts.Window, mopts.Lo, mopts.Hi = true, t0, t1
 	}

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -50,6 +51,10 @@ type Options struct {
 	// same thing windowed or not.
 	Window bool
 	Lo, Hi clock.Time
+	// Context, when non-nil, aborts generation once it is cancelled
+	// (checked per frame by the map-reduce engine). The trace query
+	// service sets it to the request context; CLIs leave it nil.
+	Context context.Context
 }
 
 // Generate runs every table of the program over the interval files.
@@ -101,7 +106,7 @@ func GenerateSpecsOpts(specs []*TableSpec, files []*interval.File, opts Options)
 		groups[i] = make(map[string]*group)
 	}
 
-	mopts := interval.MapOptions{Parallel: opts.Parallel, Window: opts.Window, Lo: opts.Lo, Hi: opts.Hi}
+	mopts := interval.MapOptions{Parallel: opts.Parallel, Window: opts.Window, Lo: opts.Lo, Hi: opts.Hi, Context: opts.Context}
 	err := interval.MapFilesFrames(files, mopts,
 		func(file int, _ interval.FrameEntry, recs []interval.Record) ([]map[string]*group, error) {
 			ctx := &evalCtx{markers: files[file].Header.Markers, tStart: tStart, tEnd: tEnd}

@@ -1,0 +1,164 @@
+package tracesvc
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Hand-rolled Prometheus text-format metrics (stdlib only, per the
+// repo's no-new-dependencies rule): atomic counters and gauges plus
+// fixed-bucket latency histograms, rendered by writePrometheus in the
+// exposition format's deterministic order.
+
+type counter struct{ v atomic.Int64 }
+
+func (c *counter) add(n int64) { c.v.Add(n) }
+func (c *counter) value() int64 {
+	return c.v.Load()
+}
+
+type gauge = counter
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning
+// cache-hit microseconds to multi-second cold scans.
+var latencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram. Observations and
+// rendering are lock-free; the rendered snapshot is approximate under
+// concurrency, which the exposition format permits.
+type histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sumNs   atomic.Int64
+}
+
+// numBuckets must equal len(latencyBuckets); a const so the bucket
+// array needs no allocation. Checked at init.
+const numBuckets = 16
+
+func init() {
+	if len(latencyBuckets) != numBuckets {
+		panic("tracesvc: numBuckets out of sync with latencyBuckets")
+	}
+}
+
+// observe records one request duration.
+func (h *histogram) observe(d time.Duration) {
+	sec := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			h.buckets[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// metrics aggregates everything /metrics exposes. Per-endpoint
+// histograms and request counters are created up front for the fixed
+// endpoint set, so no lock is needed on the request path.
+type metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+}
+
+type endpointMetrics struct {
+	requests counter
+	errors   counter
+	latency  histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{endpoints: make(map[string]*endpointMetrics)}
+}
+
+// endpoint returns (registering on first use) the metrics bundle for a
+// named endpoint. Registration happens once per endpoint at mux setup,
+// so the lock never contends with request traffic.
+func (m *metrics) endpoint(name string) *endpointMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em := m.endpoints[name]
+	if em == nil {
+		em = &endpointMetrics{}
+		m.endpoints[name] = em
+	}
+	return em
+}
+
+// writePrometheus renders every metric in Prometheus text exposition
+// format. Families are rendered in a fixed order and endpoint labels
+// sorted, so scrapes are diffable.
+func (m *metrics) writePrometheus(w io.Writer, cache CacheStats, tracesOpen int64, framesDecoded int64) {
+	fmt.Fprintf(w, "# HELP tracesvc_cache_hits_total Decoded-frame cache hits (including singleflight waiters).\n")
+	fmt.Fprintf(w, "# TYPE tracesvc_cache_hits_total counter\n")
+	fmt.Fprintf(w, "tracesvc_cache_hits_total %d\n", cache.Hits)
+	fmt.Fprintf(w, "# HELP tracesvc_cache_misses_total Decoded-frame cache misses (each one decode).\n")
+	fmt.Fprintf(w, "# TYPE tracesvc_cache_misses_total counter\n")
+	fmt.Fprintf(w, "tracesvc_cache_misses_total %d\n", cache.Misses)
+	fmt.Fprintf(w, "# HELP tracesvc_cache_evictions_total Frames evicted to stay under the byte budget.\n")
+	fmt.Fprintf(w, "# TYPE tracesvc_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "tracesvc_cache_evictions_total %d\n", cache.Evictions)
+	fmt.Fprintf(w, "# HELP tracesvc_cache_bytes_resident Approximate bytes of decoded records resident in the cache.\n")
+	fmt.Fprintf(w, "# TYPE tracesvc_cache_bytes_resident gauge\n")
+	fmt.Fprintf(w, "tracesvc_cache_bytes_resident %d\n", cache.Bytes)
+	fmt.Fprintf(w, "# HELP tracesvc_cache_frames_resident Decoded frames resident in the cache.\n")
+	fmt.Fprintf(w, "# TYPE tracesvc_cache_frames_resident gauge\n")
+	fmt.Fprintf(w, "tracesvc_cache_frames_resident %d\n", cache.Entries)
+	fmt.Fprintf(w, "# HELP tracesvc_traces_open Trace files currently registered.\n")
+	fmt.Fprintf(w, "# TYPE tracesvc_traces_open gauge\n")
+	fmt.Fprintf(w, "tracesvc_traces_open %d\n", tracesOpen)
+	fmt.Fprintf(w, "# HELP tracesvc_frames_decoded_total Frame payload reads across all registered traces.\n")
+	fmt.Fprintf(w, "# TYPE tracesvc_frames_decoded_total counter\n")
+	fmt.Fprintf(w, "tracesvc_frames_decoded_total %d\n", framesDecoded)
+
+	m.mu.Lock()
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	ems := make([]*endpointMetrics, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		ems = append(ems, m.endpoints[name])
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP tracesvc_requests_total Requests served, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE tracesvc_requests_total counter\n")
+	for i, name := range names {
+		fmt.Fprintf(w, "tracesvc_requests_total{endpoint=%q} %d\n", name, ems[i].requests.value())
+	}
+	fmt.Fprintf(w, "# HELP tracesvc_request_errors_total Requests answered with a 4xx/5xx status, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE tracesvc_request_errors_total counter\n")
+	for i, name := range names {
+		fmt.Fprintf(w, "tracesvc_request_errors_total{endpoint=%q} %d\n", name, ems[i].errors.value())
+	}
+	fmt.Fprintf(w, "# HELP tracesvc_request_seconds Request latency, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE tracesvc_request_seconds histogram\n")
+	for i, name := range names {
+		h := &ems[i].latency
+		var cum int64
+		for bi, ub := range latencyBuckets {
+			cum += h.buckets[bi].Load()
+			fmt.Fprintf(w, "tracesvc_request_seconds_bucket{endpoint=%q,le=%q} %d\n", name, trimFloat(ub), cum)
+		}
+		fmt.Fprintf(w, "tracesvc_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, h.count.Load())
+		fmt.Fprintf(w, "tracesvc_request_seconds_sum{endpoint=%q} %g\n", name, float64(h.sumNs.Load())/1e9)
+		fmt.Fprintf(w, "tracesvc_request_seconds_count{endpoint=%q} %d\n", name, h.count.Load())
+	}
+}
+
+// trimFloat renders a bucket bound the way Prometheus clients do:
+// shortest representation, no exponent for these magnitudes.
+func trimFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}

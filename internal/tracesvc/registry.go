@@ -1,0 +1,185 @@
+package tracesvc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/interval"
+)
+
+// Trace is one registered interval file plus the metadata the serving
+// layer keeps resident: the preloaded directory chain, the flattened
+// frame list, and the whole-run bounds. The embedded *interval.File is
+// safe for concurrent window queries (Preload + positioned reads) and
+// its frame decodes go through the shared cache via the decode hook.
+type Trace struct {
+	ID   string
+	Path string
+	// num is the cache key namespace for this registration; a reopened
+	// path gets a fresh number, so stale cache entries can never serve.
+	num    uint64
+	file   *interval.File
+	frames []interval.FrameEntry
+	dirs   int
+	start  clock.Time
+	end    clock.Time
+	recs   int64
+}
+
+// File returns the underlying interval file.
+func (t *Trace) File() *interval.File { return t.file }
+
+// Frames returns the resident frame list; callers must not modify it.
+func (t *Trace) Frames() []interval.FrameEntry { return t.frames }
+
+// Bounds returns the run's first start time, last end time, and record
+// count, from directory metadata resident since registration.
+func (t *Trace) Bounds() (clock.Time, clock.Time, int64) { return t.start, t.end, t.recs }
+
+// Registry holds the opened traces. IDs are small and stable ("t1",
+// "t2", …) in registration order; closing a trace frees its slot but
+// never recycles the cache namespace.
+type Registry struct {
+	cache *FrameCache
+
+	mu     sync.RWMutex
+	byID   map[string]*Trace
+	nextID uint64
+}
+
+// NewRegistry builds an empty registry whose traces decode frames
+// through the given cache.
+func NewRegistry(cache *FrameCache) *Registry {
+	return &Registry{cache: cache, byID: make(map[string]*Trace)}
+}
+
+// Open opens and registers the interval file at path: the directory
+// chain is preloaded into memory, the frame list flattened, and the
+// cache decode hook installed — all before the trace becomes visible to
+// queries. Files that cannot serve concurrent (positioned) frame reads
+// are rejected; every real file and SeekBuffer can.
+func (r *Registry) Open(path string) (*Trace, error) {
+	f, err := interval.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	t, err := r.register(path, f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// register wires an already-open file into the registry (Open's tail;
+// tests use it with in-memory files).
+func (r *Registry) register(path string, f *interval.File) (*Trace, error) {
+	if !f.ConcurrentReads() {
+		return nil, fmt.Errorf("tracesvc: %s: reader does not support concurrent frame reads", path)
+	}
+	if err := f.Preload(); err != nil {
+		return nil, err
+	}
+	frames, err := f.Frames()
+	if err != nil {
+		return nil, err
+	}
+	start, end, recs, err := f.Stats()
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := f.Dirs()
+	if err != nil {
+		return nil, err
+	}
+
+	r.mu.Lock()
+	r.nextID++
+	t := &Trace{
+		ID:     fmt.Sprintf("t%d", r.nextID),
+		Path:   path,
+		num:    r.nextID,
+		file:   f,
+		frames: frames,
+		dirs:   len(dirs),
+		start:  start,
+		end:    end,
+		recs:   recs,
+	}
+	// The hook makes every frame decode — map-reduce engine, scanners,
+	// DecodeFrame — hit the shared cache. Installed before the trace is
+	// published, never changed after, as SetFrameDecoder requires.
+	cache, num := r.cache, t.num
+	f.SetFrameDecoder(func(f *interval.File, fe interval.FrameEntry) ([]interval.Record, error) {
+		return cache.Get(num, fe.Offset, func() ([]interval.Record, error) {
+			return f.DecodeFrameDirect(fe)
+		})
+	})
+	r.byID[t.ID] = t
+	r.mu.Unlock()
+	return t, nil
+}
+
+// Get looks a trace up by ID.
+func (r *Registry) Get(id string) (*Trace, bool) {
+	r.mu.RLock()
+	t, ok := r.byID[id]
+	r.mu.RUnlock()
+	return t, ok
+}
+
+// List returns the registered traces in ID (registration) order.
+func (r *Registry) List() []*Trace {
+	r.mu.RLock()
+	ts := make([]*Trace, 0, len(r.byID))
+	for _, t := range r.byID {
+		ts = append(ts, t)
+	}
+	r.mu.RUnlock()
+	sort.Slice(ts, func(i, j int) bool { return ts[i].num < ts[j].num })
+	return ts
+}
+
+// Len returns the number of registered traces.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byID)
+}
+
+// Close unregisters a trace, drops its cached frames, and closes the
+// file. In-flight queries against it fail with interval.ErrClosed —
+// promptly and safely, never with a crash — which handlers map to 503.
+func (r *Registry) Close(id string) bool {
+	r.mu.Lock()
+	t, ok := r.byID[id]
+	if ok {
+		delete(r.byID, id)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return false
+	}
+	r.cache.InvalidateFile(t.num)
+	t.file.Close()
+	return true
+}
+
+// CloseAll closes every registered trace (daemon shutdown).
+func (r *Registry) CloseAll() {
+	for _, t := range r.List() {
+		r.Close(t.ID)
+	}
+}
+
+// framesDecoded sums the frame payload reads of every registered trace
+// — the warm/cold proof counter exported via /metrics.
+func (r *Registry) framesDecoded() int64 {
+	var n int64
+	for _, t := range r.List() {
+		n += t.file.DecodedFrames()
+	}
+	return n
+}

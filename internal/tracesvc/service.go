@@ -1,0 +1,480 @@
+package tracesvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/interval"
+	"tracefw/internal/render"
+	"tracefw/internal/stats"
+)
+
+// Config tunes the service; zero values select the defaults.
+type Config struct {
+	// CacheBytes is the decoded-frame cache budget (default 256 MiB).
+	CacheBytes int64
+	// CacheShards is the cache shard count (default 16).
+	CacheShards int
+	// RequestTimeout bounds each request; the deadline propagates through
+	// the map-reduce engine via MapOptions.Context (default 30s).
+	RequestTimeout time.Duration
+	// DefaultBins is the time-bin count for the predefined statistics
+	// program when the stats endpoint gets no expr (default 50, matching
+	// utestats).
+	DefaultBins int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.DefaultBins <= 0 {
+		c.DefaultBins = 50
+	}
+	return c
+}
+
+// Service is the HTTP trace query service: the registry and cache plus
+// the handler mux. One Service serves many concurrent requests; all
+// state it touches is concurrency-safe.
+type Service struct {
+	cfg   Config
+	cache *FrameCache
+	reg   *Registry
+	met   *metrics
+	mux   *http.ServeMux
+}
+
+// New builds a service with an empty registry.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:   cfg,
+		cache: NewFrameCache(cfg.CacheBytes, cfg.CacheShards),
+		met:   newMetrics(),
+		mux:   http.NewServeMux(),
+	}
+	s.reg = NewRegistry(s.cache)
+
+	s.handle("GET /v1/traces", "list", s.handleList)
+	s.handle("POST /v1/traces", "open", s.handleOpen)
+	s.handle("GET /v1/traces/{id}", "get", s.handleGet)
+	s.handle("DELETE /v1/traces/{id}", "close", s.handleClose)
+	s.handle("GET /v1/traces/{id}/frames", "frames", s.handleFrames)
+	s.handle("GET /v1/traces/{id}/stats", "stats", s.handleStats)
+	s.handle("GET /v1/traces/{id}/records", "records", s.handleRecords)
+	s.handle("GET /v1/traces/{id}/preview.svg", "preview", s.handlePreview)
+	s.handle("GET /metrics", "metrics", s.handleMetrics)
+	return s
+}
+
+// Registry exposes the trace registry (the daemon preloads files from
+// its command line; tests register in-memory traces).
+func (s *Service) Registry() *Registry { return s.reg }
+
+// Cache exposes the decoded-frame cache (benchmarks Flush it to measure
+// the cold path).
+func (s *Service) Cache() *FrameCache { return s.cache }
+
+// Handler returns the root handler.
+func (s *Service) Handler() http.Handler { return s.mux }
+
+// Close closes every registered trace.
+func (s *Service) Close() { s.reg.CloseAll() }
+
+// response is a fully materialized reply. Handlers build replies in
+// memory — every endpoint's payload is bounded (tables, frame lists,
+// paged records) — so errors discovered mid-generation still produce a
+// clean status code instead of a truncated 200.
+type response struct {
+	status      int
+	contentType string
+	body        []byte
+}
+
+func jsonResponse(status int, v any) (*response, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return &response{status: status, contentType: "application/json", body: append(b, '\n')}, nil
+}
+
+// httpErr is an error with an intended status code.
+type httpErr struct {
+	code int
+	msg  string
+}
+
+func (e *httpErr) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpErr{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func notFound(id string) error {
+	return &httpErr{code: http.StatusNotFound, msg: fmt.Sprintf("no trace %q", id)}
+}
+
+// errStatus maps an error to its response status: explicit httpErr
+// codes, 503 for queries that lost a race with DELETE (the file is
+// closed, a retry will 404), 504 for deadline-exceeded work cancelled
+// inside the map-reduce engine.
+func errStatus(err error) int {
+	var he *httpErr
+	switch {
+	case errors.As(err, &he):
+		return he.code
+	case errors.Is(err, interval.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+// handle registers one endpoint: request counting, the per-request
+// deadline, latency observation, and error rendering wrap the handler.
+func (s *Service) handle(pattern, name string, fn func(r *http.Request) (*response, error)) {
+	em := s.met.endpoint(name)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		em.requests.add(1)
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		resp, err := fn(r.WithContext(ctx))
+		cancel()
+		if err != nil {
+			em.errors.add(1)
+			em.latency.observe(time.Since(t0))
+			http.Error(w, err.Error(), errStatus(err))
+			return
+		}
+		ct := resp.contentType
+		if ct == "" {
+			ct = "text/plain; charset=utf-8"
+		}
+		w.Header().Set("Content-Type", ct)
+		w.Header().Set("Content-Length", strconv.Itoa(len(resp.body)))
+		w.WriteHeader(resp.status)
+		w.Write(resp.body)
+		em.latency.observe(time.Since(t0))
+	})
+}
+
+// traceInfo is the JSON shape of one registered trace: identity plus
+// the header and directory metadata resident since registration.
+type traceInfo struct {
+	ID             string  `json:"id"`
+	Path           string  `json:"path"`
+	HeaderVersion  uint32  `json:"headerVersion"`
+	ProfileVersion uint32  `json:"profileVersion"`
+	Threads        int     `json:"threads"`
+	Dirs           int     `json:"dirs"`
+	Frames         int     `json:"frames"`
+	Records        int64   `json:"records"`
+	StartNs        int64   `json:"startNs"`
+	EndNs          int64   `json:"endNs"`
+	StartSec       float64 `json:"startSec"`
+	EndSec         float64 `json:"endSec"`
+}
+
+func infoOf(t *Trace) traceInfo {
+	start, end, recs := t.Bounds()
+	return traceInfo{
+		ID:             t.ID,
+		Path:           t.Path,
+		HeaderVersion:  t.file.Header.HeaderVersion,
+		ProfileVersion: t.file.Header.ProfileVersion,
+		Threads:        len(t.file.Header.Threads),
+		Dirs:           t.dirs,
+		Frames:         len(t.frames),
+		Records:        recs,
+		StartNs:        int64(start),
+		EndNs:          int64(end),
+		StartSec:       start.Seconds(),
+		EndSec:         end.Seconds(),
+	}
+}
+
+func (s *Service) handleList(*http.Request) (*response, error) {
+	ts := s.reg.List()
+	infos := make([]traceInfo, len(ts))
+	for i, t := range ts {
+		infos[i] = infoOf(t)
+	}
+	return jsonResponse(http.StatusOK, struct {
+		Traces []traceInfo `json:"traces"`
+	}{infos})
+}
+
+func (s *Service) handleOpen(r *http.Request) (*response, error) {
+	var req struct {
+		Path string `json:"path"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		return nil, badRequest("bad request body: %v", err)
+	}
+	if req.Path == "" {
+		return nil, badRequest("missing \"path\"")
+	}
+	t, err := s.reg.Open(req.Path)
+	if err != nil {
+		return nil, badRequest("open %s: %v", req.Path, err)
+	}
+	return jsonResponse(http.StatusCreated, infoOf(t))
+}
+
+// trace resolves the {id} path segment.
+func (s *Service) trace(r *http.Request) (*Trace, error) {
+	id := r.PathValue("id")
+	t, ok := s.reg.Get(id)
+	if !ok {
+		return nil, notFound(id)
+	}
+	return t, nil
+}
+
+func (s *Service) handleGet(r *http.Request) (*response, error) {
+	t, err := s.trace(r)
+	if err != nil {
+		return nil, err
+	}
+	return jsonResponse(http.StatusOK, infoOf(t))
+}
+
+func (s *Service) handleClose(r *http.Request) (*response, error) {
+	id := r.PathValue("id")
+	if !s.reg.Close(id) {
+		return nil, notFound(id)
+	}
+	return &response{status: http.StatusNoContent}, nil
+}
+
+func (s *Service) handleFrames(r *http.Request) (*response, error) {
+	t, err := s.trace(r)
+	if err != nil {
+		return nil, err
+	}
+	type frameInfo struct {
+		Offset  int64  `json:"offset"`
+		Bytes   uint32 `json:"bytes"`
+		Records uint32 `json:"records"`
+		StartNs int64  `json:"startNs"`
+		EndNs   int64  `json:"endNs"`
+	}
+	fis := make([]frameInfo, len(t.frames))
+	for i, fe := range t.frames {
+		fis[i] = frameInfo{
+			Offset:  fe.Offset,
+			Bytes:   fe.Bytes,
+			Records: fe.Records,
+			StartNs: int64(fe.Start),
+			EndNs:   int64(fe.End),
+		}
+	}
+	return jsonResponse(http.StatusOK, struct {
+		Frames []frameInfo `json:"frames"`
+	}{fis})
+}
+
+// parseWindow reads the optional ?window=lo:hi query parameter (seconds,
+// either side may be empty — the same syntax the CLIs accept).
+func parseWindow(r *http.Request) (lo, hi clock.Time, ok bool, err error) {
+	w := r.URL.Query().Get("window")
+	if w == "" {
+		return 0, 0, false, nil
+	}
+	lo, hi, err = clock.ParseWindow(w)
+	if err != nil {
+		return 0, 0, false, badRequest("bad window: %v", err)
+	}
+	return lo, hi, true, nil
+}
+
+// handleStats runs a statistics program over the trace. The body is
+// byte-identical to what `utestats [-e expr] [-bins N] [-window lo:hi]
+// <path>` prints on stdout: utestats's exact output loop over the exact
+// tables the library generates.
+func (s *Service) handleStats(r *http.Request) (*response, error) {
+	t, err := s.trace(r)
+	if err != nil {
+		return nil, err
+	}
+	q := r.URL.Query()
+	program := q.Get("expr")
+	if program == "" {
+		bins := s.cfg.DefaultBins
+		if bs := q.Get("bins"); bs != "" {
+			if bins, err = strconv.Atoi(bs); err != nil || bins < 1 {
+				return nil, badRequest("bad bins %q", bs)
+			}
+		}
+		program = stats.Predefined(bins)
+	}
+	opts := stats.Options{Context: r.Context()}
+	if lo, hi, ok, err := parseWindow(r); err != nil {
+		return nil, err
+	} else if ok {
+		opts.Window, opts.Lo, opts.Hi = true, lo, hi
+	}
+	tables, err := stats.GenerateOpts(program, []*interval.File{t.file}, opts)
+	if err != nil {
+		return nil, err
+	}
+	var b bytes.Buffer
+	for _, tb := range tables {
+		fmt.Fprintf(&b, "# table %s\n%s\n", tb.Name, tb.TSV())
+	}
+	return &response{status: http.StatusOK, contentType: "text/tab-separated-values; charset=utf-8", body: b.Bytes()}, nil
+}
+
+// recordJSON is the JSON shape of one interval record.
+type recordJSON struct {
+	Type    string   `json:"type"`
+	Bebits  string   `json:"bebits"`
+	StartNs int64    `json:"startNs"`
+	DuraNs  int64    `json:"duraNs"`
+	EndNs   int64    `json:"endNs"`
+	CPU     uint16   `json:"cpu"`
+	Node    uint16   `json:"node"`
+	Thread  uint16   `json:"thread"`
+	Extra   []uint64 `json:"extra,omitempty"`
+	Vec     []uint64 `json:"vec,omitempty"`
+}
+
+// handleRecords pages through the records overlapping a window. The
+// scan walks the resident frame list, decoding only overlapping frames
+// — through the cache, so a warm repeat decodes nothing. ?count=1 skips
+// the bodies and returns the total alone.
+func (s *Service) handleRecords(r *http.Request) (*response, error) {
+	t, err := s.trace(r)
+	if err != nil {
+		return nil, err
+	}
+	q := r.URL.Query()
+	limit := 1000
+	if ls := q.Get("limit"); ls != "" {
+		if limit, err = strconv.Atoi(ls); err != nil || limit < 1 {
+			return nil, badRequest("bad limit %q", ls)
+		}
+	}
+	offset := 0
+	if os := q.Get("offset"); os != "" {
+		if offset, err = strconv.Atoi(os); err != nil || offset < 0 {
+			return nil, badRequest("bad offset %q", os)
+		}
+	}
+	countOnly := q.Get("count") == "1"
+	lo, hi, windowed, err := parseWindow(r)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx := r.Context()
+	var out []recordJSON
+	if !countOnly {
+		out = make([]recordJSON, 0, min(limit, 4096))
+	}
+	total := 0
+	for _, fe := range t.frames {
+		if windowed && (fe.End < lo || fe.Start > hi) {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		recs, err := t.file.DecodeFrame(fe)
+		if err != nil {
+			return nil, err
+		}
+		for i := range recs {
+			rec := &recs[i]
+			if windowed && (rec.End() < lo || rec.Start > hi) {
+				continue
+			}
+			n := total
+			total++
+			if countOnly || n < offset || n >= offset+limit {
+				continue
+			}
+			out = append(out, recordJSON{
+				Type:    rec.Type.Name(),
+				Bebits:  rec.Bebits.String(),
+				StartNs: int64(rec.Start),
+				DuraNs:  int64(rec.Dura),
+				EndNs:   int64(rec.End()),
+				CPU:     rec.CPU,
+				Node:    rec.Node,
+				Thread:  rec.Thread,
+				Extra:   rec.Extra,
+				Vec:     rec.Vec,
+			})
+		}
+	}
+	if countOnly {
+		return jsonResponse(http.StatusOK, struct {
+			Count int `json:"count"`
+		}{total})
+	}
+	return jsonResponse(http.StatusOK, struct {
+		Total   int          `json:"total"`
+		Offset  int          `json:"offset"`
+		Records []recordJSON `json:"records"`
+	}{total, offset, out})
+}
+
+// handlePreview renders a time-space diagram of the trace. The SVG is
+// byte-identical to `uteview -merged <path> [-view V] [-window lo:hi]
+// [-connected]`: the same parse, the same open-ended-window clamp to
+// the run bounds, the same diagram build.
+func (s *Service) handlePreview(r *http.Request) (*response, error) {
+	t, err := s.trace(r)
+	if err != nil {
+		return nil, err
+	}
+	q := r.URL.Query()
+	kind, err := render.ParseView(q.Get("view"))
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	opts := render.Options{
+		Connected: q.Get("connected") == "1",
+		Context:   r.Context(),
+	}
+	if lo, hi, ok, err := parseWindow(r); err != nil {
+		return nil, err
+	} else if ok {
+		start, end, _ := t.Bounds()
+		if lo < start {
+			lo = start
+		}
+		if hi > end {
+			hi = end
+		}
+		opts.T0, opts.T1 = lo, hi
+	}
+	d, err := render.BuildDiagram(t.file, kind, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &response{status: http.StatusOK, contentType: "image/svg+xml", body: []byte(d.SVG())}, nil
+}
+
+func (s *Service) handleMetrics(*http.Request) (*response, error) {
+	var b bytes.Buffer
+	s.met.writePrometheus(&b, s.cache.Stats(), int64(s.reg.Len()), s.reg.framesDecoded())
+	return &response{status: http.StatusOK, contentType: "text/plain; version=0.0.4; charset=utf-8", body: b.Bytes()}, nil
+}

@@ -1,0 +1,544 @@
+package tracesvc_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/events"
+	"tracefw/internal/interval"
+	"tracefw/internal/profile"
+	"tracefw/internal/render"
+	"tracefw/internal/stats"
+	"tracefw/internal/tracesvc"
+	"tracefw/internal/xrand"
+)
+
+// writeTrace writes a small valid interval file and returns its path.
+// Tiny frame/dir limits force many frames, so the cache has something
+// to shard.
+func writeTrace(t testing.TB, dir string, n int) string {
+	t.Helper()
+	rng := xrand.New(42)
+	recs := make([]interval.Record, n)
+	end := clock.Time(0)
+	for i := range recs {
+		end += clock.Time(rng.Int63n(int64(clock.Millisecond)))
+		recs[i] = interval.Record{
+			Type:   events.EvMPISend,
+			Bebits: profile.Complete,
+			Start:  end - clock.Time(rng.Int63n(int64(clock.Microsecond))),
+			CPU:    uint16(i % 4),
+			Node:   uint16(i % 2),
+			Thread: uint16(i % 3),
+			Extra:  []uint64{uint64(i), 7, 0, 0, 0, 0},
+		}
+		recs[i].Dura = end - recs[i].Start
+	}
+	hdr := interval.Header{
+		ProfileVersion: profile.StdVersion,
+		HeaderVersion:  interval.CurrentHeaderVersion,
+		FieldMask:      profile.MaskIndividual,
+		Threads: []interval.ThreadEntry{
+			{Task: 0, PID: 100, SysTID: 1, Node: 0, LTID: 0, Type: events.ThreadMPI},
+			{Task: 1, PID: 101, SysTID: 2, Node: 1, LTID: 0, Type: events.ThreadMPI},
+		},
+	}
+	path := filepath.Join(dir, "trace.ute")
+	fl, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := interval.NewWriter(fl, hdr, interval.WriterOptions{FrameBytes: 512, FramesPerDir: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := w.Add(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// do runs one request against the service handler.
+func do(t testing.TB, s *tracesvc.Service, method, url string, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var r *http.Request
+	if body != "" {
+		r = httptest.NewRequest(method, url, strings.NewReader(body))
+	} else {
+		r = httptest.NewRequest(method, url, nil)
+	}
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	return w
+}
+
+func openTrace(t testing.TB, s *tracesvc.Service, path string) string {
+	t.Helper()
+	w := do(t, s, "POST", "/v1/traces", fmt.Sprintf(`{"path":%q}`, path))
+	if w.Code != http.StatusCreated {
+		t.Fatalf("POST /v1/traces: %d %s", w.Code, w.Body)
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	return info.ID
+}
+
+func TestServiceCRUD(t *testing.T) {
+	s := tracesvc.New(tracesvc.Config{})
+	defer s.Close()
+	path := writeTrace(t, t.TempDir(), 300)
+	id := openTrace(t, s, path)
+
+	w := do(t, s, "GET", "/v1/traces", "")
+	if w.Code != 200 || !strings.Contains(w.Body.String(), path) {
+		t.Fatalf("list: %d %s", w.Code, w.Body)
+	}
+	w = do(t, s, "GET", "/v1/traces/"+id, "")
+	var info struct {
+		Records int64 `json:"records"`
+		Frames  int   `json:"frames"`
+		Dirs    int   `json:"dirs"`
+	}
+	if w.Code != 200 {
+		t.Fatalf("get: %d %s", w.Code, w.Body)
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 300 || info.Frames < 4 || info.Dirs < 1 {
+		t.Fatalf("metadata: %+v", info)
+	}
+
+	w = do(t, s, "GET", "/v1/traces/"+id+"/frames", "")
+	var fr struct {
+		Frames []struct {
+			Records uint32 `json:"records"`
+		} `json:"frames"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &fr); err != nil {
+		t.Fatal(err)
+	}
+	var sum int
+	for _, fe := range fr.Frames {
+		sum += int(fe.Records)
+	}
+	if len(fr.Frames) != info.Frames || sum != 300 {
+		t.Fatalf("frames endpoint: %d frames, %d records", len(fr.Frames), sum)
+	}
+
+	// Paged records: pages concatenate to the full set, count mode
+	// agrees, and a windowed count matches a record-level oracle.
+	var got int
+	for off := 0; ; off += 100 {
+		w = do(t, s, "GET", fmt.Sprintf("/v1/traces/%s/records?offset=%d&limit=100", id, off), "")
+		var page struct {
+			Total   int               `json:"total"`
+			Records []json.RawMessage `json:"records"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &page); err != nil {
+			t.Fatal(err)
+		}
+		if page.Total != 300 {
+			t.Fatalf("total %d, want 300", page.Total)
+		}
+		got += len(page.Records)
+		if len(page.Records) == 0 {
+			break
+		}
+	}
+	if got != 300 {
+		t.Fatalf("pages sum to %d records, want 300", got)
+	}
+	w = do(t, s, "GET", "/v1/traces/"+id+"/records?count=1", "")
+	if !strings.Contains(w.Body.String(), `"count": 300`) {
+		t.Fatalf("count mode: %s", w.Body)
+	}
+
+	if w = do(t, s, "DELETE", "/v1/traces/"+id, ""); w.Code != http.StatusNoContent {
+		t.Fatalf("delete: %d", w.Code)
+	}
+	if w = do(t, s, "GET", "/v1/traces/"+id, ""); w.Code != http.StatusNotFound {
+		t.Fatalf("get after delete: %d", w.Code)
+	}
+	if w = do(t, s, "DELETE", "/v1/traces/"+id, ""); w.Code != http.StatusNotFound {
+		t.Fatalf("double delete: %d", w.Code)
+	}
+}
+
+// TestStatsByteIdentical: the stats endpoint's body equals utestats's
+// stdout — the same tables through the same TSV rendering and the same
+// "# table" framing — windowed and unwindowed, predefined and explicit
+// programs.
+func TestStatsByteIdentical(t *testing.T) {
+	s := tracesvc.New(tracesvc.Config{})
+	defer s.Close()
+	path := writeTrace(t, t.TempDir(), 400)
+	id := openTrace(t, s, path)
+
+	expect := func(program string, opts stats.Options) string {
+		f, err := interval.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		tables, err := stats.GenerateOpts(program, []*interval.File{f}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		for _, tb := range tables {
+			fmt.Fprintf(&b, "# table %s\n%s\n", tb.Name, tb.TSV())
+		}
+		return b.String()
+	}
+
+	w := do(t, s, "GET", "/v1/traces/"+id+"/stats", "")
+	if w.Code != 200 {
+		t.Fatalf("stats: %d %s", w.Code, w.Body)
+	}
+	if want := expect(stats.Predefined(50), stats.Options{}); w.Body.String() != want {
+		t.Fatalf("predefined stats differ from utestats output:\n--- got ---\n%s\n--- want ---\n%s", w.Body, want)
+	}
+
+	lo, hi, err := clock.ParseWindow("0.02:0.09")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = do(t, s, "GET", "/v1/traces/"+id+"/stats?window=0.02:0.09&bins=10", "")
+	want := expect(stats.Predefined(10), stats.Options{Window: true, Lo: lo, Hi: hi})
+	if w.Body.String() != want {
+		t.Fatal("windowed stats differ from utestats output")
+	}
+
+	prog := `table name=bynode x=("node", node) y=("n", dura, count)`
+	w = do(t, s, "GET", "/v1/traces/"+id+"/stats?expr="+
+		"table+name%3Dbynode+x%3D%28%22node%22%2C+node%29+y%3D%28%22n%22%2C+dura%2C+count%29", "")
+	if w.Code != 200 {
+		t.Fatalf("expr stats: %d %s", w.Code, w.Body)
+	}
+	if want := expect(prog, stats.Options{}); w.Body.String() != want {
+		t.Fatal("expr stats differ from utestats output")
+	}
+}
+
+// TestPreviewByteIdentical: the preview endpoint's SVG equals uteview's
+// for the same view and window, including the open-ended-window clamp
+// to the run bounds.
+func TestPreviewByteIdentical(t *testing.T) {
+	s := tracesvc.New(tracesvc.Config{})
+	defer s.Close()
+	path := writeTrace(t, t.TempDir(), 400)
+	id := openTrace(t, s, path)
+
+	expect := func(view string, window string) string {
+		f, err := interval.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		kind, err := render.ParseView(view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var opts render.Options
+		if window != "" {
+			lo, hi, err := clock.ParseWindow(window)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs, fe, _, err := f.Stats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lo < fs {
+				lo = fs
+			}
+			if hi > fe {
+				hi = fe
+			}
+			opts.T0, opts.T1 = lo, hi
+		}
+		d, err := render.BuildDiagram(f, kind, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.SVG()
+	}
+
+	for _, tc := range []struct{ view, window string }{
+		{"", ""},
+		{"processor-activity", "0.01:0.05"},
+		{"thread-activity", ":0.08"},
+	} {
+		url := "/v1/traces/" + id + "/preview.svg?view=" + tc.view
+		if tc.window != "" {
+			url += "&window=" + tc.window
+		}
+		w := do(t, s, "GET", url, "")
+		if w.Code != 200 {
+			t.Fatalf("preview %+v: %d %s", tc, w.Code, w.Body)
+		}
+		if ct := w.Header().Get("Content-Type"); ct != "image/svg+xml" {
+			t.Fatalf("preview content type %q", ct)
+		}
+		if w.Body.String() != expect(tc.view, tc.window) {
+			t.Fatalf("preview %+v differs from uteview output", tc)
+		}
+	}
+}
+
+// TestWarmCacheDecodesNoFrames is the acceptance proof for the cache: a
+// repeated window query decodes zero frames — DecodedFrames (frame
+// payload reads) stays flat while cache hits climb.
+func TestWarmCacheDecodesNoFrames(t *testing.T) {
+	s := tracesvc.New(tracesvc.Config{})
+	defer s.Close()
+	path := writeTrace(t, t.TempDir(), 500)
+	id := openTrace(t, s, path)
+	tr, _ := s.Registry().Get(id)
+
+	if w := do(t, s, "GET", "/v1/traces/"+id+"/records?window=0.05:0.2&count=1", ""); w.Code != 200 {
+		t.Fatalf("cold query: %d %s", w.Code, w.Body)
+	}
+	cold := tr.File().DecodedFrames()
+	if cold == 0 {
+		t.Fatal("cold query decoded nothing")
+	}
+	hits0 := s.Cache().Stats().Hits
+
+	for i := 0; i < 3; i++ {
+		if w := do(t, s, "GET", "/v1/traces/"+id+"/records?window=0.05:0.2&count=1", ""); w.Code != 200 {
+			t.Fatalf("warm query: %d %s", w.Code, w.Body)
+		}
+	}
+	if got := tr.File().DecodedFrames(); got != cold {
+		t.Fatalf("warm queries decoded %d frames (total %d, cold %d): cache not serving", got-cold, got, cold)
+	}
+	if hits := s.Cache().Stats().Hits; hits <= hits0 {
+		t.Fatalf("cache hits did not grow: %d -> %d", hits0, hits)
+	}
+
+	// Stats over the same window also rides the cache: still no decodes.
+	if w := do(t, s, "GET", "/v1/traces/"+id+"/stats?window=0.05:0.2", ""); w.Code != 200 {
+		t.Fatalf("warm stats: %d %s", w.Code, w.Body)
+	}
+	if got := tr.File().DecodedFrames(); got != cold {
+		t.Fatalf("warm stats decoded %d extra frames", got-cold)
+	}
+}
+
+// TestSingleflightDecodesOnce: N concurrent cold queries over the same
+// window must decode every frame exactly once — the singleflight
+// collapses the duplicate loads.
+func TestSingleflightDecodesOnce(t *testing.T) {
+	s := tracesvc.New(tracesvc.Config{})
+	defer s.Close()
+	path := writeTrace(t, t.TempDir(), 500)
+	id := openTrace(t, s, path)
+	tr, _ := s.Registry().Get(id)
+	nframes := int64(len(tr.Frames()))
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := do(t, s, "GET", "/v1/traces/"+id+"/records?count=1", "")
+			if w.Code != 200 {
+				t.Errorf("concurrent cold query: %d", w.Code)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.File().DecodedFrames(); got != nframes {
+		t.Fatalf("8 concurrent cold full scans decoded %d frames, file has %d: singleflight failed", got, nframes)
+	}
+}
+
+// TestConcurrentQueriesWithClose hammers mixed endpoints from many
+// goroutines while a DELETE lands mid-flight; run under -race. Requests
+// racing the close may see 200, 404, or 503 — anything else fails.
+func TestConcurrentQueriesWithClose(t *testing.T) {
+	s := tracesvc.New(tracesvc.Config{})
+	defer s.Close()
+	dir := t.TempDir()
+	path := writeTrace(t, dir, 600)
+	keep := openTrace(t, s, path)
+	doomed := openTrace(t, s, path)
+
+	urls := []string{
+		"/v1/traces/%s/records?window=0.01:0.1&count=1",
+		"/v1/traces/%s/records?window=0.2:0.3&limit=50",
+		"/v1/traces/%s/stats?window=0.05:0.25&bins=8",
+		"/v1/traces/%s/preview.svg?window=0.1:0.2",
+		"/v1/traces/%s/frames",
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		for _, id := range []string{keep, doomed} {
+			wg.Add(1)
+			go func(g int, id string) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 10; i++ {
+					u := fmt.Sprintf(urls[(g+i)%len(urls)], id)
+					w := do(t, s, "GET", u, "")
+					switch w.Code {
+					case 200, 404, 503:
+					default:
+						t.Errorf("GET %s: %d %s", u, w.Code, w.Body)
+					}
+				}
+			}(g, id)
+		}
+	}
+	close(start)
+	time.Sleep(time.Millisecond)
+	if w := do(t, s, "DELETE", "/v1/traces/"+doomed, ""); w.Code != http.StatusNoContent {
+		t.Errorf("delete: %d", w.Code)
+	}
+	wg.Wait()
+
+	// The surviving trace still answers, byte-identically to before.
+	if w := do(t, s, "GET", "/v1/traces/"+keep+"/records?count=1", ""); w.Code != 200 {
+		t.Fatalf("survivor query: %d %s", w.Code, w.Body)
+	}
+}
+
+// TestCacheEviction: a cache far smaller than the decoded trace must
+// evict and stay under budget, while queries keep answering correctly.
+func TestCacheEviction(t *testing.T) {
+	s := tracesvc.New(tracesvc.Config{CacheBytes: 1 << 16, CacheShards: 1})
+	defer s.Close()
+	path := writeTrace(t, t.TempDir(), 4000)
+	id := openTrace(t, s, path)
+
+	for i := 0; i < 2; i++ {
+		w := do(t, s, "GET", "/v1/traces/"+id+"/records?count=1", "")
+		if w.Code != 200 || !strings.Contains(w.Body.String(), `"count": 4000`) {
+			t.Fatalf("scan %d: %d %s", i, w.Code, w.Body)
+		}
+	}
+	cs := s.Cache().Stats()
+	if cs.Evictions == 0 {
+		t.Fatal("no evictions despite a 64KiB budget")
+	}
+	if cs.Bytes > 1<<16 {
+		t.Fatalf("cache holds %d bytes, budget %d", cs.Bytes, 1<<16)
+	}
+	if cs.Bytes < 0 || cs.Entries < 0 {
+		t.Fatalf("negative accounting: %+v", cs)
+	}
+}
+
+// TestRequestTimeout: an unmeetable deadline surfaces as 504, routed
+// through the map-reduce engine's context check.
+func TestRequestTimeout(t *testing.T) {
+	s := tracesvc.New(tracesvc.Config{RequestTimeout: time.Nanosecond})
+	defer s.Close()
+	path := writeTrace(t, t.TempDir(), 300)
+
+	// Registration must not be subject to the request deadline's
+	// map-reduce path: open directly.
+	tr, err := s.Registry().Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := do(t, s, "GET", "/v1/traces/"+tr.ID+"/stats", "")
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("stats under 1ns deadline: %d %s", w.Code, w.Body)
+	}
+	w = do(t, s, "GET", "/v1/traces/"+tr.ID+"/records", "")
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("records under 1ns deadline: %d %s", w.Code, w.Body)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := tracesvc.New(tracesvc.Config{})
+	defer s.Close()
+	path := writeTrace(t, t.TempDir(), 300)
+	id := openTrace(t, s, path)
+	do(t, s, "GET", "/v1/traces/"+id+"/records?count=1", "")
+	do(t, s, "GET", "/v1/traces/"+id+"/records?count=1", "")
+
+	w := do(t, s, "GET", "/metrics", "")
+	if w.Code != 200 {
+		t.Fatalf("metrics: %d", w.Code)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		"tracesvc_cache_hits_total ",
+		"tracesvc_cache_misses_total ",
+		"tracesvc_cache_bytes_resident ",
+		"tracesvc_traces_open 1",
+		"tracesvc_frames_decoded_total ",
+		`tracesvc_requests_total{endpoint="records"} 2`,
+		`tracesvc_request_seconds_bucket{endpoint="records",le="+Inf"} 2`,
+		`tracesvc_request_seconds_count{endpoint="records"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics body lacks %q:\n%s", want, body)
+		}
+	}
+
+	// Errors count: a 404 increments the error counter.
+	do(t, s, "GET", "/v1/traces/nope", "")
+	body = do(t, s, "GET", "/metrics", "").Body.String()
+	if !strings.Contains(body, `tracesvc_request_errors_total{endpoint="get"} 1`) {
+		t.Fatalf("404 not counted as an error:\n%s", body)
+	}
+}
+
+// TestBadRequests: malformed parameters map to 400, unknown IDs to 404.
+func TestBadRequests(t *testing.T) {
+	s := tracesvc.New(tracesvc.Config{})
+	defer s.Close()
+	path := writeTrace(t, t.TempDir(), 100)
+	id := openTrace(t, s, path)
+
+	for _, tc := range []struct {
+		url  string
+		code int
+	}{
+		{"/v1/traces/zzz/stats", 404},
+		{"/v1/traces/" + id + "/stats?window=bogus", 400},
+		{"/v1/traces/" + id + "/stats?bins=-1", 400},
+		{"/v1/traces/" + id + "/records?limit=0", 400},
+		{"/v1/traces/" + id + "/records?offset=-2", 400},
+		{"/v1/traces/" + id + "/preview.svg?view=nope", 400},
+	} {
+		if w := do(t, s, "GET", tc.url, ""); w.Code != tc.code {
+			t.Errorf("GET %s: %d, want %d", tc.url, w.Code, tc.code)
+		}
+	}
+	if w := do(t, s, "POST", "/v1/traces", `{"path":"/does/not/exist.ute"}`); w.Code != 400 {
+		t.Errorf("open missing file: %d", w.Code)
+	}
+	if w := do(t, s, "POST", "/v1/traces", `{`); w.Code != 400 {
+		t.Errorf("bad JSON: %d", w.Code)
+	}
+}
