@@ -882,6 +882,54 @@ func BenchmarkStatsParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkStatsColumnar is the columnar-engine headline: the same
+// multi-table program through the record-at-a-time evaluator (scalar),
+// through the vectorized kernels decoding v4 frames straight into
+// columnar batches (columnar-cold), and through the kernels fed from a
+// decoded-record cache hook the way the trace service runs them
+// (columnar-warm). Outputs are byte-identical across all three
+// (asserted by internal/stats tests); only the evaluation cost differs.
+func BenchmarkStatsColumnar(b *testing.B) {
+	mf := windowBenchFile(b)
+	prog := `table name=busy x=("state", state) y=("t", dura, sum) y=("n", dura, count)
+table name=bynode x=("node", node) x=("bin", bin(start, 50)) y=("t", dura, sum)
+table name=sends condition=(msgSizeSent > 0) x=("node", node) y=("bytes", msgSizeSent, sum)`
+	run := func(b *testing.B, eng stats.Engine) {
+		runtime.GC()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tables, err := stats.GenerateOpts(prog, []*interval.File{mf}, stats.Options{Parallel: 1, Engine: eng})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(tables[0].Rows) == 0 {
+				b.Fatal("empty table")
+			}
+		}
+	}
+	b.Run("scalar", func(b *testing.B) { run(b, stats.EngineScalar) })
+	b.Run("columnar-cold", func(b *testing.B) { run(b, stats.EngineColumnar) })
+	b.Run("columnar-warm", func(b *testing.B) {
+		fes, err := mf.Frames()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cache := make(map[int64][]interval.Record, len(fes))
+		for _, fe := range fes {
+			recs, err := mf.DecodeFrameDirect(fe)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cache[fe.Offset] = recs
+		}
+		mf.SetFrameDecoder(func(_ *interval.File, fe interval.FrameEntry) ([]interval.Record, error) {
+			return cache[fe.Offset], nil
+		})
+		defer mf.SetFrameDecoder(nil)
+		run(b, stats.EngineColumnar)
+	})
+}
+
 // --- trace query service (utetraced's serving layer) -------------------
 
 // serveBench builds a service with one registered on-disk trace and

@@ -44,6 +44,9 @@ func main() {
 		checkVer = flag.Bool("check-profile", false, "verify the inputs' profile version against profile.ute next to each input")
 		jobs     = flag.Int("j", 0, "frame-decode workers across all inputs (0 = GOMAXPROCS)")
 		window   = flag.String("window", "", "restrict tables to records overlapping lo:hi (seconds)")
+		verbose  = flag.Bool("v", false, "report per-table engine and excluded-record counts on stderr")
+		timeRes  = flag.Bool("timeresolved", false, "generate the time-resolved metric tables (-bins buckets) instead of a program")
+		engine   = flag.String("engine", "auto", "table evaluator: auto, scalar, or columnar")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -81,6 +84,16 @@ func main() {
 		files = append(files, f)
 	}
 	opts := stats.Options{Parallel: *jobs}
+	switch *engine {
+	case "auto":
+	case "scalar":
+		opts.Engine = stats.EngineScalar
+	case "columnar":
+		opts.Engine = stats.EngineColumnar
+	default:
+		fmt.Fprintf(os.Stderr, "utestats: -engine must be auto, scalar, or columnar, got %q\n", *engine)
+		os.Exit(2)
+	}
 	if *window != "" {
 		lo, hi, err := clock.ParseWindow(*window)
 		if err != nil {
@@ -88,11 +101,29 @@ func main() {
 		}
 		opts.Window, opts.Lo, opts.Hi = true, lo, hi
 	}
-	tables, err := stats.GenerateOpts(program, files, opts)
+	var tables []*stats.Table
+	var err error
+	if *timeRes {
+		if *exprSrc != "" || *fileSrc != "" {
+			fmt.Fprintln(os.Stderr, "utestats: -timeresolved does not take a program (-e/-f)")
+			os.Exit(2)
+		}
+		tables, err = stats.TimeResolved(files, *bins, opts)
+	} else {
+		tables, err = stats.GenerateOpts(program, files, opts)
+	}
 	if err != nil {
 		fatal(err)
 	}
 	for _, tb := range tables {
+		if *verbose {
+			eng := "scalar"
+			if tb.Columnar {
+				eng = "columnar"
+			}
+			fmt.Fprintf(os.Stderr, "utestats: table %s: engine=%s skipped=%d rows=%d\n",
+				tb.Name, eng, tb.Skipped, len(tb.Rows))
+		}
 		if *outDir == "" {
 			fmt.Printf("# table %s\n%s\n", tb.Name, tb.TSV())
 			continue

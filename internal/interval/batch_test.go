@@ -1,0 +1,278 @@
+package interval
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/events"
+	"tracefw/internal/profile"
+	"tracefw/internal/xrand"
+)
+
+// writeMixedFile builds a file whose records span the shapes the batch
+// decoder must handle: no extras (Running), fixed extras of several
+// widths, and the trailing vector of Waitall — across enough records to
+// force multiple frames and directories.
+func writeMixedFile(t *testing.T, seed uint64, n int, hdrVersion uint32) (*SeekBuffer, []Record) {
+	t.Helper()
+	rng := xrand.New(seed)
+	recs := make([]Record, n)
+	for i := range recs {
+		r := Record{
+			Bebits: profile.Complete,
+			Start:  clock.Time(rng.Int63n(int64(100 * clock.Millisecond))),
+			Dura:   clock.Time(rng.Int63n(int64(5 * clock.Millisecond))),
+			CPU:    uint16(rng.Intn(4)),
+			Node:   uint16(rng.Intn(2)),
+			Thread: uint16(rng.Intn(8)),
+		}
+		switch rng.Intn(4) {
+		case 0:
+			r.Type = events.EvRunning
+		case 1:
+			r.Type = events.EvMPISend
+			r.Extra = []uint64{rng.Uint64() % 1000, 7, uint64(i), 0, 1, rng.Uint64()}
+		case 2:
+			r.Type = events.EvMPIBarrier
+			r.Extra = []uint64{1, rng.Uint64() % (1 << 40)}
+		default:
+			r.Type = events.EvMPIWaitall
+			nv := rng.Intn(5)
+			r.Extra = []uint64{uint64(nv), rng.Uint64()}
+			r.Vec = make([]uint64, 3*nv)
+			for j := range r.Vec {
+				r.Vec[j] = rng.Uint64() % 100000
+			}
+		}
+		recs[i] = r
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].End() < recs[j].End() })
+	hdr := testHeader()
+	hdr.HeaderVersion = hdrVersion
+	sb := NewSeekBuffer()
+	w, err := NewWriter(sb, hdr, WriterOptions{FrameBytes: 512, FramesPerDir: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := w.Add(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return sb, recs
+}
+
+func eqRecord(a, b Record) bool {
+	if a.Type != b.Type || a.Bebits != b.Bebits || a.Start != b.Start ||
+		a.Dura != b.Dura || a.CPU != b.CPU || a.Node != b.Node || a.Thread != b.Thread {
+		return false
+	}
+	if len(a.Extra) != len(b.Extra) || len(a.Vec) != len(b.Vec) {
+		return false
+	}
+	for i := range a.Extra {
+		if a.Extra[i] != b.Extra[i] {
+			return false
+		}
+	}
+	for i := range a.Vec {
+		if a.Vec[i] != b.Vec[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBatchMatchesRecordDecode decodes every frame of every header
+// version both ways — record materialization and columnar batch — and
+// compares row by row, reusing one Batch throughout so stale column
+// contents from previous frames would be caught.
+func TestBatchMatchesRecordDecode(t *testing.T) {
+	for v := uint32(1); v <= CurrentHeaderVersion; v++ {
+		t.Run(fmt.Sprintf("v%d", v), func(t *testing.T) {
+			sb, _ := writeMixedFile(t, 0xb0b0+uint64(v), 400, v)
+			f, err := NewFile(NewSeekBufferFrom(sb.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fes, err := f.Frames()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fes) < 4 {
+				t.Fatalf("want a multi-frame file, got %d frames", len(fes))
+			}
+			var b Batch
+			total := 0
+			for _, fe := range fes {
+				recs, err := f.DecodeFrame(fe)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := f.DecodeFrameBatch(fe, &b); err != nil {
+					t.Fatal(err)
+				}
+				if b.N != len(recs) {
+					t.Fatalf("frame at %d: batch N=%d, records=%d", fe.Offset, b.N, len(recs))
+				}
+				for i, want := range recs {
+					if got := b.Row(i); !eqRecord(got, want) {
+						t.Fatalf("frame at %d row %d: batch %+v, record %+v", fe.Offset, i, got, want)
+					}
+					if got := b.RowCopy(i); !eqRecord(got, want) {
+						t.Fatalf("frame at %d row %d: RowCopy %+v, record %+v", fe.Offset, i, got, want)
+					}
+					if want.End() != b.End(i) {
+						t.Fatalf("frame at %d row %d: End mismatch", fe.Offset, i)
+					}
+				}
+				total += b.N
+			}
+			if total != 400 {
+				t.Fatalf("decoded %d records, wrote 400", total)
+			}
+		})
+	}
+}
+
+// TestBatchEncodedRowSize checks the accumulation-format size estimate
+// against the writer's framing: summing EncodedRowSize over a frame's
+// rows must reproduce the record payload+prefix accounting the writer
+// used to close that frame (frame assignment is based on it).
+func TestBatchEncodedRowSize(t *testing.T) {
+	sb, _ := writeMixedFile(t, 99, 200, CurrentHeaderVersion)
+	f, err := NewFile(NewSeekBufferFrom(sb.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fes, err := f.Frames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Batch
+	for _, fe := range fes {
+		if err := f.DecodeFrameBatch(fe, &b); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			r := b.Row(i)
+			if got, want := b.EncodedRowSize(i), r.EncodedSize(); got != want {
+				t.Fatalf("row %d (%v): EncodedRowSize=%d, want %d", i, r.Type, got, want)
+			}
+		}
+	}
+}
+
+// TestMapFilesBatchesOrdering verifies the batch engine delivers frames
+// in the same order and with the same contents as MapFilesFrames, at
+// several worker counts.
+func TestMapFilesBatchesOrdering(t *testing.T) {
+	sb, _ := writeMixedFile(t, 7, 300, CurrentHeaderVersion)
+	sb2, _ := writeMixedFile(t, 8, 150, CurrentHeaderVersion)
+	var files []*File
+	for _, s := range []*SeekBuffer{sb, sb2} {
+		f, err := NewFile(NewSeekBufferFrom(s.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	render := func(parallel int, batched bool) string {
+		var out []string
+		add := func(file int, fe FrameEntry, sum uint64, n int) {
+			out = append(out, fmt.Sprintf("%d/%d: n=%d sum=%d", file, fe.Offset, n, sum))
+		}
+		var err error
+		if batched {
+			err = MapFilesBatches(files, MapOptions{Parallel: parallel},
+				func(file int, fe FrameEntry, b *Batch) (uint64, error) {
+					var sum uint64
+					for i := 0; i < b.N; i++ {
+						sum += uint64(b.Start[i]) + uint64(b.Type[i])
+						for _, e := range b.ExtraRow(i) {
+							sum += e
+						}
+						for _, v := range b.VecRow(i) {
+							sum += v
+						}
+					}
+					return sum, nil
+				},
+				func(file int, fe FrameEntry, sum uint64) error {
+					add(file, fe, sum, 0)
+					return nil
+				})
+		} else {
+			err = MapFilesFrames(files, MapOptions{Parallel: parallel},
+				func(file int, fe FrameEntry, recs []Record) (uint64, error) {
+					var sum uint64
+					for _, r := range recs {
+						sum += uint64(r.Start) + uint64(r.Type)
+						for _, e := range r.Extra {
+							sum += e
+						}
+						for _, v := range r.Vec {
+							sum += v
+						}
+					}
+					return sum, nil
+				},
+				func(file int, fe FrameEntry, sum uint64) error {
+					add(file, fe, sum, 0)
+					return nil
+				})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprint(out)
+	}
+	want := render(1, false)
+	for _, par := range []int{1, 2, 8} {
+		if got := render(par, true); got != want {
+			t.Fatalf("batched -j%d order/content differs:\n%s\nwant:\n%s", par, got, want)
+		}
+	}
+}
+
+// TestBatchDecodeZeroAlloc pins the warm-path allocation count: once a
+// Batch's columns have grown to the largest frame, re-decoding frames
+// into it must not allocate at all, on both the v4 varint path and the
+// fixed-width path.
+func TestBatchDecodeZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; count is meaningless")
+	}
+	for _, v := range []uint32{3, CurrentHeaderVersion} {
+		sb, _ := writeMixedFile(t, 21, 300, v)
+		f, err := NewFile(NewSeekBufferFrom(sb.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fes, err := f.Frames()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b Batch
+		for _, fe := range fes { // warm up: grow columns and the read buffer pool
+			if err := f.DecodeFrameBatch(fe, &b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			for _, fe := range fes {
+				if err := f.DecodeFrameBatch(fe, &b); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("v%d: warm batch decode allocates %v times per pass, want 0", v, allocs)
+		}
+	}
+}

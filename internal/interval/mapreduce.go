@@ -127,6 +127,72 @@ func MapFilesFrames[T any](files []*File, opts MapOptions, mapFn func(file int, 
 	})
 }
 
+// batchPool recycles Batches across MapFilesBatches workers and runs;
+// a recycled batch's columns keep their capacity, so steady-state
+// columnar decode allocates nothing.
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+// MapFilesBatches is MapFilesFrames with columnar frame decode: mapFn
+// receives each selected frame as a Batch filled straight from the
+// compact frame encoding (or built from the frame-decode hook's cached
+// records when one is installed), skipping per-record materialization.
+// Batches are pooled — the one passed to mapFn is valid only for the
+// duration of the call and must not be retained; anything that outlives
+// the call must be copied out (Batch.RowCopy). Ordering, concurrency,
+// and error semantics match MapFilesFrames exactly.
+func MapFilesBatches[T any](files []*File, opts MapOptions, mapFn func(file int, fe FrameEntry, b *Batch) (T, error), reduceFn func(file int, fe FrameEntry, v T) error) error {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	type job struct {
+		file int
+		fe   FrameEntry
+	}
+	var jobs []job
+	for fi, f := range files {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		fes, err := selectFrames(f, opts)
+		if err != nil {
+			return err
+		}
+		for _, fe := range fes {
+			jobs = append(jobs, job{fi, fe})
+		}
+	}
+	p := par.Workers(opts.Parallel, len(jobs))
+	if p > 1 {
+		for _, f := range files {
+			if !f.ConcurrentReads() {
+				p = 1
+				break
+			}
+		}
+	}
+	red := newOrderedReducer()
+	return par.Do(len(jobs), p, func(i int) error {
+		if err := ctx.Err(); err != nil {
+			red.abort()
+			return err
+		}
+		j := jobs[i]
+		b := batchPool.Get().(*Batch)
+		defer batchPool.Put(b)
+		if err := files[j.file].DecodeFrameBatch(j.fe, b); err != nil {
+			red.abort()
+			return err
+		}
+		v, err := mapFn(j.file, j.fe, b)
+		if err != nil {
+			red.abort()
+			return err
+		}
+		return red.reduce(i, func() error { return reduceFn(j.file, j.fe, v) })
+	})
+}
+
 // decodeFrame produces one frame's records: through the file's
 // frame-decode hook when one is installed (serving layers cache decoded
 // frames there), otherwise by reading and decoding directly. Direct

@@ -1,0 +1,5 @@
+//go:build !race
+
+package interval
+
+const raceEnabled = false

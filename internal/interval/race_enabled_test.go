@@ -1,0 +1,7 @@
+//go:build race
+
+package interval
+
+// raceEnabled reports whether the race detector is on; its
+// instrumentation allocates, so allocation-count tests skip under it.
+const raceEnabled = true

@@ -343,3 +343,39 @@ func TestBuildParallelByteIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestColumnarBuildByteIdentical builds the same merged trace with the
+// record-fed and the batch-fed pass 1 and requires bit-for-bit equal
+// SLOG files, at several worker counts and with a Waitall-heavy
+// workload so the vector envelopes flow through RowCopy.
+func TestColumnarBuildByteIdentical(t *testing.T) {
+	// Halo exchange completed through Waitall: the vector envelopes must
+	// survive the batch-fed path's RowCopy for the arrows to match.
+	waitallWork := func(p *mpisim.Proc) {
+		peer := 1 - p.Rank()
+		for i := 0; i < 15; i++ {
+			rr := p.Irecv(int32(peer), int32(i))
+			sr := p.Isend(peer, int32(i), 2048)
+			p.Compute(clock.Millisecond)
+			p.Waitall(rr, sr)
+		}
+		p.Barrier()
+	}
+	for _, work := range []func(*mpisim.Proc){phased, waitallWork} {
+		mf, _ := testutil.Pipeline(t, shape, merge.Options{}, work)
+		build := func(opts slog.Options) []byte {
+			sb := interval.NewSeekBuffer()
+			if _, err := slog.Build(mf, sb, opts); err != nil {
+				t.Fatal(err)
+			}
+			return sb.Bytes()
+		}
+		want := build(slog.Options{FrameBytes: 2048})
+		for _, par := range []int{0, 1, 4} {
+			got := build(slog.Options{FrameBytes: 2048, Parallel: par, Columnar: true})
+			if !bytes.Equal(got, want) {
+				t.Fatalf("columnar build (parallel=%d) differs from record-fed build", par)
+			}
+		}
+	}
+}

@@ -1,0 +1,411 @@
+package stats_test
+
+// Differential tests for the columnar engine: every program that the
+// kernel compiler accepts must produce byte-identical TSV (and identical
+// Skipped counts) to the record-at-a-time evaluator, on fixture files at
+// every header version the format has shipped.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/interval"
+	"tracefw/internal/stats"
+)
+
+// reencode rewrites recs into a fresh in-memory interval file at the
+// given header version, preserving the source header's thread table and
+// marker dictionary. Small frames and directories force multi-frame,
+// multi-directory files so frame-boundary behavior is exercised.
+func reencode(t *testing.T, hdr interval.Header, recs []interval.Record, version uint32) *interval.File {
+	t.Helper()
+	hdr.HeaderVersion = version
+	sb := interval.NewSeekBuffer()
+	w, err := interval.NewWriter(sb, hdr, interval.WriterOptions{FrameBytes: 1024, FramesPerDir: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := w.Add(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := interval.NewFile(interval.NewSeekBufferFrom(sb.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// versionFixtures produces the merged pipeline trace re-encoded at every
+// header version, keyed by version.
+func versionFixtures(t *testing.T) map[uint32]*interval.File {
+	t.Helper()
+	mf := mergedFile(t)
+	recs, err := mf.Scan().All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[uint32]*interval.File)
+	for v := uint32(1); v <= interval.CurrentHeaderVersion; v++ {
+		out[v] = reencode(t, mf.Header, recs, v)
+	}
+	return out
+}
+
+// renderTables flattens generation output, including the per-table
+// engine flag and excluded-record count, so any divergence — values,
+// row order, skip accounting — fails the comparison.
+func renderTables(tables []*stats.Table) string {
+	var b strings.Builder
+	for _, tb := range tables {
+		fmt.Fprintf(&b, "== %s skipped=%d\n%s", tb.Name, tb.Skipped, tb.TSV())
+	}
+	return b.String()
+}
+
+// runBoth evaluates one program under both engines and reports the
+// outputs and errors.
+func runBoth(program string, files []*interval.File, opts stats.Options) (scalar, columnar string, serr, cerr error) {
+	o := opts
+	o.Engine = stats.EngineScalar
+	st, serr := stats.GenerateOpts(program, files, o)
+	o.Engine = stats.EngineColumnar
+	ct, cerr := stats.GenerateOpts(program, files, o)
+	return renderTables(st), renderTables(ct), serr, cerr
+}
+
+// diffProgram asserts the two engines agree on program: same
+// error-or-not outcome, and byte-identical rendering on success.
+func diffProgram(t *testing.T, program string, files []*interval.File, opts stats.Options) {
+	t.Helper()
+	if _, err := stats.Parse(program); err != nil {
+		t.Fatalf("program %q does not parse (vacuous comparison): %v", program, err)
+	}
+	s, c, serr, cerr := runBoth(program, files, opts)
+	if (serr == nil) != (cerr == nil) {
+		t.Fatalf("engines disagree on error for %q:\n  scalar:   %v\n  columnar: %v", program, serr, cerr)
+	}
+	if serr != nil {
+		return
+	}
+	if s != c {
+		t.Fatalf("engines diverge for %q:\n--- scalar ---\n%s--- columnar ---\n%s", program, s, c)
+	}
+}
+
+func TestColumnarPredefinedAllVersions(t *testing.T) {
+	fixtures := versionFixtures(t)
+	program := stats.Predefined(16)
+	for v := uint32(1); v <= interval.CurrentHeaderVersion; v++ {
+		f := fixtures[v]
+		diffProgram(t, program, []*interval.File{f}, stats.Options{})
+		// The columnar engine must actually have run (predefined tables
+		// are fully lowerable) and report so.
+		tables, err := stats.GenerateOpts(program, []*interval.File{f}, stats.Options{Engine: stats.EngineColumnar})
+		if err != nil {
+			t.Fatalf("v%d: columnar: %v", v, err)
+		}
+		for _, tb := range tables {
+			if !tb.Columnar {
+				t.Fatalf("v%d: table %q not marked columnar", v, tb.Name)
+			}
+		}
+	}
+}
+
+// differentialPrograms exercises every kernel the compiler emits:
+// field loads (numeric and string), extras with per-type skip bitmaps,
+// all arithmetic and comparison ops, short-circuit logic over skipping
+// operands, bin/floor/abs, grouping on mixed key kinds, and the
+// division/modulo and floor-needs-a-number runtime errors.
+var differentialPrograms = []string{
+	`table name=count y=("n", dura, count)`,
+	`table name=bynode x=("x", node) y=("t", dura, sum) y=("n", dura, count)`,
+	`table name=bycpu x=("n", node) x=("c", cpu) y=("avg", dura, avg) y=("max", dura, max) y=("min", dura, min)`,
+	`table name=bystate x=("x", state) y=("t", dura, sum)`,
+	`table name=bebits x=("be", bebits) x=("st", state) y=("n", start, count)`,
+	`table name=sent x=("x", node) y=("bytes", msgSizeSent, sum)`,
+	`table name=peers x=("p", peer) x=("tg", tag) y=("n", msgSizeSent, count)`,
+	`table name=binned x=("x", bin(start, 8)) y=("t", dura, sum)`,
+	`table name=binone x=("x", bin(start, 1)) y=("n", dura, count)`,
+	`table name=endfld y=("last", end, max) y=("first", start, min)`,
+	`table name=iscalls condition=(iscall) y=("n", dura, count)`,
+	`table name=notcall condition=(!iscall) x=("x", type) y=("n", dura, count)`,
+	`table name=andskip condition=(msgSizeSent > 0 && dura > 0) y=("n", dura, count)`,
+	`table name=orskip condition=(cpu == 0 || msgSizeSent > 100) y=("n", dura, count)`,
+	`table name=andboth condition=(msgSizeSent >= 0 && msgSizeRecv >= 0) y=("n", dura, count)`,
+	`table name=constleft condition=(1 && node == 0) y=("n", dura, count)`,
+	`table name=constshort condition=(0 && msgSizeSent > 0) y=("n", dura, count)`,
+	`table name=orshort condition=(1 || msgSizeSent > 0) y=("n", dura, count)`,
+	`table name=arith y=("r", (dura + 1) * 2 - start / 4, sum)`,
+	`table name=division y=("r", dura / (dura + 1), avg)`,
+	`table name=modulo x=("x", node % 2) y=("n", dura, count)`,
+	`table name=neg y=("n", -dura, min)`,
+	`table name=negstart x=("x", -(node)) y=("n", dura, count)`,
+	`table name=floorfn x=("x", floor(start * 1000)) y=("t", dura, sum)`,
+	`table name=absfn y=("a", abs(-dura), sum)`,
+	`table name=cmps condition=(start <= end && dura != 0 && node < 2) y=("n", dura, count)`,
+	`table name=strcmp condition=(state != bebits) y=("n", dura, count)`,
+	`table name=streq condition=(state == state) y=("n", dura, count)`,
+	`table name=strgrp x=("st", state) x=("n", node) y=("t", dura, sum) y=("n", dura, count)`,
+	`table name=threads x=("x", thread) y=("n", dura, count)`,
+	`table name=typegrp x=("x", type) y=("n", dura, count)`,
+	`table name=skipx x=("x", msgSizeSent) y=("n", dura, count)`,
+	`table name=skipy y=("bytes", msgSizeRecv, sum) y=("n", msgSizeRecv, count)`,
+	`table name=multi1 y=("n", dura, count)
+table name=multi2 x=("x", node) y=("t", dura, sum)
+table name=multi3 condition=(msgSizeSent > 0) x=("x", peer) y=("b", msgSizeSent, avg)`,
+	// Runtime errors: both engines must fail (single-table programs, so
+	// the reported error is unambiguous).
+	`table name=divzero y=("r", dura / (cpu - cpu), sum)`,
+	`table name=modzero y=("r", node % 0, sum)`,
+	`table name=floorskip y=("n", floor(msgSizeSent), sum)`,
+	`table name=absskip y=("n", abs(msgSizeRecv), sum)`,
+	`table name=stringy y=("s", state, sum)`,
+	`table name=binzero x=("x", bin(start, 0)) y=("n", dura, count)`,
+}
+
+func TestColumnarDifferentialExpressions(t *testing.T) {
+	fixtures := versionFixtures(t)
+	for _, v := range []uint32{1, interval.CurrentHeaderVersion} {
+		files := []*interval.File{fixtures[v]}
+		for _, program := range differentialPrograms {
+			diffProgram(t, program, files, stats.Options{})
+		}
+	}
+}
+
+// TestColumnarRuntimeErrorMessages pins the wrapped error text on the
+// single-error programs, where both engines must report the same thing.
+func TestColumnarRuntimeErrorMessages(t *testing.T) {
+	mf := mergedFile(t)
+	files := []*interval.File{mf}
+	for _, tc := range []struct{ program, want string }{
+		{`table name=dz y=("r", dura / (cpu - cpu), sum)`, "stats: division by zero"},
+		{`table name=mz y=("r", node % 0, sum)`, "stats: modulo by zero"},
+		{`table name=fs y=("n", floor(msgSizeSent), sum)`, "stats: floor() needs a number"},
+		{`table name=as y=("n", abs(msgSizeRecv), sum)`, "stats: abs() needs a number"},
+	} {
+		_, _, serr, cerr := runBoth(tc.program, files, stats.Options{})
+		if serr == nil || cerr == nil {
+			t.Fatalf("%q: expected both engines to fail, scalar=%v columnar=%v", tc.program, serr, cerr)
+		}
+		if serr.Error() != cerr.Error() {
+			t.Fatalf("%q: error text differs:\n  scalar:   %v\n  columnar: %v", tc.program, serr, cerr)
+		}
+		if !strings.Contains(cerr.Error(), tc.want) {
+			t.Fatalf("%q: error %v does not mention %q", tc.program, cerr, tc.want)
+		}
+	}
+}
+
+func TestColumnarWindowedDifferential(t *testing.T) {
+	fixtures := versionFixtures(t)
+	f := fixtures[interval.CurrentHeaderVersion]
+	fs, fe, _, err := f.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	program := stats.Predefined(8) + "\ntable name=w x=(\"x\", node) y=(\"t\", dura, sum) y=(\"n\", dura, count)"
+	for _, win := range [][2]clock.Time{
+		{fs, fe},                             // full run: every frame fully inside
+		{fs + (fe-fs)/4, fs + (fe-fs)/2},     // interior: mix of pruned and edge frames
+		{fs - 1000, fs + (fe-fs)/100},        // leading edge
+		{fe + 1, fe + 1000},                  // empty
+		{fs + (fe-fs)/3, fs + (fe-fs)/3 + 1}, // near-degenerate
+	} {
+		for _, par := range []int{1, 4} {
+			opts := stats.Options{Parallel: par, Window: true, Lo: win[0], Hi: win[1]}
+			diffProgram(t, program, []*interval.File{f}, opts)
+		}
+	}
+}
+
+func TestColumnarSkippedCountSurfaced(t *testing.T) {
+	mf := mergedFile(t)
+	files := []*interval.File{mf}
+	// msgSizeSent exists only on send-like records, so every other
+	// record is excluded via errSkip and must be counted.
+	program := `table name=sent y=("bytes", msgSizeSent, sum)`
+	recs, err := mf.Scan().All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, r := range recs {
+		if _, ok := r.Field("msgSizeSent"); !ok {
+			want++
+		}
+	}
+	if want == 0 {
+		t.Fatal("fixture has no records lacking msgSizeSent; test is vacuous")
+	}
+	for _, eng := range []stats.Engine{stats.EngineScalar, stats.EngineColumnar} {
+		tables, err := stats.GenerateOpts(program, files, stats.Options{Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tables[0].Skipped != want {
+			t.Fatalf("engine %v: Skipped = %d, want %d", eng, tables[0].Skipped, want)
+		}
+	}
+}
+
+// TestColumnarFallback pins the compiler's refusal list: markername
+// needs the marker dictionary and string-valued records, so programs
+// using it are not lowerable. EngineColumnar must fail loudly,
+// EngineAuto must silently produce the scalar engine's exact output.
+func TestColumnarFallback(t *testing.T) {
+	mf := mergedFile(t)
+	files := []*interval.File{mf}
+	program := `table name=marks x=("x", markername) y=("n", dura, count)`
+
+	specs, err := stats.Parse(program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range specs {
+		if stats.Lowerable(spec) {
+			t.Fatalf("spec %q unexpectedly lowerable", spec.Name)
+		}
+	}
+
+	if _, err := stats.GenerateOpts(program, files, stats.Options{Engine: stats.EngineColumnar}); err == nil {
+		t.Fatal("EngineColumnar accepted an unlowerable program")
+	} else if !strings.Contains(err.Error(), "not lowerable") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	auto, err := stats.GenerateOpts(program, files, stats.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar, err := stats.GenerateOpts(program, files, stats.Options{Engine: stats.EngineScalar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range auto {
+		if tb.Columnar {
+			t.Fatalf("auto engine marked table %q columnar despite fallback", tb.Name)
+		}
+	}
+	if renderTables(auto) != renderTables(scalar) {
+		t.Fatal("auto fallback output differs from explicit scalar engine")
+	}
+
+	// One lowerable spec plus one unlowerable spec: compilation is
+	// all-or-nothing, so the whole program falls back.
+	mixed := program + "\ntable name=ok y=(\"n\", dura, count)"
+	tables, err := stats.GenerateOpts(mixed, files, stats.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range tables {
+		if tb.Columnar {
+			t.Fatalf("mixed program: table %q marked columnar", tb.Name)
+		}
+	}
+}
+
+func TestLowerableCoverage(t *testing.T) {
+	for _, tc := range []struct {
+		program string
+		want    bool
+	}{
+		{`table name=a y=("n", dura, count)`, true},
+		{`table name=a condition=(state == "Running") x=("b", bin(start, 4)) x=("n", node) y=("n", floor(dura), sum)`, true},
+		{`table name=a x=("x", markername) y=("n", dura, count)`, false},
+		{`table name=a condition=(state == 1) y=("n", dura, count)`, false},    // kind mismatch
+		{`table name=a y=("n", -state, count)`, false},                         // unary minus on string
+		{`table name=a x=("x", bin(state, 4)) y=("n", dura, count)`, false},         // bin on string
+		{`table name=a y=("n", floor(state), sum)`, false},                     // floor on string
+		{`table name=a y=("n", nosuchfn(dura), sum)`, false},                   // unknown function
+		{`table name=a condition=(markername == "x") y=("n", dura, count)`, false},
+	} {
+		specs, err := stats.Parse(tc.program)
+		if err != nil {
+			t.Fatalf("%q: parse: %v", tc.program, err)
+		}
+		if got := stats.Lowerable(specs[0]); got != tc.want {
+			t.Fatalf("Lowerable(%q) = %v, want %v", tc.program, got, tc.want)
+		}
+	}
+}
+
+// Grammar-directed expression sampler for the property test below. It
+// only emits expressions inside the compiler's accepted subset — the
+// point is to compare the two engines on programs both can run — but
+// freely mixes skipping extras, short-circuit logic, and the partial
+// functions, so runtime error paths are sampled too.
+type exprGen struct{ r *rand.Rand }
+
+func (g *exprGen) numField() string {
+	fields := []string{"start", "dura", "end", "node", "cpu", "thread", "type", "iscall",
+		"msgSizeSent", "msgSizeRecv", "peer", "tag", "comm", "seqno"}
+	return fields[g.r.Intn(len(fields))]
+}
+
+func (g *exprGen) num(depth int) string {
+	if depth <= 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%d", g.r.Intn(7))
+		default:
+			return g.numField()
+		}
+	}
+	switch g.r.Intn(8) {
+	case 0:
+		return fmt.Sprintf("(%s %s %s)", g.num(depth-1),
+			[]string{"+", "-", "*", "/", "%"}[g.r.Intn(5)], g.num(depth-1))
+	case 1:
+		return fmt.Sprintf("(-%s)", g.num(depth-1))
+	case 2:
+		return fmt.Sprintf("floor(%s)", g.num(depth-1))
+	case 3:
+		return fmt.Sprintf("abs(%s)", g.num(depth-1))
+	case 4:
+		return fmt.Sprintf("bin(%s, %d)", g.numField(), 1+g.r.Intn(16))
+	case 5:
+		return fmt.Sprintf("(%s %s %s)", g.num(depth-1),
+			[]string{"<", "<=", ">", ">=", "==", "!="}[g.r.Intn(6)], g.num(depth-1))
+	case 6:
+		return fmt.Sprintf("(%s %s %s)", g.num(depth-1),
+			[]string{"&&", "||"}[g.r.Intn(2)], g.num(depth-1))
+	default:
+		return g.numField()
+	}
+}
+
+func (g *exprGen) cond(depth int) string {
+	if g.r.Intn(4) == 0 {
+		return fmt.Sprintf("(state %s bebits)", []string{"==", "!="}[g.r.Intn(2)])
+	}
+	return g.num(depth)
+}
+
+func TestColumnarGrammarSampledDifferential(t *testing.T) {
+	fixtures := versionFixtures(t)
+	files := []*interval.File{fixtures[1], fixtures[interval.CurrentHeaderVersion]}
+	g := &exprGen{r: rand.New(rand.NewSource(42))}
+	aggs := []string{"sum", "count", "avg", "min", "max"}
+	for i := 0; i < 80; i++ {
+		program := fmt.Sprintf("table name=t%d condition=(%s) x=(%q, %s) y=(%q, %s, %s)",
+			i, g.cond(2), "x", g.num(1), "v", g.num(2), aggs[g.r.Intn(len(aggs))])
+		specs, err := stats.Parse(program)
+		if err != nil {
+			t.Fatalf("sampler produced unparsable program %q: %v", program, err)
+		}
+		if !stats.Lowerable(specs[0]) {
+			t.Fatalf("sampler produced unlowerable program %q", program)
+		}
+		diffProgram(t, program, files, stats.Options{})
+	}
+}

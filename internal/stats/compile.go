@@ -1,0 +1,1233 @@
+package stats
+
+// The kernel compiler lowers stats expressions (the parse tree in
+// parse.go) into vectorized kernels over columnar batches
+// (interval.Batch). A kernel evaluates one expression node for a whole
+// frame at a time: per-column loops writing into reusable scratch
+// buffers, with selection bitmaps standing in for the scalar
+// evaluator's lazy control flow.
+//
+// The contract is byte-identity with the record-at-a-time evaluator on
+// every expression the compiler accepts:
+//
+//   - Values are computed with the same float64 operations in the same
+//     per-record order, so sums, keys, and TSV text match bit for bit.
+//   - Runtime errors (division by zero, bin() argument checks, floor()
+//     on a skip) stay lazy: a kernel raises them only for rows the
+//     scalar evaluator would actually have reached, which the selection
+//     bitmap tracks through short-circuit && / || exactly.
+//   - errSkip becomes a per-row skip bitmap. Skip bitmaps are
+//     row-static — determined by record contents alone, never by the
+//     selection — so composing them through nested operators is
+//     deterministic.
+//
+// Anything the compiler cannot prove equivalent (markername, string
+// concatenation, mixed string/number arithmetic, unknown functions,
+// wrong arities) is not lowered: compileProgram reports failure and the
+// caller falls back to the scalar evaluator, preserving that path's
+// exact runtime behavior including its lazily raised errors.
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strconv"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/events"
+	"tracefw/internal/interval"
+)
+
+// kslots hands out scratch-buffer indices during compilation. Every
+// kernel node owns fixed slots into the executor's buffer tables, so
+// evaluation never allocates once the buffers have grown to frame size.
+type kslots struct{ nf, ns, nm int }
+
+func (s *kslots) f() int   { s.nf++; return s.nf - 1 }
+func (s *kslots) str() int { s.ns++; return s.ns - 1 }
+func (s *kslots) m() int   { s.nm++; return s.nm - 1 }
+
+// kres is one kernel's result for a frame: a constant, or a value
+// column, plus an optional skip bitmap marking rows that lack a
+// referenced field (the vectorized errSkip). Values at skipped rows are
+// undefined. Skip bitmaps cover all rows of the frame, not just
+// selected ones; consumers intersect with their selection.
+type kres struct {
+	konst bool
+	str   bool
+	cf    float64
+	cs    string
+	f     []float64
+	s     []string
+	skip  []uint64
+}
+
+func (r *kres) fAt(i int) float64 {
+	if r.konst {
+		return r.cf
+	}
+	return r.f[i]
+}
+
+func (r *kres) sAt(i int) string {
+	if r.konst {
+		return r.cs
+	}
+	return r.s[i]
+}
+
+func (r *kres) truthAt(i int) bool {
+	if r.str {
+		return r.sAt(i) != ""
+	}
+	return r.fAt(i) != 0
+}
+
+// kernel is one compiled expression node.
+type kernel interface {
+	isStr() bool
+	// eval computes the node over the frame bound to x. sel marks the
+	// rows the scalar evaluator would reach; it gates runtime error
+	// checks and short-circuit laziness, but value columns may be
+	// computed for all rows (junk at unreached rows is harmless — those
+	// rows are never consumed).
+	eval(x *kexec, sel []uint64) (kres, error)
+}
+
+// kexec is the per-worker execution state: the bound batch and the
+// scratch buffer tables the compiled kernels index into. One kexec is
+// reused across frames (sync.Pool), so steady-state evaluation does not
+// allocate.
+type kexec struct {
+	n, nw  int // rows, bitmap words
+	b      *interval.Batch
+	tStart clock.Time
+	tEnd   clock.Time
+	f      [][]float64
+	s      [][]string
+	m      [][]uint64
+	xres   []kres
+	yres   []kres
+	key    []byte
+}
+
+func (p *compiledProgram) newExec(tStart, tEnd clock.Time) *kexec {
+	return &kexec{
+		tStart: tStart, tEnd: tEnd,
+		f:    make([][]float64, p.sl.nf),
+		s:    make([][]string, p.sl.ns),
+		m:    make([][]uint64, p.sl.nm),
+		xres: make([]kres, p.maxX),
+		yres: make([]kres, p.maxY),
+	}
+}
+
+// bind points the executor at a frame's batch.
+func (x *kexec) bind(b *interval.Batch) {
+	x.b = b
+	x.n = b.N
+	x.nw = (b.N + 63) >> 6
+}
+
+func (x *kexec) fbuf(slot int) []float64 {
+	s := x.f[slot]
+	if cap(s) < x.n {
+		s = make([]float64, x.n)
+		x.f[slot] = s
+	}
+	return s[:x.n]
+}
+
+func (x *kexec) sbuf(slot int) []string {
+	s := x.s[slot]
+	if cap(s) < x.n {
+		s = make([]string, x.n)
+		x.s[slot] = s
+	}
+	return s[:x.n]
+}
+
+func (x *kexec) mbuf(slot int) []uint64 {
+	s := x.m[slot]
+	if cap(s) < x.nw {
+		s = make([]uint64, x.nw)
+		x.m[slot] = s
+	}
+	return s[:x.nw]
+}
+
+// Bitmap helpers. All bitmaps are x.nw words covering x.n rows; bits
+// past n are always zero in selection masks.
+
+func maskZero(m []uint64) {
+	for i := range m {
+		m[i] = 0
+	}
+}
+
+func maskOnes(m []uint64, n int) {
+	for i := range m {
+		m[i] = ^uint64(0)
+	}
+	if n&63 != 0 && len(m) > 0 {
+		m[len(m)-1] = (uint64(1) << uint(n&63)) - 1
+	}
+}
+
+func maskAny(m []uint64) bool {
+	for _, w := range m {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// popAnd counts bits set in both a and b.
+func popAnd(a, b []uint64) int64 {
+	var n int64
+	for i := range a {
+		n += int64(bits.OnesCount64(a[i] & b[i]))
+	}
+	return n
+}
+
+// andNotIn clears a's bits that are set in b (a &^= b).
+func andNotIn(a, b []uint64) {
+	for i := range a {
+		a[i] &^= b[i]
+	}
+}
+
+// selMinus returns sel with skip removed, writing into the slot buffer
+// when skip is non-nil, aliasing sel otherwise.
+func (x *kexec) selMinus(slot int, sel, skip []uint64) []uint64 {
+	if skip == nil {
+		return sel
+	}
+	out := x.mbuf(slot)
+	for i := range out {
+		out[i] = sel[i] &^ skip[i]
+	}
+	return out
+}
+
+// unionSkip combines two row-static skip bitmaps: nil when both are
+// nil, an alias when only one is set, their union in the slot buffer
+// otherwise.
+func (x *kexec) unionSkip(slot int, a, b []uint64) []uint64 {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := x.mbuf(slot)
+	for i := range out {
+		out[i] = a[i] | b[i]
+	}
+	return out
+}
+
+// truthWord computes the truthiness bits of rows [w*64, w*64+64) of a
+// kernel result, over all rows regardless of selection (values at
+// non-skipped rows are row-static, which keeps derived skip bitmaps
+// row-static too).
+func truthWord(r *kres, w, n int) uint64 {
+	base := w << 6
+	lim := n - base
+	if lim > 64 {
+		lim = 64
+	}
+	var tm uint64
+	if r.str {
+		s := r.s[base:]
+		for j := 0; j < lim; j++ {
+			if s[j] != "" {
+				tm |= 1 << uint(j)
+			}
+		}
+		return tm
+	}
+	f := r.f[base:]
+	for j := 0; j < lim; j++ {
+		if f[j] != 0 {
+			tm |= 1 << uint(j)
+		}
+	}
+	return tm
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ---- leaf kernels ----
+
+type kConstNum struct{ v float64 }
+
+func (kConstNum) isStr() bool { return false }
+func (k kConstNum) eval(*kexec, []uint64) (kres, error) {
+	return kres{konst: true, cf: k.v}, nil
+}
+
+type kConstStr struct{ v string }
+
+func (kConstStr) isStr() bool { return true }
+func (k kConstStr) eval(*kexec, []uint64) (kres, error) {
+	return kres{konst: true, str: true, cs: k.v}, nil
+}
+
+// Numeric built-in field codes.
+const (
+	fcStart = iota
+	fcDura
+	fcEnd
+	fcNode
+	fcCPU
+	fcThread
+	fcType
+	fcIsCall
+)
+
+type kField struct{ code, slot int }
+
+func (kField) isStr() bool { return false }
+func (k kField) eval(x *kexec, _ []uint64) (kres, error) {
+	out := x.fbuf(k.slot)
+	b := x.b
+	switch k.code {
+	case fcStart:
+		for i := range out {
+			out[i] = b.Start[i].Seconds()
+		}
+	case fcDura:
+		for i := range out {
+			out[i] = b.Dura[i].Seconds()
+		}
+	case fcEnd:
+		for i := range out {
+			out[i] = (b.Start[i] + b.Dura[i]).Seconds()
+		}
+	case fcNode:
+		for i := range out {
+			out[i] = float64(b.Node[i])
+		}
+	case fcCPU:
+		for i := range out {
+			out[i] = float64(b.CPU[i])
+		}
+	case fcThread:
+		for i := range out {
+			out[i] = float64(b.Thread[i])
+		}
+	case fcType:
+		for i := range out {
+			out[i] = float64(b.Type[i])
+		}
+	case fcIsCall:
+		for i := range out {
+			out[i] = b2f(b.Bebits[i] == 2 || b.Bebits[i] == 3)
+		}
+	}
+	return kres{f: out}, nil
+}
+
+// String built-in field codes.
+const (
+	fcState = iota
+	fcBebits
+)
+
+type kFieldStr struct{ code, slot int }
+
+func (kFieldStr) isStr() bool { return true }
+func (k kFieldStr) eval(x *kexec, _ []uint64) (kres, error) {
+	out := x.sbuf(k.slot)
+	b := x.b
+	if k.code == fcBebits {
+		for i := range out {
+			out[i] = b.Bebits[i].String()
+		}
+		return kres{str: true, s: out}, nil
+	}
+	// state: memoize the last type's name — frames are dominated by a
+	// handful of types, and Type.Name allocates for unknown codes.
+	var lastT events.Type
+	lastName := ""
+	have := false
+	for i := range out {
+		t := b.Type[i]
+		if !have || t != lastT {
+			lastT, lastName, have = t, t.Name(), true
+		}
+		out[i] = lastName
+	}
+	return kres{str: true, s: out}, nil
+}
+
+// kExtra loads a per-type extra field, producing skip bits for rows
+// whose type does not carry it — the vectorized errSkip.
+type kExtra struct {
+	name           string
+	slot, skipSlot int
+}
+
+func (kExtra) isStr() bool { return false }
+func (k kExtra) eval(x *kexec, _ []uint64) (kres, error) {
+	out := x.fbuf(k.slot)
+	b := x.b
+	var skip []uint64
+	var lastT events.Type
+	lastIdx := -1
+	have := false
+	for i := 0; i < x.n; i++ {
+		t := b.Type[i]
+		if !have || t != lastT {
+			lastT, have = t, true
+			lastIdx = extraIndex(t, k.name)
+		}
+		off := b.ExtraOff[i]
+		if lastIdx >= 0 && uint32(lastIdx) < b.ExtraOff[i+1]-off {
+			out[i] = float64(b.Extras[off+uint32(lastIdx)])
+		} else {
+			if skip == nil {
+				skip = x.mbuf(k.skipSlot)
+				maskZero(skip)
+			}
+			skip[i>>6] |= 1 << uint(i&63)
+		}
+	}
+	return kres{f: out, skip: skip}, nil
+}
+
+func extraIndex(t events.Type, name string) int {
+	for i, f := range events.ExtraFields(t) {
+		if f == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ---- unary kernels ----
+
+type kNeg struct {
+	x    kernel
+	slot int
+}
+
+func (kNeg) isStr() bool { return false }
+func (k kNeg) eval(x *kexec, sel []uint64) (kres, error) {
+	r, err := k.x.eval(x, sel)
+	if err != nil {
+		return kres{}, err
+	}
+	if r.konst {
+		return kres{konst: true, cf: -r.cf}, nil
+	}
+	out := x.fbuf(k.slot)
+	for i := range out {
+		out[i] = -r.f[i]
+	}
+	return kres{f: out, skip: r.skip}, nil
+}
+
+type kNot struct {
+	x    kernel
+	slot int
+}
+
+func (kNot) isStr() bool { return false }
+func (k kNot) eval(x *kexec, sel []uint64) (kres, error) {
+	r, err := k.x.eval(x, sel)
+	if err != nil {
+		return kres{}, err
+	}
+	if r.konst {
+		return kres{konst: true, cf: b2f(!(&r).truthAt(0))}, nil
+	}
+	out := x.fbuf(k.slot)
+	if r.str {
+		for i := range out {
+			out[i] = b2f(r.s[i] == "")
+		}
+	} else {
+		for i := range out {
+			out[i] = b2f(r.f[i] == 0)
+		}
+	}
+	return kres{f: out, skip: r.skip}, nil
+}
+
+// ---- binary kernels ----
+
+// kArith is every strict numeric binary operator: arithmetic and
+// comparisons. Division and modulo raise their by-zero errors only for
+// selected, unskipped rows, matching the scalar evaluator's laziness.
+type kArith struct {
+	op                                    string
+	l, r                                  kernel
+	slot, lslot, rslot, skipSlot, selSlot int
+}
+
+func (kArith) isStr() bool { return false }
+func (k kArith) eval(x *kexec, sel []uint64) (kres, error) {
+	rl, err := k.l.eval(x, sel)
+	if err != nil {
+		return kres{}, err
+	}
+	selR := x.selMinus(k.selSlot, sel, rl.skip)
+	rr, err := k.r.eval(x, selR)
+	if err != nil {
+		return kres{}, err
+	}
+	skip := x.unionSkip(k.skipSlot, rl.skip, rr.skip)
+	if k.op == "/" || k.op == "%" {
+		// The scalar evaluator checks the divisor before dividing, for
+		// exactly the records it reaches: sel minus every skip.
+		if rr.konst {
+			if rr.cf == 0 {
+				eff := x.selMinus(k.selSlot, selR, rr.skip)
+				if maskAny(eff) {
+					return kres{}, divErr(k.op)
+				}
+			}
+		} else {
+			for w := 0; w < x.nw; w++ {
+				m := selR[w]
+				if rr.skip != nil {
+					m &^= rr.skip[w]
+				}
+				for m != 0 {
+					i := w<<6 + bits.TrailingZeros64(m)
+					m &= m - 1
+					if rr.f[i] == 0 {
+						return kres{}, divErr(k.op)
+					}
+				}
+			}
+		}
+	}
+	if rl.konst && rr.konst {
+		return kres{konst: true, cf: arith(k.op, rl.cf, rr.cf)}, nil
+	}
+	lf := rl.f
+	if rl.konst {
+		lf = x.fbuf(k.lslot)
+		for i := range lf {
+			lf[i] = rl.cf
+		}
+	}
+	rf := rr.f
+	if rr.konst {
+		rf = x.fbuf(k.rslot)
+		for i := range rf {
+			rf[i] = rr.cf
+		}
+	}
+	out := x.fbuf(k.slot)
+	switch k.op {
+	case "+":
+		for i := range out {
+			out[i] = lf[i] + rf[i]
+		}
+	case "-":
+		for i := range out {
+			out[i] = lf[i] - rf[i]
+		}
+	case "*":
+		for i := range out {
+			out[i] = lf[i] * rf[i]
+		}
+	case "/":
+		for i := range out {
+			out[i] = lf[i] / rf[i]
+		}
+	case "%":
+		for i := range out {
+			out[i] = math.Mod(lf[i], rf[i])
+		}
+	case "<":
+		for i := range out {
+			out[i] = b2f(lf[i] < rf[i])
+		}
+	case "<=":
+		for i := range out {
+			out[i] = b2f(lf[i] <= rf[i])
+		}
+	case ">":
+		for i := range out {
+			out[i] = b2f(lf[i] > rf[i])
+		}
+	case ">=":
+		for i := range out {
+			out[i] = b2f(lf[i] >= rf[i])
+		}
+	case "==":
+		for i := range out {
+			out[i] = b2f(lf[i] == rf[i])
+		}
+	case "!=":
+		for i := range out {
+			out[i] = b2f(lf[i] != rf[i])
+		}
+	}
+	return kres{f: out, skip: skip}, nil
+}
+
+func arith(op string, l, r float64) float64 {
+	switch op {
+	case "+":
+		return l + r
+	case "-":
+		return l - r
+	case "*":
+		return l * r
+	case "/":
+		return l / r
+	case "%":
+		return math.Mod(l, r)
+	case "<":
+		return b2f(l < r)
+	case "<=":
+		return b2f(l <= r)
+	case ">":
+		return b2f(l > r)
+	case ">=":
+		return b2f(l >= r)
+	case "==":
+		return b2f(l == r)
+	case "!=":
+		return b2f(l != r)
+	}
+	return 0
+}
+
+func divErr(op string) error {
+	if op == "/" {
+		return fmt.Errorf("stats: division by zero")
+	}
+	return fmt.Errorf("stats: modulo by zero")
+}
+
+// kCmpStr compares two string-typed operands.
+type kCmpStr struct {
+	op                                    string
+	l, r                                  kernel
+	slot, lslot, rslot, skipSlot, selSlot int
+}
+
+func (kCmpStr) isStr() bool { return false }
+func (k kCmpStr) eval(x *kexec, sel []uint64) (kres, error) {
+	rl, err := k.l.eval(x, sel)
+	if err != nil {
+		return kres{}, err
+	}
+	selR := x.selMinus(k.selSlot, sel, rl.skip)
+	rr, err := k.r.eval(x, selR)
+	if err != nil {
+		return kres{}, err
+	}
+	skip := x.unionSkip(k.skipSlot, rl.skip, rr.skip)
+	if rl.konst && rr.konst {
+		return kres{konst: true, cf: cmpStr(k.op, rl.cs, rr.cs)}, nil
+	}
+	ls := rl.s
+	if rl.konst {
+		ls = x.sbuf(k.lslot)
+		for i := range ls {
+			ls[i] = rl.cs
+		}
+	}
+	rs := rr.s
+	if rr.konst {
+		rs = x.sbuf(k.rslot)
+		for i := range rs {
+			rs[i] = rr.cs
+		}
+	}
+	out := x.fbuf(k.slot)
+	switch k.op {
+	case "==":
+		for i := range out {
+			out[i] = b2f(ls[i] == rs[i])
+		}
+	case "!=":
+		for i := range out {
+			out[i] = b2f(ls[i] != rs[i])
+		}
+	case "<":
+		for i := range out {
+			out[i] = b2f(ls[i] < rs[i])
+		}
+	case "<=":
+		for i := range out {
+			out[i] = b2f(ls[i] <= rs[i])
+		}
+	case ">":
+		for i := range out {
+			out[i] = b2f(ls[i] > rs[i])
+		}
+	case ">=":
+		for i := range out {
+			out[i] = b2f(ls[i] >= rs[i])
+		}
+	}
+	return kres{f: out, skip: skip}, nil
+}
+
+func cmpStr(op string, l, r string) float64 {
+	switch op {
+	case "==":
+		return b2f(l == r)
+	case "!=":
+		return b2f(l != r)
+	case "<":
+		return b2f(l < r)
+	case "<=":
+		return b2f(l <= r)
+	case ">":
+		return b2f(l > r)
+	case ">=":
+		return b2f(l >= r)
+	}
+	return 0
+}
+
+// kLogic is short-circuit && / ||: the right operand is evaluated with
+// a selection restricted to rows the scalar evaluator would evaluate it
+// for, so errors and skips on the right surface for exactly those rows.
+type kLogic struct {
+	and                             bool
+	l, r                            kernel
+	slot, selSlot, tmSlot, skipSlot int
+}
+
+func (kLogic) isStr() bool { return false }
+func (k kLogic) eval(x *kexec, sel []uint64) (kres, error) {
+	rl, err := k.l.eval(x, sel)
+	if err != nil {
+		return kres{}, err
+	}
+	if rl.konst {
+		lt := (&rl).truthAt(0)
+		// A constant deciding operand short-circuits for every record:
+		// the scalar evaluator never touches the right side, so neither
+		// do we (it may contain expressions that would error or skip).
+		if k.and && !lt {
+			return kres{konst: true, cf: 0}, nil
+		}
+		if !k.and && lt {
+			return kres{konst: true, cf: 1}, nil
+		}
+		rr, err := k.r.eval(x, sel)
+		if err != nil {
+			return kres{}, err
+		}
+		if rr.konst {
+			return kres{konst: true, cf: b2f((&rr).truthAt(0))}, nil
+		}
+		out := x.fbuf(k.slot)
+		if rr.str {
+			for i := range out {
+				out[i] = b2f(rr.s[i] != "")
+			}
+		} else {
+			for i := range out {
+				out[i] = b2f(rr.f[i] != 0)
+			}
+		}
+		return kres{f: out, skip: rr.skip}, nil
+	}
+	// Variable left operand: compute its truthiness for every row
+	// (row-static), derive the right side's selection, then stitch the
+	// result and skip bitmaps together.
+	tm := x.mbuf(k.tmSlot)
+	selR := x.mbuf(k.selSlot)
+	out := x.fbuf(k.slot)
+	short := b2f(!k.and) // result where the left side decides
+	for w := 0; w < x.nw; w++ {
+		t := truthWord(&rl, w, x.n)
+		tm[w] = t
+		m := sel[w]
+		if rl.skip != nil {
+			m &^= rl.skip[w]
+		}
+		if k.and {
+			selR[w] = m & t
+		} else {
+			selR[w] = m &^ t
+		}
+	}
+	for i := range out {
+		out[i] = short
+	}
+	rr, err := k.r.eval(x, selR)
+	if err != nil {
+		return kres{}, err
+	}
+	// Rows where the left side decides keep `short`; the rest take the
+	// right side's truthiness. For &&, deciding means falsy (tm clear);
+	// for ||, deciding means truthy (tm set).
+	for w := 0; w < x.nw; w++ {
+		m := tm[w]
+		if !k.and {
+			base := w << 6
+			lim := x.n - base
+			if lim > 64 {
+				lim = 64
+			}
+			m = ^m
+			if lim < 64 {
+				m &= (uint64(1) << uint(lim)) - 1
+			}
+		}
+		for m != 0 {
+			i := w<<6 + bits.TrailingZeros64(m)
+			m &= m - 1
+			out[i] = b2f((&rr).truthAt(i))
+		}
+	}
+	if rl.skip == nil && rr.skip == nil {
+		return kres{f: out}, nil
+	}
+	skip := x.mbuf(k.skipSlot)
+	for w := 0; w < x.nw; w++ {
+		var s uint64
+		if rl.skip != nil {
+			s = rl.skip[w]
+		}
+		if rr.skip != nil {
+			rs := rr.skip[w]
+			if k.and {
+				rs &= tm[w]
+			} else {
+				rs &^= tm[w]
+			}
+			if rl.skip != nil {
+				rs &^= rl.skip[w]
+			}
+			s |= rs
+		}
+		skip[w] = s
+	}
+	return kres{f: out, skip: skip}, nil
+}
+
+// ---- call kernels ----
+
+// kBin is the bin(t, n) builtin, mirroring the scalar arithmetic
+// (divide by span, then scale by n) operation for operation.
+type kBin struct {
+	t, n                    kernel
+	slot, skipSlot, selSlot int
+}
+
+func (kBin) isStr() bool { return false }
+func (k kBin) eval(x *kexec, sel []uint64) (kres, error) {
+	rt, err := k.t.eval(x, sel)
+	if err != nil {
+		return kres{}, err
+	}
+	selN := x.selMinus(k.selSlot, sel, rt.skip)
+	rn, err := k.n.eval(x, selN)
+	if err != nil {
+		return kres{}, err
+	}
+	skip := x.unionSkip(k.skipSlot, rt.skip, rn.skip)
+	if rn.konst {
+		if rn.cf < 1 {
+			eff := x.selMinus(k.selSlot, selN, rn.skip)
+			if maskAny(eff) {
+				return kres{}, fmt.Errorf("stats: bin() needs numeric arguments")
+			}
+		}
+	} else {
+		for w := 0; w < x.nw; w++ {
+			m := selN[w]
+			if rn.skip != nil {
+				m &^= rn.skip[w]
+			}
+			for m != 0 {
+				i := w<<6 + bits.TrailingZeros64(m)
+				m &= m - 1
+				if rn.f[i] < 1 {
+					return kres{}, fmt.Errorf("stats: bin() needs numeric arguments")
+				}
+			}
+		}
+	}
+	span := (x.tEnd - x.tStart).Seconds()
+	ts := x.tStart.Seconds()
+	if rt.konst && rn.konst {
+		return kres{konst: true, cf: binValue(rt.cf, rn.cf, ts, span)}, nil
+	}
+	out := x.fbuf(k.slot)
+	for i := range out {
+		out[i] = binValue(rt.fAt(i), rn.fAt(i), ts, span)
+	}
+	return kres{f: out, skip: skip}, nil
+}
+
+// binValue replicates evalCall's bin() arithmetic exactly: int
+// truncation of (t - tStart) / span * n, clamped to [0, n-1].
+func binValue(tv, nv, ts, span float64) float64 {
+	if span <= 0 {
+		return 0
+	}
+	n := int(nv)
+	b := int((tv - ts) / span * float64(n))
+	if b < 0 {
+		b = 0
+	}
+	if b >= n {
+		b = n - 1
+	}
+	return float64(b)
+}
+
+// kFloorAbs is floor() / abs(). The scalar evaluator turns any child
+// failure — including errSkip — into the function's own error, so a
+// skip on a selected row is an error here, not a skip.
+type kFloorAbs struct {
+	floor bool
+	x     kernel
+	slot  int
+}
+
+func (kFloorAbs) isStr() bool { return false }
+func (k kFloorAbs) eval(x *kexec, sel []uint64) (kres, error) {
+	name := "abs"
+	if k.floor {
+		name = "floor"
+	}
+	r, err := k.x.eval(x, sel)
+	if err != nil {
+		return kres{}, fmt.Errorf("stats: %s() needs a number", name)
+	}
+	if r.skip != nil && popAnd(sel, r.skip) > 0 {
+		return kres{}, fmt.Errorf("stats: %s() needs a number", name)
+	}
+	if r.konst {
+		if k.floor {
+			return kres{konst: true, cf: math.Floor(r.cf)}, nil
+		}
+		return kres{konst: true, cf: math.Abs(r.cf)}, nil
+	}
+	out := x.fbuf(k.slot)
+	if k.floor {
+		for i := range out {
+			out[i] = math.Floor(r.f[i])
+		}
+	} else {
+		for i := range out {
+			out[i] = math.Abs(r.f[i])
+		}
+	}
+	return kres{f: out}, nil
+}
+
+// ---- compilation ----
+
+// compiledTable is one table spec lowered to kernels.
+type compiledTable struct {
+	spec     *TableSpec
+	cond     kernel
+	x, y     []kernel
+	maskSlot int // working row mask during accumulation
+}
+
+// compiledProgram is a whole program lowered to kernels, plus the
+// scratch-slot counts its executors need.
+type compiledProgram struct {
+	tables     []*compiledTable
+	sl         kslots
+	selSlot    int // frame-level (window) selection mask
+	maxX, maxY int
+}
+
+// compileProgram lowers every spec; ok is false when any expression is
+// outside the lowerable subset, in which case the caller must use the
+// scalar evaluator for the whole program.
+func compileProgram(specs []*TableSpec) (*compiledProgram, bool) {
+	p := &compiledProgram{}
+	p.selSlot = p.sl.m()
+	for _, spec := range specs {
+		ct, ok := compileSpec(spec, &p.sl)
+		if !ok {
+			return nil, false
+		}
+		p.tables = append(p.tables, ct)
+		if len(ct.x) > p.maxX {
+			p.maxX = len(ct.x)
+		}
+		if len(ct.y) > p.maxY {
+			p.maxY = len(ct.y)
+		}
+	}
+	return p, true
+}
+
+func compileSpec(spec *TableSpec, sl *kslots) (*compiledTable, bool) {
+	ct := &compiledTable{spec: spec, maskSlot: sl.m()}
+	if spec.Condition != nil {
+		k, ok := lowerExpr(spec.Condition, sl)
+		if !ok {
+			return nil, false
+		}
+		ct.cond = k
+	}
+	for _, ax := range spec.X {
+		k, ok := lowerExpr(ax.Expr, sl)
+		if !ok {
+			return nil, false
+		}
+		ct.x = append(ct.x, k)
+	}
+	for _, ay := range spec.Y {
+		k, ok := lowerExpr(ay.Expr, sl)
+		if !ok {
+			return nil, false
+		}
+		ct.y = append(ct.y, k)
+	}
+	return ct, true
+}
+
+// Lowerable reports whether the compiler can lower every expression of
+// the spec to vectorized kernels (the columnar fast path). Unlowerable
+// specs run on the record-at-a-time evaluator.
+func Lowerable(spec *TableSpec) bool {
+	var sl kslots
+	_, ok := compileSpec(spec, &sl)
+	return ok
+}
+
+// lowerExpr lowers one expression node, or reports that it (or a
+// subexpression) is outside the lowerable subset. The subset is chosen
+// so that lowered code provably matches the scalar evaluator; anything
+// whose scalar behavior is a lazily raised type error (string
+// arithmetic, mixed comparisons, unknown functions, bad arities,
+// markername's marker-table lookup) stays on the scalar path.
+func lowerExpr(e expr, sl *kslots) (kernel, bool) {
+	switch n := e.(type) {
+	case numLit:
+		return kConstNum{n.v}, true
+	case strLit:
+		return kConstStr{n.v}, true
+	case fieldRef:
+		switch n.name {
+		case events.FieldStart:
+			return kField{fcStart, sl.f()}, true
+		case events.FieldDura, "duration":
+			return kField{fcDura, sl.f()}, true
+		case "end":
+			return kField{fcEnd, sl.f()}, true
+		case events.FieldNode:
+			return kField{fcNode, sl.f()}, true
+		case events.FieldCPU, "processor":
+			return kField{fcCPU, sl.f()}, true
+		case events.FieldThread:
+			return kField{fcThread, sl.f()}, true
+		case events.FieldType:
+			return kField{fcType, sl.f()}, true
+		case "iscall":
+			return kField{fcIsCall, sl.f()}, true
+		case "state":
+			return kFieldStr{fcState, sl.str()}, true
+		case events.FieldBebits:
+			return kFieldStr{fcBebits, sl.str()}, true
+		case "markername":
+			return nil, false
+		}
+		return kExtra{n.name, sl.f(), sl.m()}, true
+	case unary:
+		c, ok := lowerExpr(n.x, sl)
+		if !ok {
+			return nil, false
+		}
+		switch n.op {
+		case "-":
+			if c.isStr() {
+				return nil, false
+			}
+			return kNeg{c, sl.f()}, true
+		case "!":
+			return kNot{c, sl.f()}, true
+		}
+		return nil, false
+	case binary:
+		l, ok := lowerExpr(n.l, sl)
+		if !ok {
+			return nil, false
+		}
+		r, ok := lowerExpr(n.r, sl)
+		if !ok {
+			return nil, false
+		}
+		if n.op == "&&" || n.op == "||" {
+			return kLogic{n.op == "&&", l, r, sl.f(), sl.m(), sl.m(), sl.m()}, true
+		}
+		if l.isStr() != r.isStr() {
+			return nil, false
+		}
+		if l.isStr() {
+			switch n.op {
+			case "==", "!=", "<", "<=", ">", ">=":
+				return kCmpStr{n.op, l, r, sl.f(), sl.str(), sl.str(), sl.m(), sl.m()}, true
+			}
+			return nil, false
+		}
+		switch n.op {
+		case "+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!=":
+			return kArith{n.op, l, r, sl.f(), sl.f(), sl.f(), sl.m(), sl.m()}, true
+		}
+		return nil, false
+	case call:
+		switch n.fn {
+		case "bin":
+			if len(n.args) != 2 {
+				return nil, false
+			}
+			t, ok := lowerExpr(n.args[0], sl)
+			if !ok || t.isStr() {
+				return nil, false
+			}
+			nb, ok := lowerExpr(n.args[1], sl)
+			if !ok || nb.isStr() {
+				return nil, false
+			}
+			return kBin{t, nb, sl.f(), sl.m(), sl.m()}, true
+		case "floor", "abs":
+			if len(n.args) != 1 {
+				return nil, false
+			}
+			c, ok := lowerExpr(n.args[0], sl)
+			if !ok || c.isStr() {
+				return nil, false
+			}
+			return kFloorAbs{n.fn == "floor", c, sl.f()}, true
+		}
+		return nil, false
+	}
+	return nil, false
+}
+
+// run accumulates one frame's selected rows into the table's partial
+// groups, returning how many selected records were excluded by skip
+// bitmaps (the columnar errSkip count). Row iteration is in record
+// order, so float accumulation order matches a sequential scan exactly.
+func (ct *compiledTable) run(x *kexec, sel []uint64, pg map[string]*group) (int64, error) {
+	mask := x.mbuf(ct.maskSlot)
+	copy(mask, sel)
+	var skipped int64
+	if ct.cond != nil {
+		res, err := ct.cond.eval(x, mask)
+		if err != nil {
+			return skipped, fmt.Errorf("table %q: %w", ct.spec.Name, err)
+		}
+		if res.skip != nil {
+			skipped += popAnd(mask, res.skip)
+			andNotIn(mask, res.skip)
+		}
+		if res.konst {
+			if !(&res).truthAt(0) {
+				return skipped, nil
+			}
+		} else {
+			for w := 0; w < x.nw; w++ {
+				mask[w] &= truthWord(&res, w, x.n)
+			}
+		}
+		if !maskAny(mask) {
+			return skipped, nil
+		}
+	}
+	for xi, k := range ct.x {
+		res, err := k.eval(x, mask)
+		if err != nil {
+			return skipped, fmt.Errorf("table %q: %w", ct.spec.Name, err)
+		}
+		if res.skip != nil {
+			skipped += popAnd(mask, res.skip)
+			andNotIn(mask, res.skip)
+			if !maskAny(mask) {
+				return skipped, nil
+			}
+		}
+		x.xres[xi] = res
+	}
+	for yi, k := range ct.y {
+		res, err := k.eval(x, mask)
+		if err != nil {
+			return skipped, fmt.Errorf("table %q: %w", ct.spec.Name, err)
+		}
+		if res.skip != nil {
+			skipped += popAnd(mask, res.skip)
+			andNotIn(mask, res.skip)
+			if !maskAny(mask) {
+				return skipped, nil
+			}
+		}
+		if k.isStr() && maskAny(mask) {
+			return skipped, fmt.Errorf("table %q: y expression %q produced a string", ct.spec.Name, ct.spec.Y[yi].Label)
+		}
+		x.yres[yi] = res
+	}
+	nx, ny := len(ct.x), len(ct.y)
+	for w := 0; w < x.nw; w++ {
+		m := mask[w]
+		for m != 0 {
+			i := w<<6 + bits.TrailingZeros64(m)
+			m &= m - 1
+			key := x.key[:0]
+			for xi := 0; xi < nx; xi++ {
+				res := &x.xres[xi]
+				if res.str {
+					key = append(key, 's')
+					key = append(key, res.sAt(i)...)
+				} else {
+					key = append(key, 'n')
+					key = strconv.AppendFloat(key, res.fAt(i), 'g', -1, 64)
+				}
+				key = append(key, 0)
+			}
+			x.key = key
+			g := pg[string(key)]
+			if g == nil {
+				xs := make([]Value, nx)
+				for xi := 0; xi < nx; xi++ {
+					res := &x.xres[xi]
+					if res.str {
+						xs[xi] = str(res.sAt(i))
+					} else {
+						xs[xi] = num(res.fAt(i))
+					}
+				}
+				g = &group{x: xs, y: make([]cell, ny)}
+				for yi := range g.y {
+					g.y[yi].min = math.Inf(1)
+					g.y[yi].max = math.Inf(-1)
+				}
+				pg[string(key)] = g
+			}
+			for yi := 0; yi < ny; yi++ {
+				v := (&x.yres[yi]).fAt(i)
+				c := &g.y[yi]
+				c.sum += v
+				c.n++
+				if v < c.min {
+					c.min = v
+				}
+				if v > c.max {
+					c.max = v
+				}
+			}
+		}
+	}
+	return skipped, nil
+}

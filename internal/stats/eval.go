@@ -3,6 +3,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"tracefw/internal/clock"
 	"tracefw/internal/events"
@@ -19,15 +20,22 @@ type Value struct {
 func num(f float64) Value { return Value{F: f} }
 func str(s string) Value  { return Value{S: s, Str: true} }
 
-// Text renders a value for TSV output.
+// Text renders a value for TSV output. Integer-valued floats print
+// without an exponent up to and including ±1e15 (the boundary itself is
+// exactly representable, so excluding it flipped "1000000000000000"
+// into "1e+15"); negative zero prints as "0" like positive zero instead
+// of leaking the sign through the float path.
 func (v Value) Text() string {
 	if v.Str {
 		return v.S
 	}
-	if v.F == math.Trunc(v.F) && math.Abs(v.F) < 1e15 {
-		return fmt.Sprintf("%d", int64(v.F))
+	if v.F == 0 {
+		return "0"
 	}
-	return fmt.Sprintf("%g", v.F)
+	if v.F == math.Trunc(v.F) && math.Abs(v.F) <= 1e15 {
+		return strconv.FormatInt(int64(v.F), 10)
+	}
+	return strconv.FormatFloat(v.F, 'g', -1, 64)
 }
 
 // Truth interprets a value as a boolean.

@@ -1,0 +1,124 @@
+package stats_test
+
+// FuzzCompile throws arbitrary program text at the parser, the kernel
+// compiler, and both evaluation engines over a small in-memory fixture:
+// nothing may panic, the compiler may only refuse (never mis-compile),
+// and whenever both engines run they must agree byte-for-byte.
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/events"
+	"tracefw/internal/interval"
+	"tracefw/internal/profile"
+	"tracefw/internal/stats"
+)
+
+var (
+	fuzzOnce sync.Once
+	fuzzFile *interval.File
+	fuzzErr  error
+)
+
+// fuzzFixture builds one small mixed-type interval file per fuzz
+// process (no testing.T: fuzz workers share it across executions).
+func fuzzFixture() (*interval.File, error) {
+	fuzzOnce.Do(func() {
+		hdr := interval.Header{
+			ProfileVersion: profile.StdVersion,
+			HeaderVersion:  interval.CurrentHeaderVersion,
+			FieldMask:      profile.MaskIndividual,
+			Threads: []interval.ThreadEntry{
+				{Task: 0, PID: 1, SysTID: 1, Node: 0, LTID: 0, Type: events.ThreadMPI},
+				{Task: 1, PID: 2, SysTID: 2, Node: 1, LTID: 0, Type: events.ThreadMPI},
+			},
+			Markers: map[uint64]string{1: "phase"},
+		}
+		sb := interval.NewSeekBuffer()
+		w, err := interval.NewWriter(sb, hdr, interval.WriterOptions{FrameBytes: 512, FramesPerDir: 2})
+		if err != nil {
+			fuzzErr = err
+			return
+		}
+		for i := 0; i < 120; i++ {
+			r := interval.Record{
+				Bebits: profile.Complete,
+				Start:  clock.Time(i) * clock.Millisecond,
+				Dura:   clock.Time(1+i%7) * clock.Millisecond / 2,
+				CPU:    uint16(i % 3),
+				Node:   uint16(i % 2),
+				Thread: uint16(i % 2),
+			}
+			switch i % 3 {
+			case 0:
+				r.Type = events.EvRunning
+			case 1:
+				r.Type = events.EvMPISend
+				r.Extra = []uint64{uint64(1 - i%2), uint64(i), uint64(100 * i), uint64(i + 1), 1, 0}
+			default:
+				r.Type = events.EvMPIBarrier
+				r.Extra = []uint64{1, 0}
+			}
+			if err := w.Add(&r); err != nil {
+				fuzzErr = err
+				return
+			}
+		}
+		if err := w.Close(); err != nil {
+			fuzzErr = err
+			return
+		}
+		fuzzFile, fuzzErr = interval.NewFile(interval.NewSeekBufferFrom(sb.Bytes()))
+	})
+	return fuzzFile, fuzzErr
+}
+
+func FuzzCompile(f *testing.F) {
+	f.Add(`table name=t y=("n", dura, count)`)
+	f.Add(`table name=t condition=(state == "Running") x=("n", node) y=("t", dura, sum)`)
+	f.Add(`table name=t x=("b", bin(start, 8)) y=("t", dura / (dura + 1), avg)`)
+	f.Add(`table name=t condition=(msgSizeSent > 0 && peer == 1) y=("b", msgSizeSent, sum)`)
+	f.Add(`table name=t x=("m", markername) y=("n", dura, count)`)
+	f.Add(`table name=t y=("n", floor(msgSizeSent), sum)`)
+	f.Add(`table name=t y=("r", dura % 0, max)`)
+	f.Add(stats.Predefined(4))
+	f.Fuzz(func(t *testing.T, program string) {
+		if len(program) > 4096 {
+			return
+		}
+		specs, err := stats.Parse(program)
+		if err != nil {
+			return
+		}
+		mf, err := fuzzFixture()
+		if err != nil {
+			t.Skip(err)
+		}
+		files := []*interval.File{mf}
+		st, sErr := stats.GenerateSpecsOpts(specs, files, stats.Options{Engine: stats.EngineScalar})
+		ct, cErr := stats.GenerateSpecsOpts(specs, files, stats.Options{Engine: stats.EngineColumnar})
+		if cErr != nil && strings.Contains(cErr.Error(), "not lowerable") {
+			// Compiler refusal: the auto engine must still agree with scalar.
+			at, aErr := stats.GenerateSpecsOpts(specs, files, stats.Options{})
+			if (aErr == nil) != (sErr == nil) {
+				t.Fatalf("auto/scalar disagree on error: %v vs %v", aErr, sErr)
+			}
+			if aErr == nil && renderTables(at) != renderTables(st) {
+				t.Fatal("auto fallback output differs from scalar")
+			}
+			return
+		}
+		if (sErr == nil) != (cErr == nil) {
+			t.Fatalf("engines disagree on error for %q:\n  scalar:   %v\n  columnar: %v", program, sErr, cErr)
+		}
+		if sErr != nil {
+			return
+		}
+		if renderTables(st) != renderTables(ct) {
+			t.Fatalf("engines diverge for %q", program)
+		}
+	})
+}

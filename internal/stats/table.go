@@ -18,6 +18,14 @@ type Table struct {
 	XLabels []string
 	YLabels []string
 	Rows    []Row
+	// Skipped counts records that were selected but excluded because an
+	// expression referenced a field their state type does not carry
+	// (the errSkip path) — previously these vanished silently.
+	Skipped int64
+	// Columnar reports which engine produced the table: true for the
+	// vectorized kernels over columnar batches, false for the
+	// record-at-a-time evaluator. Output is byte-identical either way.
+	Columnar bool
 }
 
 // Row is one table row: the x tuple and the aggregated y values.
@@ -35,6 +43,21 @@ type group struct {
 	x []Value
 	y []cell
 }
+
+// Engine selects how tables are evaluated.
+type Engine int
+
+const (
+	// EngineAuto compiles the program to vectorized kernels over
+	// columnar batches when every expression is lowerable, falling back
+	// to the record-at-a-time evaluator otherwise. The default.
+	EngineAuto Engine = iota
+	// EngineScalar forces the record-at-a-time evaluator.
+	EngineScalar
+	// EngineColumnar requires the columnar kernels; generation fails if
+	// any expression cannot be lowered.
+	EngineColumnar
+)
 
 // Options tunes table generation.
 type Options struct {
@@ -55,6 +78,8 @@ type Options struct {
 	// (checked per frame by the map-reduce engine). The trace query
 	// service sets it to the request context; CLIs leave it nil.
 	Context context.Context
+	// Engine picks the evaluator; see the Engine constants.
+	Engine Engine
 }
 
 // Generate runs every table of the program over the interval files.
@@ -79,15 +104,43 @@ func GenerateSpecs(specs []*TableSpec, files []*interval.File) ([]*Table, error)
 // GenerateSpecsOpts runs parsed table specs over the interval files on
 // the per-frame map-reduce engine: frames decode and evaluate
 // concurrently into partial group maps, which merge into the global
-// groups in frame order.
+// groups in frame order. The Engine option picks between the
+// record-at-a-time evaluator and the vectorized kernels over columnar
+// batches; both produce byte-identical tables on the expressions the
+// compiler accepts.
 func GenerateSpecsOpts(specs []*TableSpec, files []*interval.File, opts Options) ([]*Table, error) {
-	// Run bounds over all inputs, for bin().
-	var tStart, tEnd clock.Time
+	tStart, tEnd, err := runBounds(files)
+	if err != nil {
+		return nil, err
+	}
+	columnar := false
+	var prog *compiledProgram
+	switch opts.Engine {
+	case EngineScalar:
+	case EngineColumnar:
+		p, ok := compileProgram(specs)
+		if !ok {
+			return nil, fmt.Errorf("stats: program is not lowerable to columnar kernels")
+		}
+		prog, columnar = p, true
+	default:
+		if p, ok := compileProgram(specs); ok {
+			prog, columnar = p, true
+		}
+	}
+	if columnar {
+		return generateColumnar(prog, specs, files, opts, tStart, tEnd)
+	}
+	return generateScalar(specs, files, opts, tStart, tEnd)
+}
+
+// runBounds computes overall run bounds over all inputs, for bin().
+func runBounds(files []*interval.File) (tStart, tEnd clock.Time, err error) {
 	firstStats := true
 	for _, f := range files {
 		fs, fe, n, err := f.Stats()
 		if err != nil {
-			return nil, err
+			return 0, 0, err
 		}
 		if n == 0 {
 			continue
@@ -100,19 +153,30 @@ func GenerateSpecsOpts(specs []*TableSpec, files []*interval.File, opts Options)
 		}
 		firstStats = false
 	}
+	return tStart, tEnd, nil
+}
 
+// specPartial is one frame's contribution: partial groups per spec plus
+// the per-spec count of records excluded by errSkip.
+type specPartial struct {
+	pg      []map[string]*group
+	skipped []int64
+}
+
+func generateScalar(specs []*TableSpec, files []*interval.File, opts Options, tStart, tEnd clock.Time) ([]*Table, error) {
 	groups := make([]map[string]*group, len(specs))
 	for i := range groups {
 		groups[i] = make(map[string]*group)
 	}
+	skipped := make([]int64, len(specs))
 
 	mopts := interval.MapOptions{Parallel: opts.Parallel, Window: opts.Window, Lo: opts.Lo, Hi: opts.Hi, Context: opts.Context}
 	err := interval.MapFilesFrames(files, mopts,
-		func(file int, _ interval.FrameEntry, recs []interval.Record) ([]map[string]*group, error) {
+		func(file int, _ interval.FrameEntry, recs []interval.Record) (*specPartial, error) {
 			ctx := &evalCtx{markers: files[file].Header.Markers, tStart: tStart, tEnd: tEnd}
-			pg := make([]map[string]*group, len(specs))
-			for i := range pg {
-				pg[i] = make(map[string]*group)
+			sp := &specPartial{pg: make([]map[string]*group, len(specs)), skipped: make([]int64, len(specs))}
+			for i := range sp.pg {
+				sp.pg[i] = make(map[string]*group)
 			}
 			for ri := range recs {
 				rec := &recs[ri]
@@ -123,26 +187,36 @@ func GenerateSpecsOpts(specs []*TableSpec, files []*interval.File, opts Options)
 				}
 				ctx.rec = rec
 				for si, spec := range specs {
-					if err := accumulate(spec, ctx, pg[si]); err != nil {
+					skip, err := accumulate(spec, ctx, sp.pg[si])
+					if err != nil {
 						return nil, err
+					}
+					if skip {
+						sp.skipped[si]++
 					}
 				}
 			}
-			return pg, nil
+			return sp, nil
 		},
-		func(_ int, _ interval.FrameEntry, pg []map[string]*group) error {
+		func(_ int, _ interval.FrameEntry, sp *specPartial) error {
 			for si := range specs {
-				mergeGroups(groups[si], pg[si])
+				mergeGroups(groups[si], sp.pg[si])
+				skipped[si] += sp.skipped[si]
 			}
 			return nil
 		})
 	if err != nil {
 		return nil, err
 	}
+	return buildTables(specs, groups, skipped, false), nil
+}
 
+// buildTables finalizes merged groups into sorted tables; shared by
+// both engines so the output path is literally the same code.
+func buildTables(specs []*TableSpec, groups []map[string]*group, skipped []int64, columnar bool) []*Table {
 	tables := make([]*Table, len(specs))
 	for si, spec := range specs {
-		t := &Table{Name: spec.Name}
+		t := &Table{Name: spec.Name, Skipped: skipped[si], Columnar: columnar}
 		for _, x := range spec.X {
 			t.XLabels = append(t.XLabels, x.Label)
 		}
@@ -165,7 +239,7 @@ func GenerateSpecsOpts(specs []*TableSpec, files []*interval.File, opts Options)
 		sortRows(t)
 		tables[si] = t
 	}
-	return tables, nil
+	return tables
 }
 
 // mergeGroups folds one frame's partial groups into the running global
@@ -193,27 +267,31 @@ func mergeGroups(dst, src map[string]*group) {
 	}
 }
 
-func accumulate(spec *TableSpec, ctx *evalCtx, groups map[string]*group) error {
+// accumulate folds one record into the spec's partial groups. skipped
+// reports that the record was excluded because an expression referenced
+// a field its state type lacks (errSkip); condition-false records are
+// not skips, they are simply unselected.
+func accumulate(spec *TableSpec, ctx *evalCtx, groups map[string]*group) (skipped bool, err error) {
 	if spec.Condition != nil {
 		v, err := eval(spec.Condition, ctx)
 		if errors.Is(err, errSkip) {
-			return nil
+			return true, nil
 		}
 		if err != nil {
-			return fmt.Errorf("table %q: %w", spec.Name, err)
+			return false, fmt.Errorf("table %q: %w", spec.Name, err)
 		}
 		if !v.Truth() {
-			return nil
+			return false, nil
 		}
 	}
 	xs := make([]Value, len(spec.X))
 	for i, x := range spec.X {
 		v, err := eval(x.Expr, ctx)
 		if errors.Is(err, errSkip) {
-			return nil
+			return true, nil
 		}
 		if err != nil {
-			return fmt.Errorf("table %q: %w", spec.Name, err)
+			return false, fmt.Errorf("table %q: %w", spec.Name, err)
 		}
 		xs[i] = v
 	}
@@ -221,13 +299,13 @@ func accumulate(spec *TableSpec, ctx *evalCtx, groups map[string]*group) error {
 	for i, y := range spec.Y {
 		v, err := eval(y.Expr, ctx)
 		if errors.Is(err, errSkip) {
-			return nil
+			return true, nil
 		}
 		if err != nil {
-			return fmt.Errorf("table %q: %w", spec.Name, err)
+			return false, fmt.Errorf("table %q: %w", spec.Name, err)
 		}
 		if v.Str {
-			return fmt.Errorf("table %q: y expression %q produced a string", spec.Name, y.Label)
+			return false, fmt.Errorf("table %q: y expression %q produced a string", spec.Name, y.Label)
 		}
 		ys[i] = v.F
 	}
@@ -252,7 +330,7 @@ func accumulate(spec *TableSpec, ctx *evalCtx, groups map[string]*group) error {
 			c.max = v
 		}
 	}
-	return nil
+	return false, nil
 }
 
 func finalize(a Agg, c cell) float64 {

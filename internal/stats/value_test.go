@@ -1,0 +1,44 @@
+package stats_test
+
+// Golden test for Value.Text: pins the integer/float rendering split,
+// including the exact 1e15 boundary (inclusive on both signs) and
+// negative-zero normalization.
+
+import (
+	"math"
+	"testing"
+
+	"tracefw/internal/stats"
+)
+
+func TestValueTextGolden(t *testing.T) {
+	negZero := math.Copysign(0, -1)
+	for _, tc := range []struct {
+		f    float64
+		want string
+	}{
+		{0, "0"},
+		{negZero, "0"}, // negative zero must not print a sign
+		{1, "1"},
+		{-1, "-1"},
+		{42, "42"},
+		{0.5, "0.5"},
+		{-2.25, "-2.25"},
+		{1e15, "1000000000000000"},   // boundary: exactly representable, integer path
+		{-1e15, "-1000000000000000"}, // boundary, negative side
+		{1e15 - 1, "999999999999999"},
+		{1e15 + 2, "1.000000000000002e+15"}, // above the boundary: float path (%g semantics)
+		{1e16, "1e+16"},
+		{123456789.75, "1.2345678975e+08"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+	} {
+		v := stats.Value{F: tc.f}
+		if got := v.Text(); got != tc.want {
+			t.Errorf("Text(%v) = %q, want %q", tc.f, got, tc.want)
+		}
+	}
+	if got := (stats.Value{S: "hello", Str: true}).Text(); got != "hello" {
+		t.Errorf("string Text = %q", got)
+	}
+}

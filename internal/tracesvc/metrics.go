@@ -68,6 +68,12 @@ func (h *histogram) observe(d time.Duration) {
 type metrics struct {
 	mu        sync.Mutex
 	endpoints map[string]*endpointMetrics
+	// Stats-engine counters: tables produced by each evaluator and the
+	// running total of records excluded by the errSkip path (previously
+	// dropped silently).
+	statsColumnar counter
+	statsScalar   counter
+	statsSkipped  counter
 }
 
 type endpointMetrics struct {
@@ -119,6 +125,15 @@ func (m *metrics) writePrometheus(w io.Writer, cache CacheStats, tracesOpen int6
 	fmt.Fprintf(w, "# HELP tracesvc_frames_decoded_total Frame payload reads across all registered traces.\n")
 	fmt.Fprintf(w, "# TYPE tracesvc_frames_decoded_total counter\n")
 	fmt.Fprintf(w, "tracesvc_frames_decoded_total %d\n", framesDecoded)
+	fmt.Fprintf(w, "# HELP tracesvc_stats_tables_columnar_total Statistics tables produced by the vectorized columnar engine.\n")
+	fmt.Fprintf(w, "# TYPE tracesvc_stats_tables_columnar_total counter\n")
+	fmt.Fprintf(w, "tracesvc_stats_tables_columnar_total %d\n", m.statsColumnar.value())
+	fmt.Fprintf(w, "# HELP tracesvc_stats_tables_scalar_total Statistics tables produced by the record-at-a-time engine.\n")
+	fmt.Fprintf(w, "# TYPE tracesvc_stats_tables_scalar_total counter\n")
+	fmt.Fprintf(w, "tracesvc_stats_tables_scalar_total %d\n", m.statsScalar.value())
+	fmt.Fprintf(w, "# HELP tracesvc_stats_records_skipped_total Records excluded from statistics tables because an expression referenced a field their state type does not carry.\n")
+	fmt.Fprintf(w, "# TYPE tracesvc_stats_records_skipped_total counter\n")
+	fmt.Fprintf(w, "tracesvc_stats_records_skipped_total %d\n", m.statsSkipped.value())
 
 	m.mu.Lock()
 	names := make([]string, 0, len(m.endpoints))

@@ -304,35 +304,80 @@ func parseWindow(r *http.Request) (lo, hi clock.Time, ok bool, err error) {
 	return lo, hi, true, nil
 }
 
-// handleStats runs a statistics program over the trace. The body is
-// byte-identical to what `utestats [-e expr] [-bins N] [-window lo:hi]
-// <path>` prints on stdout: utestats's exact output loop over the exact
-// tables the library generates.
+// handleStats runs a statistics program over the trace. The default
+// TSV body is byte-identical to what `utestats [-e expr] [-bins N]
+// [-window lo:hi] <path>` prints on stdout: utestats's exact output
+// loop over the exact tables the library generates. Extra query
+// parameters: engine=auto|scalar|columnar picks the evaluator,
+// timeresolved=1 computes the three time-resolved metric tables over
+// ?bins buckets instead of running a program, and format=json wraps
+// each table with its engine flag and excluded-record count.
 func (s *Service) handleStats(r *http.Request) (*response, error) {
 	t, err := s.trace(r)
 	if err != nil {
 		return nil, err
 	}
 	q := r.URL.Query()
-	program := q.Get("expr")
-	if program == "" {
-		bins := s.cfg.DefaultBins
-		if bs := q.Get("bins"); bs != "" {
-			if bins, err = strconv.Atoi(bs); err != nil || bins < 1 {
-				return nil, badRequest("bad bins %q", bs)
-			}
+	bins := s.cfg.DefaultBins
+	if bs := q.Get("bins"); bs != "" {
+		if bins, err = strconv.Atoi(bs); err != nil || bins < 1 {
+			return nil, badRequest("bad bins %q", bs)
 		}
-		program = stats.Predefined(bins)
 	}
 	opts := stats.Options{Context: r.Context()}
+	switch q.Get("engine") {
+	case "", "auto":
+	case "scalar":
+		opts.Engine = stats.EngineScalar
+	case "columnar":
+		opts.Engine = stats.EngineColumnar
+	default:
+		return nil, badRequest("bad engine %q", q.Get("engine"))
+	}
 	if lo, hi, ok, err := parseWindow(r); err != nil {
 		return nil, err
 	} else if ok {
 		opts.Window, opts.Lo, opts.Hi = true, lo, hi
 	}
-	tables, err := stats.GenerateOpts(program, []*interval.File{t.file}, opts)
+	var tables []*stats.Table
+	if q.Get("timeresolved") == "1" {
+		if q.Get("expr") != "" {
+			return nil, badRequest("timeresolved=1 does not take an expr")
+		}
+		tables, err = stats.TimeResolved([]*interval.File{t.file}, bins, opts)
+	} else {
+		program := q.Get("expr")
+		if program == "" {
+			program = stats.Predefined(bins)
+		}
+		tables, err = stats.GenerateOpts(program, []*interval.File{t.file}, opts)
+	}
 	if err != nil {
 		return nil, err
+	}
+	for _, tb := range tables {
+		if tb.Columnar {
+			s.met.statsColumnar.add(1)
+		} else {
+			s.met.statsScalar.add(1)
+		}
+		s.met.statsSkipped.add(tb.Skipped)
+	}
+	if q.Get("format") == "json" {
+		type tableJSON struct {
+			Name     string `json:"name"`
+			Columnar bool   `json:"columnar"`
+			Skipped  int64  `json:"skipped"`
+			Rows     int    `json:"rows"`
+			TSV      string `json:"tsv"`
+		}
+		out := make([]tableJSON, len(tables))
+		for i, tb := range tables {
+			out[i] = tableJSON{Name: tb.Name, Columnar: tb.Columnar, Skipped: tb.Skipped, Rows: len(tb.Rows), TSV: tb.TSV()}
+		}
+		return jsonResponse(http.StatusOK, struct {
+			Tables []tableJSON `json:"tables"`
+		}{out})
 	}
 	var b bytes.Buffer
 	for _, tb := range tables {

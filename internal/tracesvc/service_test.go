@@ -542,3 +542,88 @@ func TestBadRequests(t *testing.T) {
 		t.Errorf("bad JSON: %d", w.Code)
 	}
 }
+
+// TestStatsEngineAndJSON covers the stats endpoint's engine selection,
+// JSON format, time-resolved tables, and the stats counters on /metrics.
+func TestStatsEngineAndJSON(t *testing.T) {
+	s := tracesvc.New(tracesvc.Config{})
+	defer s.Close()
+	path := writeTrace(t, t.TempDir(), 400)
+	id := openTrace(t, s, path)
+
+	// Engine selection: scalar and columnar answers are byte-identical.
+	base := do(t, s, "GET", "/v1/traces/"+id+"/stats?engine=scalar", "")
+	col := do(t, s, "GET", "/v1/traces/"+id+"/stats?engine=columnar", "")
+	if base.Code != 200 || col.Code != 200 {
+		t.Fatalf("engine stats: %d / %d", base.Code, col.Code)
+	}
+	if base.Body.String() != col.Body.String() {
+		t.Fatal("scalar and columnar endpoint bodies differ")
+	}
+	if w := do(t, s, "GET", "/v1/traces/"+id+"/stats?engine=nope", ""); w.Code != 400 {
+		t.Fatalf("bad engine: %d", w.Code)
+	}
+
+	// JSON format carries the engine flag and the excluded-record count.
+	w := do(t, s, "GET", "/v1/traces/"+id+"/stats?format=json&expr="+
+		"table+name%3Dt+y%3D%28%22n%22%2C+dura%2C+count%29", "")
+	if w.Code != 200 {
+		t.Fatalf("json stats: %d %s", w.Code, w.Body)
+	}
+	var got struct {
+		Tables []struct {
+			Name     string `json:"name"`
+			Columnar bool   `json:"columnar"`
+			Skipped  int64  `json:"skipped"`
+			Rows     int    `json:"rows"`
+			TSV      string `json:"tsv"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tables) != 1 || got.Tables[0].Name != "t" || !got.Tables[0].Columnar || got.Tables[0].TSV == "" {
+		t.Fatalf("unexpected json stats payload: %+v", got)
+	}
+
+	// Time-resolved tables: three of them, with the expected names.
+	w = do(t, s, "GET", "/v1/traces/"+id+"/stats?timeresolved=1&bins=12&format=json", "")
+	if w.Code != 200 {
+		t.Fatalf("timeresolved: %d %s", w.Code, w.Body)
+	}
+	got.Tables = nil
+	if err := json.Unmarshal(w.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(got.Tables))
+	for i, tb := range got.Tables {
+		names[i] = tb.Name
+	}
+	if fmt.Sprint(names) != "[tr_busy_by_type tr_load_balance tr_concurrency]" {
+		t.Fatalf("timeresolved tables = %v", names)
+	}
+	if w := do(t, s, "GET", "/v1/traces/"+id+"/stats?timeresolved=1&expr=x", ""); w.Code != 400 {
+		t.Fatalf("timeresolved with expr: %d", w.Code)
+	}
+
+	// The engine counters moved: the engine=scalar request above counts
+	// scalar tables, everything else counts columnar ones.
+	body := do(t, s, "GET", "/metrics", "").Body.String()
+	for _, want := range []string{
+		"tracesvc_stats_tables_columnar_total ",
+		"tracesvc_stats_tables_scalar_total ",
+		"tracesvc_stats_records_skipped_total ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics body lacks %q:\n%s", want, body)
+		}
+	}
+	for _, never := range []string{
+		"tracesvc_stats_tables_columnar_total 0\n",
+		"tracesvc_stats_tables_scalar_total 0\n",
+	} {
+		if strings.Contains(body, never) {
+			t.Fatalf("counter never moved: %q", never)
+		}
+	}
+}
