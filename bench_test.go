@@ -994,3 +994,129 @@ func BenchmarkServeWindowCached(b *testing.B) {
 		b.Fatalf("warm queries decoded %d frames", decoded)
 	}
 }
+
+// --- summary-pyramid preview (the O(pixels) pan/zoom path) -------------
+
+// servePreviewBench registers a trace whose .pyr sidecar exists on disk
+// (so Open attaches it) and returns a preview URL builder for a window
+// aligned to base-cell boundaries with bins dividing the cell span —
+// the geometry under which the pyramid engine needs zero frame decodes.
+func servePreviewBench(b *testing.B, n int) (*tracesvc.Service, *tracesvc.Trace, func(engine string) string) {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), "bench.ute")
+	writeIntervalFile(b, path, interval.CurrentHeaderVersion, n)
+	if _, err := interval.BuildPyramidSidecar(path, interval.PyramidOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	svc := tracesvc.New(tracesvc.Config{})
+	tr, err := svc.Registry().Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := tr.File().Pyramid()
+	if p == nil || len(p.Levels) == 0 {
+		b.Fatal("no pyramid attached")
+	}
+	base := p.Levels[0]
+	bins := 16
+	cells := len(base.Cells) / bins * bins
+	if cells == 0 {
+		bins, cells = 1, len(base.Cells)
+	}
+	lo := clock.Time(base.First) * base.Width
+	hi := lo + clock.Time(cells)*base.Width
+	window := fmt.Sprintf("%.9f:%.9f", lo.Seconds(), hi.Seconds())
+	// The URL carries the window in seconds; the aligned bounds must
+	// survive the decimal round-trip, or the zero-decode assertion
+	// below would silently measure edge remainders instead.
+	if plo, phi, err := clock.ParseWindow(window); err != nil || plo != lo || phi != hi {
+		b.Fatalf("window %q round-trips to [%v .. %v], want [%v .. %v]", window, plo, phi, lo, hi)
+	}
+	urlFor := func(engine string) string {
+		return fmt.Sprintf("/v1/traces/%s/preview.svg?view=preview&bins=%d&window=%s&engine=%s",
+			tr.ID, bins, window, engine)
+	}
+	return svc, tr, urlFor
+}
+
+// BenchmarkServePreview compares the preview endpoint's engines on the
+// same aligned window: cold scan (decoded-frame cache flushed before
+// every request), warm scan (all frames resident), and pyramid — which
+// answers from O(bins) stored cells and fails the benchmark if it
+// decodes a single frame, cache or no cache.
+func BenchmarkServePreview(b *testing.B) {
+	run := func(b *testing.B, engine string, flush, wantZero bool) {
+		svc, tr, urlFor := servePreviewBench(b, 20000)
+		defer svc.Close()
+		url := urlFor(engine)
+		serveOnce(b, svc, url)
+		if flush {
+			svc.Cache().Flush()
+		}
+		runtime.GC()
+		b.ResetTimer()
+		start := tr.File().DecodedFrames()
+		for i := 0; i < b.N; i++ {
+			if flush {
+				svc.Cache().Flush()
+			}
+			serveOnce(b, svc, url)
+		}
+		decoded := tr.File().DecodedFrames() - start
+		b.ReportMetric(float64(decoded)/float64(b.N), "frames/op")
+		if wantZero && decoded != 0 {
+			b.Fatalf("pyramid preview decoded %d frames", decoded)
+		}
+	}
+	b.Run("cold", func(b *testing.B) { run(b, "scan", true, false) })
+	b.Run("scan", func(b *testing.B) { run(b, "scan", false, false) })
+	b.Run("pyramid", func(b *testing.B) { run(b, "pyramid", true, true) })
+}
+
+// BenchmarkPreviewZoom drives a zoom ladder — ten nested windows, each
+// halving the span around the run's midpoint — through BuildPreview:
+// the interactive pan/zoom pattern whose per-frame cost the pyramid
+// removes. The windows are deliberately not cell-aligned, so the
+// pyramid engine pays only the O(1) edge-remainder decodes per window
+// while the scan engine re-decodes everything it overlaps.
+func BenchmarkPreviewZoom(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.ute")
+	writeIntervalFile(b, path, interval.CurrentHeaderVersion, 20000)
+	if _, err := interval.BuildPyramidSidecar(path, interval.PyramidOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	mf, err := interval.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mf.Close()
+	fs, fe, _, err := mf.Stats()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mid := fs + (fe-fs)/2
+	var windows [][2]clock.Time
+	for z := 1; z <= 10; z++ {
+		half := (fe - fs) >> uint(z+1)
+		windows = append(windows, [2]clock.Time{mid - half, mid + half})
+	}
+	run := func(b *testing.B, eng interval.SummaryEngine) {
+		runtime.GC()
+		b.ResetTimer()
+		frames := 0
+		for i := 0; i < b.N; i++ {
+			for _, w := range windows {
+				res, err := render.BuildPreview(mf, render.PreviewOptions{
+					Bins: 64, T0: w[0], T1: w[1], Engine: eng,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				frames += res.FramesDecoded
+			}
+		}
+		b.ReportMetric(float64(frames)/float64(b.N), "frames/op")
+	}
+	b.Run("pyramid", func(b *testing.B) { run(b, interval.SummaryPyramid) })
+	b.Run("scan", func(b *testing.B) { run(b, interval.SummaryScan) })
+}

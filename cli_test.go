@@ -76,13 +76,16 @@ func TestCLIPipeline(t *testing.T) {
 		t.Fatal("profile.ute missing")
 	}
 
-	// utemerge with SLOG.
+	// utemerge with SLOG and the summary-pyramid sidecar.
 	merged := filepath.Join(dir, "merged.ute")
 	slogPath := filepath.Join(dir, "trace.slog")
-	out = runCmd(t, bin, "utemerge", "-o", merged, "-slog", slogPath,
+	out = runCmd(t, bin, "utemerge", "-o", merged, "-slog", slogPath, "-pyramid",
 		filepath.Join(dir, "trace.0.ute"), filepath.Join(dir, "trace.1.ute"))
-	if !strings.Contains(out, "ratio") || !strings.Contains(out, "slog") {
+	if !strings.Contains(out, "ratio") || !strings.Contains(out, "slog") || !strings.Contains(out, "pyramid") {
 		t.Fatalf("utemerge output: %s", out)
+	}
+	if _, err := os.Stat(merged + ".pyr"); err != nil {
+		t.Fatal("utemerge -pyramid wrote no sidecar")
 	}
 
 	// utestats: predefined tables to stdout, then the paper's example.
@@ -122,6 +125,21 @@ func TestCLIPipeline(t *testing.T) {
 	if !strings.Contains(out, "preview:") {
 		t.Fatalf("preview output:\n%s", out)
 	}
+	// uteview -preview straight from the merged file: the auto engine
+	// answers from the sidecar, -engine scan forces the frame decode,
+	// and the rendering must not depend on which one ran.
+	pvPyr := runCmd(t, bin, "uteview", "-merged", merged, "-preview", "-v", "-ascii")
+	if !strings.Contains(pvPyr, "preview answered by pyramid engine") || !strings.Contains(pvPyr, "preview:") {
+		t.Fatalf("merged preview output:\n%s", pvPyr)
+	}
+	pvScan := runCmd(t, bin, "uteview", "-merged", merged, "-preview", "-engine", "scan", "-v", "-ascii")
+	if !strings.Contains(pvScan, "preview answered by scan engine") {
+		t.Fatalf("merged preview scan output:\n%s", pvScan)
+	}
+	if stripDiag(pvPyr) != stripDiag(pvScan) {
+		t.Fatalf("preview differs between engines:\n--- pyramid:\n%s\n--- scan:\n%s", pvPyr, pvScan)
+	}
+
 	out = runCmd(t, bin, "uteview", "-slog", slogPath, "-frame-at", "0.01")
 	if !strings.Contains(out, "frame ") {
 		t.Fatalf("frame fetch output:\n%s", out)
@@ -158,7 +176,7 @@ func TestCLIPipeline(t *testing.T) {
 	}
 
 	// utedump on every format.
-	for _, f := range []string{"raw.0", "profile.ute", "merged.ute", "trace.slog"} {
+	for _, f := range []string{"raw.0", "profile.ute", "merged.ute", "trace.slog", "merged.ute.pyr"} {
 		out = runCmd(t, bin, "utedump", "-n", "3", filepath.Join(dir, f))
 		if len(out) == 0 {
 			t.Fatalf("utedump %s produced nothing", f)
@@ -172,6 +190,23 @@ func TestCLIPipeline(t *testing.T) {
 	if !strings.Contains(out, "valid (") {
 		t.Fatalf("utedump -validate output:\n%s", out)
 	}
+	out = runCmd(t, bin, "utedump", merged+".pyr")
+	if !strings.Contains(out, "pyramid: base width") || !strings.Contains(out, "level  0") {
+		t.Fatalf("utedump pyramid output:\n%s", out)
+	}
+}
+
+// stripDiag drops uteview's stderr diagnostics from combined output so
+// renderings can be compared across engines.
+func stripDiag(out string) string {
+	var keep []string
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.HasPrefix(ln, "uteview:") {
+			continue
+		}
+		keep = append(keep, ln)
+	}
+	return strings.Join(keep, "\n")
 }
 
 func TestCLIWrapTolerant(t *testing.T) {
@@ -467,6 +502,40 @@ func TestCLICheckRepair(t *testing.T) {
 	out := runCmd(t, bin, "utecheck", repaired)
 	if !strings.Contains(out, "valid (") {
 		t.Fatalf("utecheck on repaired file: %s", out)
+	}
+
+	// Pyramid sidecar lifecycle: -repair-pyramid builds the missing
+	// sidecar, a plain check cross-validates it, a corrupted sidecar is
+	// reported as damaged without changing the exit code, and another
+	// -repair-pyramid heals it.
+	out = runCmd(t, bin, "utecheck", "-repair-pyramid", pristine)
+	if !strings.Contains(out, "pyramid rebuilt") {
+		t.Fatalf("utecheck -repair-pyramid (absent sidecar): %s", out)
+	}
+	out = runCmd(t, bin, "utecheck", pristine)
+	if !strings.Contains(out, "pyramid ok (") {
+		t.Fatalf("utecheck after pyramid rebuild: %s", out)
+	}
+	pyr := pristine + ".pyr"
+	pd, err := os.ReadFile(pyr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd[len(pd)-1] ^= 0xff
+	if err := os.WriteFile(pyr, pd, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = runCmd(t, bin, "utecheck", pristine) // still exits 0: the sidecar is advisory
+	if !strings.Contains(out, "valid (") || !strings.Contains(out, "pyramid damaged") {
+		t.Fatalf("utecheck on corrupted sidecar: %s", out)
+	}
+	out = runCmd(t, bin, "utecheck", "-repair-pyramid", pristine)
+	if !strings.Contains(out, "pyramid rebuilt (was:") {
+		t.Fatalf("utecheck -repair-pyramid (damaged sidecar): %s", out)
+	}
+	out = runCmd(t, bin, "utecheck", pristine)
+	if !strings.Contains(out, "pyramid ok (") {
+		t.Fatalf("utecheck after healing sidecar: %s", out)
 	}
 }
 

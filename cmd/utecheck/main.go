@@ -5,7 +5,16 @@
 //
 // Usage:
 //
-//	utecheck [-json] [-repair OUT] FILE
+//	utecheck [-json] [-repair OUT] [-repair-pyramid] FILE
+//
+// When a summary-pyramid sidecar (FILE.pyr) exists next to a valid
+// trace, utecheck cross-validates it against the frame directory: the
+// sidecar must load (magic, CRCs, source signature) and a sample of its
+// base cells must answer window summaries identically to a frame-decode
+// recompute. Sidecar problems are reported but never change the exit
+// code — the sidecar is advisory and every reader falls back to the
+// scan engine — and -repair-pyramid rebuilds a missing, stale, damaged,
+// or diverging sidecar from the frames.
 //
 // The exit code is machine-readable:
 //
@@ -36,14 +45,24 @@ type report struct {
 	Salvage       *interval.SalvageReport    `json:"salvage,omitempty"`
 	RepairPath    string                     `json:"repairPath,omitempty"`
 	Repair        *interval.RepairReport     `json:"repair,omitempty"`
+	Pyramid       *pyramidJSON               `json:"pyramid,omitempty"`
+}
+
+// pyramidJSON reports the summary-pyramid sidecar check.
+type pyramidJSON struct {
+	Path         string `json:"path"`
+	Status       string `json:"status"` // ok, absent, damaged, mismatch, rebuilt
+	Detail       string `json:"detail,omitempty"`
+	CellsChecked int    `json:"cellsChecked,omitempty"`
 }
 
 func main() {
 	fs := flag.NewFlagSet("utecheck", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON report on stdout")
 	repairTo := fs.String("repair", "", "write the salvaged records to a fresh interval file at `OUT`")
+	pyrRepair := fs.Bool("repair-pyramid", false, "rebuild the .pyr summary sidecar when it is missing, stale, damaged, or diverges")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: utecheck [-json] [-repair OUT] FILE")
+		fmt.Fprintln(os.Stderr, "usage: utecheck [-json] [-repair OUT] [-repair-pyramid] FILE")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -85,8 +104,9 @@ func main() {
 			rep.Salvage = &sv.Report
 			repair(rep, f, sv, *repairTo, *jsonOut)
 		}
-		emit(rep, *jsonOut, fmt.Sprintf("%s: valid (%d records in %d frames, %d directories)",
-			path, vrep.Records, vrep.Frames, vrep.Dirs))
+		rep.Pyramid = checkPyramid(f, path, *pyrRepair, rep, *jsonOut)
+		emit(rep, *jsonOut, fmt.Sprintf("%s: valid (%d records in %d frames, %d directories)%s",
+			path, vrep.Records, vrep.Frames, vrep.Dirs, pyramidNote(rep)))
 		os.Exit(0)
 	}
 	rep.Error = verr.Error()
@@ -125,6 +145,65 @@ func repair(rep *report, f *interval.File, sv *interval.SalvageResult, out strin
 	}
 	rep.RepairPath = out
 	rep.Repair = rrep
+}
+
+// checkPyramid cross-validates the summary-pyramid sidecar against the
+// frame data. A missing sidecar is only an event when rebuild is set.
+func checkPyramid(f *interval.File, path string, rebuild bool, rep *report, jsonOut bool) *pyramidJSON {
+	pp := interval.PyramidPath(path)
+	pj := &pyramidJSON{Path: pp}
+	if _, err := os.Stat(pp); err != nil {
+		if !rebuild {
+			return nil
+		}
+		pj.Status = "absent"
+		rebuildPyramid(pj, path, rep, jsonOut)
+		return pj
+	}
+	p, err := interval.LoadPyramid(pp, f)
+	if err != nil {
+		pj.Status, pj.Detail = "damaged", err.Error()
+		if rebuild {
+			rebuildPyramid(pj, path, rep, jsonOut)
+		}
+		return pj
+	}
+	n, err := f.VerifyPyramid(p, interval.VerifyPyramidOptions{})
+	pj.CellsChecked = n
+	if err != nil {
+		pj.Status, pj.Detail = "mismatch", err.Error()
+		if rebuild {
+			rebuildPyramid(pj, path, rep, jsonOut)
+		}
+		return pj
+	}
+	pj.Status = "ok"
+	return pj
+}
+
+// rebuildPyramid drops the old sidecar state and rebuilds it from the
+// frames, keeping the detail that explains why.
+func rebuildPyramid(pj *pyramidJSON, path string, rep *report, jsonOut bool) {
+	if _, err := interval.BuildPyramidSidecar(path, interval.PyramidOptions{}); err != nil {
+		fatal(rep, jsonOut, fmt.Errorf("rebuild pyramid %s: %w", pj.Path, err))
+	}
+	pj.Status = "rebuilt"
+}
+
+func pyramidNote(rep *report) string {
+	pj := rep.Pyramid
+	switch {
+	case pj == nil:
+		return ""
+	case pj.Status == "ok":
+		return fmt.Sprintf("; pyramid ok (%d cells checked)", pj.CellsChecked)
+	case pj.Status == "rebuilt" && pj.Detail == "":
+		return "; pyramid rebuilt"
+	case pj.Status == "rebuilt":
+		return fmt.Sprintf("; pyramid rebuilt (was: %s)", pj.Detail)
+	default:
+		return fmt.Sprintf("; pyramid %s: %s (rerun with -repair-pyramid)", pj.Status, pj.Detail)
+	}
 }
 
 func repairNote(rep *report) string {

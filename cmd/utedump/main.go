@@ -1,7 +1,7 @@
 // Command utedump inspects the framework's file formats: raw trace
 // files, description profiles, interval files (header, thread table,
-// marker table, frame directories, records), and SLOG files. The file
-// kind is detected from the magic.
+// marker table, frame directories, records), SLOG files, and summary
+// pyramid sidecars. The file kind is detected from the magic.
 //
 // Usage:
 //
@@ -67,6 +67,8 @@ func main() {
 		dumpProfile(path)
 	case "UTESLOG1":
 		dumpSlog(path, *limit)
+	case "UTEPYR1\x00":
+		dumpPyramid(path, *limit)
 	default:
 		fatal(fmt.Errorf("%s: unknown magic %q", path, magic))
 	}
@@ -302,6 +304,49 @@ func dumpSlog(path string, limit int) {
 		shown++
 		fmt.Printf("  frame %3d @%d: %dB, %d records, [%v .. %v]\n",
 			i, fe.Offset, fe.Bytes, fe.Records, fe.Start, fe.End)
+	}
+}
+
+// dumpPyramid prints a summary-pyramid sidecar: geometry, source
+// signature, per-level cell counts, and the first non-empty base
+// cells. The sidecar alone cannot be checked against its trace here;
+// utecheck cross-validates the pair.
+func dumpPyramid(path string, limit int) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := interval.DecodePyramid(data)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("pyramid: base width %v, top-%d, %d levels; source sig: %d records, %d frames, [%v .. %v], dirsum %08x\n",
+		p.BaseWidth, p.TopK, len(p.Levels), p.Sig.Records, p.Sig.Frames, p.Sig.Start, p.Sig.End, p.Sig.DirSum)
+	for li, lv := range p.Levels {
+		fmt.Printf("  level %2d: width %12v, cells [%d .. %d)\n",
+			li, lv.Width, lv.First, lv.First+int64(len(lv.Cells)))
+	}
+	if len(p.Levels) == 0 {
+		return
+	}
+	base := p.Levels[0]
+	shown := 0
+	for i := range base.Cells {
+		c := &base.Cells[i]
+		if c.Records == 0 && len(c.ByType) == 0 {
+			continue
+		}
+		if limit != 0 && shown >= limit {
+			break
+		}
+		shown++
+		var busy clock.Time
+		for _, tb := range c.ByType {
+			busy += tb.Busy
+		}
+		idx := base.First + int64(i)
+		fmt.Printf("  cell %6d @%v: %5d records, peak %2d, %2d types, %2d lanes, %v busy\n",
+			idx, clock.Time(idx)*base.Width, c.Records, c.MaxConc, len(c.ByType), len(c.ByLane), busy)
 	}
 }
 

@@ -14,7 +14,8 @@
 //
 // Usage:
 //
-//	utemerge [-o merged.ute] [-slog trace.slog] [-estimator rms|lastpair|piecewise|none]
+//	utemerge [-o merged.ute] [-slog trace.slog] [-pyramid]
+//	         [-estimator rms|lastpair|piecewise|none]
 //	         [-outlier-tol T] [-keep-clock] [-no-pseudo] [-linear] [-j N]
 //	         trace.0.ute trace.1.ute ...
 package main
@@ -42,6 +43,7 @@ func main() {
 		frameBytes = flag.Int("frame-bytes", 0, "target frame payload size (0 = 64 KiB)")
 		jobs       = flag.Int("j", 0, "pipeline width: read-ahead decode when above 1 (0 = GOMAXPROCS, 1 = synchronous)")
 		columnar   = flag.Bool("columnar", false, "with -slog, feed the build's first pass from columnar batches (same bytes, fewer allocations)")
+		pyramid    = flag.Bool("pyramid", false, "also build the merged file's summary-pyramid sidecar (<out>.pyr)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -75,6 +77,18 @@ func main() {
 	for i, r := range res.Ratios {
 		fmt.Printf("utemerge:   input %d: anchor (G=%v, L=%v), ratio %.9f\n",
 			i, res.Anchors[i].Global, res.Anchors[i].Local, r)
+	}
+	if *pyramid {
+		p, err := interval.BuildPyramidSidecar(*out, interval.PyramidOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		cells := 0
+		for _, lv := range p.Levels {
+			cells += len(lv.Cells)
+		}
+		fmt.Printf("utemerge: pyramid %s (%d levels, %d cells, base width %v)\n",
+			interval.PyramidPath(*out), len(p.Levels), cells, p.BaseWidth)
 	}
 	if *slogOut != "" {
 		mf, err := interval.Open(*out)

@@ -47,6 +47,7 @@ func main() {
 		verbose  = flag.Bool("v", false, "report per-table engine and excluded-record counts on stderr")
 		timeRes  = flag.Bool("timeresolved", false, "generate the time-resolved metric tables (-bins buckets) instead of a program")
 		engine   = flag.String("engine", "auto", "table evaluator: auto, scalar, or columnar")
+		summary  = flag.String("summary", "auto", "with -timeresolved, the summary engine: auto, pyramid, or scan")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -83,6 +84,7 @@ func main() {
 		}
 		files = append(files, f)
 	}
+	var err error
 	opts := stats.Options{Parallel: *jobs}
 	switch *engine {
 	case "auto":
@@ -94,6 +96,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "utestats: -engine must be auto, scalar, or columnar, got %q\n", *engine)
 		os.Exit(2)
 	}
+	if opts.Summary, err = interval.ParseSummaryEngine(*summary); err != nil {
+		fatal(err)
+	}
 	if *window != "" {
 		lo, hi, err := clock.ParseWindow(*window)
 		if err != nil {
@@ -102,7 +107,6 @@ func main() {
 		opts.Window, opts.Lo, opts.Hi = true, lo, hi
 	}
 	var tables []*stats.Table
-	var err error
 	if *timeRes {
 		if *exprSrc != "" || *fileSrc != "" {
 			fmt.Fprintln(os.Stderr, "utestats: -timeresolved does not take a program (-e/-f)")
@@ -121,8 +125,14 @@ func main() {
 			if tb.Columnar {
 				eng = "columnar"
 			}
-			fmt.Fprintf(os.Stderr, "utestats: table %s: engine=%s skipped=%d rows=%d\n",
-				tb.Name, eng, tb.Skipped, len(tb.Rows))
+			sum := ""
+			if tb.Engine != "" {
+				// Time-resolved tables also report which summary engine
+				// answered them: O(bins) pyramid cells or a frame scan.
+				sum = " summary=" + tb.Engine
+			}
+			fmt.Fprintf(os.Stderr, "utestats: table %s: engine=%s%s skipped=%d rows=%d\n",
+				tb.Name, eng, sum, tb.Skipped, len(tb.Rows))
 		}
 		if *outDir == "" {
 			fmt.Printf("# table %s\n%s\n", tb.Name, tb.TSV())

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"tracefw/internal/clock"
@@ -36,7 +37,10 @@ func main() {
 		ascii      = flag.Bool("ascii", false, "render ASCII to stdout instead of SVG")
 		width      = flag.Int("width", 100, "ASCII width in columns")
 		out        = flag.String("o", "", "output SVG path (default stdout)")
-		preview    = flag.Bool("preview", false, "render the SLOG preview instead of a diagram")
+		preview    = flag.Bool("preview", false, "render the preview histogram instead of a diagram (from -slog, or computed from -merged)")
+		bins       = flag.Int("bins", 0, "preview bins when computing from -merged (0 = default)")
+		engineName = flag.String("engine", "auto", "summary engine for -preview from -merged: auto, pyramid, or scan")
+		verbose    = flag.Bool("v", false, "report which engine answered and what it cost (stderr)")
 		frameAt    = flag.Float64("frame-at", -1, "print the SLOG frame containing this time (seconds)")
 		arrows     = flag.Bool("arrows", false, "overlay message arrows from the SLOG file")
 		htmlOut    = flag.String("html", "", "write a self-contained interactive HTML viewer (needs -slog)")
@@ -99,16 +103,16 @@ func main() {
 		}
 		return
 
-	case *preview:
-		if sf == nil {
-			fatal(fmt.Errorf("-preview needs -slog"))
-		}
+	case *preview && sf != nil:
 		if *ascii {
 			fmt.Print(render.PreviewASCII(sf.Preview, *width))
 			return
 		}
 		emit(*out, render.PreviewSVG(sf.Preview))
 		return
+
+	case *preview && *mergedPath == "":
+		fatal(fmt.Errorf("-preview needs -slog or -merged"))
 	}
 
 	if *mergedPath == "" {
@@ -119,6 +123,33 @@ func main() {
 		fatal(err)
 	}
 	defer mf.Close()
+
+	if *preview {
+		engine, err := interval.ParseSummaryEngine(*engineName)
+		if err != nil {
+			fatal(err)
+		}
+		popts := render.PreviewOptions{Bins: *bins, Engine: engine}
+		popts.T0, popts.T1 = clock.FromSeconds(*t0), clock.FromSeconds(*t1)
+		if *window != "" {
+			popts.T0, popts.T1 = resolveWindow(mf, *window)
+		}
+		pr, err := render.BuildPreview(mf, popts)
+		if err != nil {
+			fatal(err)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "uteview: preview answered by %s engine (%d cells, %d frames decoded)\n",
+				pr.Engine, pr.CellsUsed, pr.FramesDecoded)
+		}
+		if *ascii {
+			fmt.Print(render.PreviewASCII(pr.Preview, *width))
+			return
+		}
+		emit(*out, render.PreviewSVG(pr.Preview))
+		return
+	}
+
 	kind, err := render.ParseView(*viewName)
 	if err != nil {
 		fatal(err)
@@ -130,23 +161,7 @@ func main() {
 		Parallel:  *jobs,
 	}
 	if *window != "" {
-		lo, hi, err := clock.ParseWindow(*window)
-		if err != nil {
-			fatal(err)
-		}
-		// Open-ended sides clamp to the run bounds so the rendered axis
-		// stays meaningful.
-		fs, fe, _, err := mf.Stats()
-		if err != nil {
-			fatal(err)
-		}
-		if lo < fs {
-			lo = fs
-		}
-		if hi > fe {
-			hi = fe
-		}
-		opts.T0, opts.T1 = lo, hi
+		opts.T0, opts.T1 = resolveWindow(mf, *window)
 	}
 	if *arrows {
 		if sf == nil {
@@ -169,6 +184,33 @@ func main() {
 		return
 	}
 	emit(*out, d.SVG())
+}
+
+// resolveWindow parses a -window flag and fills its open-ended sides
+// from the run bounds so the rendered axis stays meaningful. Explicit
+// bounds are kept even when they fall outside the run: a window that
+// overlaps no records must render the empty placeholder, not silently
+// snap back to the full run (which the renderers would read an
+// inverted window as).
+func resolveWindow(mf *interval.File, window string) (clock.Time, clock.Time) {
+	lo, hi, err := clock.ParseWindow(window)
+	if err != nil {
+		fatal(err)
+	}
+	fs, fe, _, err := mf.Stats()
+	if err != nil {
+		fatal(err)
+	}
+	if lo == math.MinInt64 {
+		lo = fs
+	}
+	if hi == math.MaxInt64 {
+		hi = fe
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return lo, hi
 }
 
 func emit(path, doc string) {

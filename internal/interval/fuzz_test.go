@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strconv"
 	"testing"
 
@@ -149,6 +150,41 @@ func FuzzSalvage(f *testing.F) {
 	})
 }
 
+// FuzzPyramid: the summary-pyramid sidecar decoder must never panic,
+// hang, or allocate unboundedly on arbitrary bytes, and it must never
+// invent structure: whatever it accepts must survive a canonical
+// re-encode/decode round trip unchanged and satisfy the level-geometry
+// invariants the query planner relies on (power-of-two doubling widths,
+// per-cell summaries in canonical order).
+func FuzzPyramid(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("UTEPYR1\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > fuzzInputCap {
+			return
+		}
+		p, err := interval.DecodePyramid(data)
+		if err != nil {
+			return
+		}
+		if p.BaseWidth <= 0 || p.BaseWidth&(p.BaseWidth-1) != 0 {
+			t.Fatalf("decoder accepted base width %d", p.BaseWidth)
+		}
+		for i, lvl := range p.Levels {
+			if want := p.BaseWidth << uint(i); lvl.Width != want {
+				t.Fatalf("level %d width %d, want %d", i, lvl.Width, want)
+			}
+		}
+		rt, err := interval.DecodePyramid(p.Encode())
+		if err != nil {
+			t.Fatalf("re-encoded pyramid does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(rt, p) {
+			t.Fatalf("pyramid round trip changed the value\n got %+v\nwant %+v", rt, p)
+		}
+	})
+}
+
 // --- seed corpus -----------------------------------------------------
 
 var regenCorpus = flag.Bool("regen-corpus", false, "regenerate the checked-in fuzz seed corpus from tracegen output")
@@ -275,6 +311,14 @@ func TestRegenFuzzCorpus(t *testing.T) {
 			fmt.Sprintf("int64(%d)", first), fmt.Sprintf("int64(%d)", last))
 		writeCorpusEntry(t, "FuzzScanWindow", name+"-half", q,
 			fmt.Sprintf("int64(%d)", mid), fmt.Sprintf("int64(%d)", last))
+		// Pyramid seeds: the real sidecar of every trace seed, so the
+		// fuzzer mutates from encodings the builder actually produces.
+		p, err := interval.BuildPyramid(fl, interval.PyramidOptions{BaseCells: 64, TopK: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		writeCorpusEntry(t, "FuzzPyramid", name,
+			"[]byte("+strconv.Quote(string(p.Encode()))+")")
 	}
 }
 

@@ -18,10 +18,11 @@ type Option func(*openOptions)
 type openOptions struct {
 	verifySums bool
 	salvage    *SalvageResult
+	pyramid    bool
 }
 
 func defaultOpenOptions() openOptions {
-	return openOptions{verifySums: true}
+	return openOptions{verifySums: true, pyramid: true}
 }
 
 // WithVerifyChecksums controls verification of per-frame payload
@@ -45,10 +46,27 @@ func WithSalvage(sink *SalvageResult) Option {
 	return func(o *openOptions) { o.salvage = sink }
 }
 
+// WithPyramid controls the summary-pyramid sidecar auto-load (the
+// default is true): Open looks for <path>.pyr and, when it decodes,
+// verifies, and matches the trace's frame-directory signature, attaches
+// it so SummarizeWindow can answer from summary cells. The sidecar is
+// strictly advisory — a missing, corrupt, truncated, or stale sidecar
+// is silently ignored and every query falls back to the scan engine —
+// so no option value can ever make Open fail. NewFile never auto-loads
+// (a bare reader has no path).
+func WithPyramid(v bool) Option {
+	return func(o *openOptions) { o.pyramid = v }
+}
+
 // Open opens an interval file on disk. With no options it behaves
-// exactly as the historical Open; see WithSalvage and
-// WithVerifyChecksums for the configurable behaviors.
+// exactly as the historical Open plus the advisory pyramid sidecar
+// auto-load; see WithSalvage, WithVerifyChecksums, and WithPyramid for
+// the configurable behaviors.
 func Open(path string, opts ...Option) (*File, error) {
+	o := defaultOpenOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
 	fp, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -57,6 +75,14 @@ func Open(path string, opts ...Option) (*File, error) {
 	if err != nil {
 		fp.Close()
 		return nil, err
+	}
+	if o.pyramid {
+		// Advisory: any load error (no sidecar, damage, staleness, or
+		// even unreadable frame metadata on a damaged trace) just means
+		// queries scan.
+		if p, err := LoadPyramid(PyramidPath(path), f); err == nil {
+			f.pyr = p
+		}
 	}
 	return f, nil
 }

@@ -1,0 +1,325 @@
+package interval
+
+// Pyramid construction: one sequential pass over the file accumulates
+// the base level (busy histograms, start counts, top-k candidates, and
+// a global concurrency event sweep), and every higher level folds pairs
+// of children. All accumulation is integer nanoseconds, so the result
+// is a pure function of the record set — the property the differential
+// suite and utecheck's cell recomputation rely on.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/events"
+)
+
+// PyramidOptions tunes BuildPyramid.
+type PyramidOptions struct {
+	// BaseCells targets the finest level's cell count: the base width
+	// is the smallest power of two covering the run in at most
+	// BaseCells cells. <= 0 means 4096.
+	BaseCells int
+	// TopK is the per-cell top-interval list length. <= 0 means 8;
+	// capped at pyrMaxTopK.
+	TopK int
+	// Context, when non-nil, aborts the build between frames.
+	Context context.Context
+}
+
+// busyType reports whether a record type counts as a busy interval for
+// lane time, concurrency, and top-k: everything except the synthetic
+// Running background state and clock records. This mirrors the
+// exclusions of stats.TimeResolved.
+func busyType(t events.Type) bool {
+	return t != events.EvRunning && t != events.EvGlobalClock
+}
+
+// pyrAcc is one cell's accumulation state during a build.
+type pyrAcc struct {
+	records int64
+	maxConc int
+	byType  map[events.Type]clock.Time
+	byLane  map[uint32]clock.Time
+	top     []TopInterval
+}
+
+func (a *pyrAcc) addTop(ti TopInterval, k int) {
+	a.top = append(a.top, ti)
+	// Bound the candidate list: compaction keeps at most k distinct
+	// entries, and a merge of tops-of-subsets loses nothing (an entry
+	// outside a subset's top-k is outside the whole set's top-k).
+	if len(a.top) >= 4*k {
+		a.top = mergeTop(a.top, k)
+	}
+}
+
+// seal converts accumulation state into the canonical cell form.
+func (a *pyrAcc) seal(k int) PyramidCell {
+	c := PyramidCell{Records: a.records, MaxConc: a.maxConc}
+	if len(a.byType) > 0 {
+		c.ByType = make([]TypeBusy, 0, len(a.byType))
+		for t, v := range a.byType {
+			c.ByType = append(c.ByType, TypeBusy{Type: t, Busy: v})
+		}
+		sort.Slice(c.ByType, func(i, j int) bool { return c.ByType[i].Type < c.ByType[j].Type })
+	}
+	if len(a.byLane) > 0 {
+		c.ByLane = make([]LaneBusy, 0, len(a.byLane))
+		for lk, v := range a.byLane {
+			c.ByLane = append(c.ByLane, LaneBusy{Lane: Lane{Node: uint16(lk >> 16), CPU: uint16(lk)}, Busy: v})
+		}
+		sort.Slice(c.ByLane, func(i, j int) bool { return c.ByLane[i].Lane.key() < c.ByLane[j].Lane.key() })
+	}
+	c.Top = mergeTop(a.top, k)
+	return c
+}
+
+// BuildPyramid computes the summary pyramid of f from its frames. The
+// file is scanned once; the pyramid is bound to the file's current
+// frame directory through its signature.
+func BuildPyramid(f *File, opts PyramidOptions) (*Pyramid, error) {
+	baseCells := opts.BaseCells
+	if baseCells <= 0 {
+		baseCells = 4096
+	}
+	topK := opts.TopK
+	if topK <= 0 {
+		topK = 8
+	}
+	if topK > pyrMaxTopK {
+		topK = pyrMaxTopK
+	}
+	sig, err := f.Signature()
+	if err != nil {
+		return nil, err
+	}
+	first, last, nrec, err := f.Stats()
+	if err != nil {
+		return nil, err
+	}
+	p := &Pyramid{BaseWidth: 1, TopK: topK, Sig: sig}
+	if nrec == 0 {
+		return p, nil
+	}
+	span := int64(last - first)
+	w := clock.Time(1)
+	for span/int64(w) >= int64(baseCells) {
+		w <<= 1
+	}
+	p.BaseWidth = w
+	firstCell := floorDivTime(first, w)
+	lastCell := floorDivTime(last, w)
+	count := lastCell - firstCell + 1
+	if count <= 0 || count > int64(2*baseCells)+2 {
+		return nil, fmt.Errorf("interval: pyramid base range [%d,%d] is inconsistent", firstCell, lastCell)
+	}
+	accs := make([]pyrAcc, count)
+	type ev struct {
+		t clock.Time
+		d int
+	}
+	var evs []ev
+
+	sc := f.Scan()
+	if opts.Context != nil {
+		sc.SetContext(opts.Context)
+	}
+	var r Record
+	for {
+		if err := sc.NextRecordInto(&r); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, err
+		}
+		if r.Dura < 0 {
+			// A negative duration cannot come from the writer; skip the
+			// record entirely, exactly as every clipped consumer does.
+			continue
+		}
+		s, e := r.Start, r.Start+r.Dura
+		if ci := floorDivTime(s, w) - firstCell; ci >= 0 && ci < count {
+			accs[ci].records++
+		}
+		if e <= s {
+			continue
+		}
+		busy := busyType(r.Type)
+		if busy {
+			evs = append(evs, ev{s, +1}, ev{e, -1})
+		}
+		lane := uint32(r.Node)<<16 | uint32(r.CPU)
+		ti := TopInterval{Start: s, Dura: r.Dura, Type: r.Type, Node: r.Node, CPU: r.CPU, Thread: r.Thread}
+		lo, hi := floorDivTime(s, w), floorDivTime(e-1, w)
+		for ci := lo; ci <= hi; ci++ {
+			idx := ci - firstCell
+			if idx < 0 || idx >= count {
+				continue
+			}
+			a := &accs[idx]
+			cLo := clock.Time(ci) * w
+			ov := min(e, cLo+w) - max(s, cLo)
+			if a.byType == nil {
+				a.byType = map[events.Type]clock.Time{}
+			}
+			a.byType[r.Type] += ov
+			if busy {
+				if a.byLane == nil {
+					a.byLane = map[uint32]clock.Time{}
+				}
+				a.byLane[lane] += ov
+				a.addTop(ti, topK)
+			}
+		}
+	}
+
+	// Peak concurrency per base cell from the global event sweep; ends
+	// sort before starts at equal times (intervals are half-open).
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].t != evs[j].t {
+			return evs[i].t < evs[j].t
+		}
+		return evs[i].d < evs[j].d
+	})
+	cur, ei := 0, 0
+	for idx := int64(0); idx < count; idx++ {
+		cLo := clock.Time(firstCell+idx) * w
+		cHi := cLo + w
+		for ei < len(evs) && evs[ei].t <= cLo {
+			cur += evs[ei].d
+			ei++
+		}
+		pk := cur
+		for ei < len(evs) && evs[ei].t < cHi {
+			cur += evs[ei].d
+			ei++
+			pk = max(pk, cur)
+		}
+		accs[idx].maxConc = pk
+	}
+
+	base := PyramidLevel{Width: w, First: firstCell, Cells: make([]PyramidCell, count)}
+	for i := range accs {
+		base.Cells[i] = accs[i].seal(topK)
+	}
+	p.Levels = []PyramidLevel{base}
+	for len(p.Levels[len(p.Levels)-1].Cells) > 1 && len(p.Levels) < pyrMaxLevels {
+		p.Levels = append(p.Levels, foldLevel(&p.Levels[len(p.Levels)-1], topK))
+	}
+	return p, nil
+}
+
+// foldLevel builds the next-coarser level: parent cell i merges
+// children 2i and 2i+1 (absolute indices). Sums stay sums, the peak is
+// the max of the children's peaks, and the distinct top-k merge is
+// exact because a parent's top interval overlaps one of its children.
+func foldLevel(child *PyramidLevel, topK int) PyramidLevel {
+	// Arithmetic shift is floor division, so negative indices pair up
+	// correctly too.
+	pf := child.First >> 1
+	pl := (child.First + int64(len(child.Cells)) - 1) >> 1
+	out := PyramidLevel{Width: child.Width * 2, First: pf, Cells: make([]PyramidCell, pl-pf+1)}
+	for i := range out.Cells {
+		pi := pf + int64(i)
+		a := child.Cell(2 * pi)
+		b := child.Cell(2*pi + 1)
+		out.Cells[i] = mergeCells(a, b, topK)
+	}
+	return out
+}
+
+func mergeCells(a, b *PyramidCell, topK int) PyramidCell {
+	if a == nil && b == nil {
+		return PyramidCell{}
+	}
+	if b == nil {
+		return copyCell(a)
+	}
+	if a == nil {
+		return copyCell(b)
+	}
+	c := PyramidCell{Records: a.Records + b.Records, MaxConc: max(a.MaxConc, b.MaxConc)}
+	c.ByType = mergeTypeBusy(a.ByType, b.ByType)
+	c.ByLane = mergeLaneBusy(a.ByLane, b.ByLane)
+	c.Top = mergeTop(append(append([]TopInterval{}, a.Top...), b.Top...), topK)
+	return c
+}
+
+func copyCell(a *PyramidCell) PyramidCell {
+	c := *a
+	c.ByType = append([]TypeBusy(nil), a.ByType...)
+	c.ByLane = append([]LaneBusy(nil), a.ByLane...)
+	c.Top = append([]TopInterval(nil), a.Top...)
+	return c
+}
+
+func mergeTypeBusy(a, b []TypeBusy) []TypeBusy {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	out := make([]TypeBusy, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i].Type < b[j].Type):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j].Type < a[i].Type:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, TypeBusy{Type: a[i].Type, Busy: a[i].Busy + b[j].Busy})
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func mergeLaneBusy(a, b []LaneBusy) []LaneBusy {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	out := make([]LaneBusy, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i].Lane.key() < b[j].Lane.key()):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j].Lane.key() < a[i].Lane.key():
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, LaneBusy{Lane: a[i].Lane, Busy: a[i].Busy + b[j].Busy})
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// BuildPyramidSidecar opens the trace at tracePath, builds its pyramid,
+// and writes the sidecar next to it (atomic temp + rename). It is the
+// seal-time and backfill entry point used by utemerge, uteconvert, and
+// utecheck -repair-pyramid.
+func BuildPyramidSidecar(tracePath string, opts PyramidOptions) (*Pyramid, error) {
+	f, err := Open(tracePath, WithPyramid(false))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p, err := BuildPyramid(f, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := WritePyramidFile(PyramidPath(tracePath), p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

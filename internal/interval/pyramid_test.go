@@ -1,0 +1,493 @@
+package interval
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/events"
+	"tracefw/internal/faultfs"
+	"tracefw/internal/profile"
+	"tracefw/internal/xrand"
+)
+
+// writePyrFile is writeRandomFile with a type mix that exercises every
+// pyramid code path: busy MPI/IO states, the non-busy Running background
+// and GlobalClock records, markers, zero-duration records, and exact
+// duplicate tuples (the distinct-top-k dedup case).
+func writePyrFile(t *testing.T, seed uint64, n int, hdrVersion uint32) (*SeekBuffer, []Record) {
+	t.Helper()
+	rng := xrand.New(seed)
+	types := []events.Type{
+		events.EvRunning, events.EvRunning, events.EvGlobalClock,
+		events.EvMarkerState, events.EvMPISend, events.EvMPIRecv,
+		events.EvMPIAllreduce, events.EvMPIBarrier, events.EvIORead,
+	}
+	recs := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		r := Record{
+			Type:   types[rng.Intn(len(types))],
+			Bebits: profile.Complete,
+			Start:  clock.Time(rng.Int63n(int64(100 * clock.Millisecond))),
+			Dura:   clock.Time(rng.Int63n(int64(5 * clock.Millisecond))),
+			CPU:    uint16(rng.Intn(4)),
+			Node:   uint16(rng.Intn(2)),
+			Thread: uint16(rng.Intn(8)),
+			Extra:  []uint64{rng.Uint64() % 1000, 7, uint64(i), 0, 0, 0},
+		}
+		if rng.Intn(10) == 0 {
+			r.Dura = 0
+		}
+		recs = append(recs, r)
+		if rng.Intn(16) == 0 {
+			recs = append(recs, r) // identical tuple
+			i++
+		}
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].End() < recs[j].End() })
+	hdr := testHeader()
+	hdr.HeaderVersion = hdrVersion
+	sb := NewSeekBuffer()
+	w, err := NewWriter(sb, hdr, WriterOptions{FrameBytes: 512, FramesPerDir: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := w.Add(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return sb, recs
+}
+
+func buildAttached(t *testing.T, f *File, opts PyramidOptions) *Pyramid {
+	t.Helper()
+	p, err := BuildPyramid(f, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.AttachPyramid(p)
+	return p
+}
+
+// stripMeta zeroes the fields the two engines legitimately differ on.
+func stripMeta(ws *WindowSummary) WindowSummary {
+	c := *ws
+	c.Engine, c.CellsUsed, c.FramesDecoded = "", 0, 0
+	return c
+}
+
+func assertSummariesEqual(t *testing.T, label string, pyr, scan *WindowSummary) {
+	t.Helper()
+	p, s := stripMeta(pyr), stripMeta(scan)
+	if reflect.DeepEqual(p, s) {
+		return
+	}
+	if len(p.Bins) == len(s.Bins) {
+		for i := range p.Bins {
+			if !reflect.DeepEqual(p.Bins[i], s.Bins[i]) {
+				t.Errorf("%s: bin %d differs:\n  pyramid %+v\n  scan    %+v", label, i, p.Bins[i], s.Bins[i])
+			}
+		}
+	}
+	if !reflect.DeepEqual(p.Lanes, s.Lanes) {
+		t.Errorf("%s: lanes differ: pyramid %v scan %v", label, p.Lanes, s.Lanes)
+	}
+	if !reflect.DeepEqual(p.Top, s.Top) {
+		t.Errorf("%s: top differs:\n  pyramid %v\n  scan    %v", label, p.Top, s.Top)
+	}
+	t.Fatalf("%s: pyramid and scan summaries differ", label)
+}
+
+func TestPyramidEncodeDecodeRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 50, 1200} {
+		sb, _ := writePyrFile(t, uint64(n)+3, n, CurrentHeaderVersion)
+		f := openFile(t, sb)
+		p, err := BuildPyramid(f, PyramidOptions{BaseCells: 64, TopK: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodePyramid(p.Encode())
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatalf("n=%d: roundtrip mismatch\n got %+v\nwant %+v", n, got, p)
+		}
+	}
+}
+
+func TestPyramidLevelGeometry(t *testing.T) {
+	sb, _ := writePyrFile(t, 11, 2000, CurrentHeaderVersion)
+	f := openFile(t, sb)
+	p, err := BuildPyramid(f, PyramidOptions{BaseCells: 256, TopK: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Levels) < 2 {
+		t.Fatalf("want a multi-level pyramid, got %d levels", len(p.Levels))
+	}
+	for i, lvl := range p.Levels {
+		if want := p.BaseWidth << uint(i); lvl.Width != want {
+			t.Fatalf("level %d width %d, want %d", i, lvl.Width, want)
+		}
+		if i > 0 {
+			child := p.Levels[i-1]
+			if lvl.First != child.First>>1 {
+				t.Fatalf("level %d first %d, child first %d", i, lvl.First, child.First)
+			}
+		}
+	}
+	if top := p.Levels[len(p.Levels)-1]; len(top.Cells) != 1 {
+		t.Fatalf("top level has %d cells, want 1", len(top.Cells))
+	}
+}
+
+// TestSummarizeDifferential is the byte-identity suite: the pyramid
+// engine must answer exactly what the scan engine answers, for every
+// header version (v1-v4 pyramids are backfilled by a scan build), over
+// a grid of aligned, unaligned, interior, and overhanging windows and
+// bin counts.
+func TestSummarizeDifferential(t *testing.T) {
+	for hv := uint32(1); hv <= CurrentHeaderVersion; hv++ {
+		hv := hv
+		t.Run(fmt.Sprintf("v%d", hv), func(t *testing.T) {
+			for _, seed := range []uint64{1, 7, 42} {
+				sb, _ := writePyrFile(t, seed, 1500, hv)
+				f := openFile(t, sb)
+				buildAttached(t, f, PyramidOptions{BaseCells: 128, TopK: 8})
+				first, last, _, err := f.Stats()
+				if err != nil {
+					t.Fatal(err)
+				}
+				span := last - first
+				windows := []struct {
+					name   string
+					lo, hi clock.Time
+				}{
+					{"full", first, last},
+					{"interior", first + span/3, first + 2*span/3},
+					{"odd", first + 7, first + 2*span/3 + 13},
+					{"left-overhang", first - span/2, first + span/2},
+					{"right-overhang", first + span/2, last + span/2},
+					{"outside", last + span, last + 2*span},
+					{"prefix", first, first + span/7},
+				}
+				for _, win := range windows {
+					for _, bins := range []int{1, 3, 7, 64, 250} {
+						label := fmt.Sprintf("v%d/seed%d/%s/bins%d", hv, seed, win.name, bins)
+						scan, err := f.SummarizeWindow(WindowSummaryOptions{
+							Bins: bins, Lo: win.lo, Hi: win.hi, Engine: SummaryScan, TopK: 5,
+						})
+						if err != nil {
+							t.Fatalf("%s: scan: %v", label, err)
+						}
+						pyr, err := f.SummarizeWindow(WindowSummaryOptions{
+							Bins: bins, Lo: win.lo, Hi: win.hi, Engine: SummaryPyramid, TopK: 5,
+						})
+						if err != nil {
+							t.Fatalf("%s: pyramid: %v", label, err)
+						}
+						if pyr.Engine != "pyramid" || scan.Engine != "scan" {
+							t.Fatalf("%s: engines %q/%q", label, pyr.Engine, scan.Engine)
+						}
+						assertSummariesEqual(t, label, pyr, scan)
+
+						// Auto must agree with both on a usable window.
+						auto, err := f.SummarizeWindow(WindowSummaryOptions{
+							Bins: bins, Lo: win.lo, Hi: win.hi, TopK: 5,
+						})
+						if err != nil {
+							t.Fatalf("%s: auto: %v", label, err)
+						}
+						if auto.Engine != "pyramid" {
+							t.Fatalf("%s: auto picked %q", label, auto.Engine)
+						}
+						assertSummariesEqual(t, label+"/auto", auto, scan)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSummarizeAlignedDecodesNoFrames pins the headline property: when
+// the window and every bin bound land on base-cell boundaries, the
+// pyramid engine answers without decoding a single frame — and still
+// answers byte-identically.
+func TestSummarizeAlignedDecodesNoFrames(t *testing.T) {
+	sb, _ := writePyrFile(t, 5, 2500, CurrentHeaderVersion)
+	f := openFile(t, sb)
+	p := buildAttached(t, f, PyramidOptions{BaseCells: 512, TopK: 8})
+	first, last, _, err := f.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := p.BaseWidth
+	for _, bins := range []int{1, 4, 16, 100} {
+		lo := clock.Time(floorDivTime(first, w)) * w
+		per := (clock.Time(floorDivTime(last, w))*w + w - lo) / (clock.Time(bins) * w)
+		hi := lo + clock.Time(bins)*w*(per+1)
+		scan, err := f.SummarizeWindow(WindowSummaryOptions{Bins: bins, Lo: lo, Hi: hi, Engine: SummaryScan, TopK: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pyr, err := f.SummarizeWindow(WindowSummaryOptions{Bins: bins, Lo: lo, Hi: hi, Engine: SummaryPyramid, TopK: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pyr.FramesDecoded != 0 {
+			t.Fatalf("bins=%d: aligned window decoded %d frames, want 0", bins, pyr.FramesDecoded)
+		}
+		if pyr.CellsUsed == 0 {
+			t.Fatalf("bins=%d: aligned window used no cells", bins)
+		}
+		if scan.FramesDecoded == 0 {
+			t.Fatalf("bins=%d: scan reference decoded no frames (test is vacuous)", bins)
+		}
+		assertSummariesEqual(t, fmt.Sprintf("aligned/bins%d", bins), pyr, scan)
+	}
+}
+
+func TestSummarizeDegenerateWindowFallsBack(t *testing.T) {
+	sb, _ := writePyrFile(t, 9, 400, CurrentHeaderVersion)
+	f := openFile(t, sb)
+	buildAttached(t, f, PyramidOptions{BaseCells: 64, TopK: 4})
+	first, _, _, err := f.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window narrower than the bin count: some buckets are empty and
+	// their boundary semantics are not reproducible from ranges.
+	o := WindowSummaryOptions{Bins: 50, Lo: first, Hi: first + 10, TopK: 2}
+	auto, err := f.SummarizeWindow(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Engine != "scan" {
+		t.Fatalf("degenerate window answered by %q, want scan fallback", auto.Engine)
+	}
+	o.Engine = SummaryPyramid
+	if _, err := f.SummarizeWindow(o); err == nil {
+		t.Fatal("forced pyramid engine accepted a degenerate window")
+	}
+	// Zero-span window, one bin: still answerable by scan.
+	zero, err := f.SummarizeWindow(WindowSummaryOptions{Bins: 1, Lo: first + 5, Hi: first + 5, Engine: SummaryScan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zero.Bins) != 1 {
+		t.Fatalf("zero-span window got %d bins", len(zero.Bins))
+	}
+}
+
+func TestSummarizeValidation(t *testing.T) {
+	sb, _ := writePyrFile(t, 2, 100, CurrentHeaderVersion)
+	f := openFile(t, sb)
+	if _, err := f.SummarizeWindow(WindowSummaryOptions{Bins: 0, Lo: 0, Hi: 10}); err == nil {
+		t.Fatal("accepted 0 bins")
+	}
+	if _, err := f.SummarizeWindow(WindowSummaryOptions{Bins: 1, Lo: 10, Hi: 0}); err == nil {
+		t.Fatal("accepted inverted window")
+	}
+	if _, err := f.SummarizeWindow(WindowSummaryOptions{Bins: 1, Lo: 0, Hi: 10, TopK: -1}); err == nil {
+		t.Fatal("accepted negative top-k")
+	}
+	if _, err := f.SummarizeWindow(WindowSummaryOptions{Bins: 1, Lo: 0, Hi: 10, Engine: SummaryPyramid}); err == nil {
+		t.Fatal("forced pyramid engine answered with no pyramid attached")
+	}
+	p := buildAttached(t, f, PyramidOptions{TopK: 4})
+	if _, err := f.SummarizeWindow(WindowSummaryOptions{Bins: 1, Lo: 0, Hi: 1 << 20, Engine: SummaryPyramid, TopK: p.TopK + 1}); err == nil {
+		t.Fatal("forced pyramid engine accepted top-k beyond the stored k")
+	}
+	ws, err := f.SummarizeWindow(WindowSummaryOptions{Bins: 1, Lo: 0, Hi: 1 << 20, TopK: p.TopK + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Engine != "scan" {
+		t.Fatalf("auto engine %q for over-long top-k, want scan", ws.Engine)
+	}
+}
+
+func TestPyramidEmptyFile(t *testing.T) {
+	sb := writeTestFile(t, 0, WriterOptions{})
+	f := openFile(t, sb)
+	p := buildAttached(t, f, PyramidOptions{})
+	if len(p.Levels) != 0 {
+		t.Fatalf("empty file built %d levels", len(p.Levels))
+	}
+	ws, err := f.SummarizeWindow(WindowSummaryOptions{Bins: 4, Lo: 0, Hi: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Engine != "scan" {
+		t.Fatalf("empty pyramid answered %q, want scan fallback", ws.Engine)
+	}
+}
+
+// writeTraceOnDisk materializes a generated trace as a real file so the
+// sidecar paths (Open auto-load, staleness, fault injection) apply.
+func writeTraceOnDisk(t *testing.T, dir string, seed uint64, n int, hv uint32) string {
+	t.Helper()
+	sb, _ := writePyrFile(t, seed, n, hv)
+	path := filepath.Join(dir, fmt.Sprintf("trace-%d-v%d.ute", seed, hv))
+	if err := os.WriteFile(path, sb.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestOpenAutoLoadsSidecar(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTraceOnDisk(t, dir, 4, 600, CurrentHeaderVersion)
+	if _, err := BuildPyramidSidecar(path, PyramidOptions{BaseCells: 64, TopK: 4}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Pyramid() == nil {
+		t.Fatal("Open did not attach the sidecar pyramid")
+	}
+	f2, err := Open(path, WithPyramid(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if f2.Pyramid() != nil {
+		t.Fatal("WithPyramid(false) still attached the sidecar")
+	}
+}
+
+func TestPyramidStaleSidecarIgnored(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTraceOnDisk(t, dir, 4, 600, CurrentHeaderVersion)
+	if _, err := BuildPyramidSidecar(path, PyramidOptions{BaseCells: 64, TopK: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the trace with different contents; the sidecar is now
+	// stale and must not be trusted.
+	sb, _ := writePyrFile(t, 77, 900, CurrentHeaderVersion)
+	if err := os.WriteFile(path, sb.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatalf("stale sidecar prevented opening: %v", err)
+	}
+	defer f.Close()
+	if f.Pyramid() != nil {
+		t.Fatal("stale sidecar was attached")
+	}
+	if _, err := LoadPyramid(PyramidPath(path), f); err == nil {
+		t.Fatal("LoadPyramid accepted a stale sidecar")
+	}
+}
+
+// TestPyramidSidecarFaults is the advisory-sidecar property proof: for
+// seeded truncations, bit flips, and torn (zeroed) ranges anywhere in
+// the sidecar, Open always succeeds, and the answers the file gives are
+// byte-identical to the scan engine's — either the damage is caught and
+// the pyramid is dropped, or (for faults in slack the decoder proves
+// harmless) the attached pyramid still answers exactly.
+func TestPyramidSidecarFaults(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTraceOnDisk(t, dir, 21, 1000, CurrentHeaderVersion)
+	if _, err := BuildPyramidSidecar(path, PyramidOptions{BaseCells: 128, TopK: 4}); err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := os.ReadFile(PyramidPath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(0); seed < 40; seed++ {
+		in := faultfs.New(seed)
+		data := append([]byte(nil), pristine...)
+		var fault faultfs.Fault
+		switch seed % 3 {
+		case 0:
+			data, fault = in.Truncate(data, 0)
+		case 1:
+			data, fault = in.FlipBit(data, 0)
+		default:
+			data, fault = in.TearZero(data, 0, 64)
+		}
+		checkDamagedSidecar(t, path, data, fmt.Sprintf("seed%d/%v", seed, fault))
+	}
+	// Boundary cases the random faults may miss.
+	checkDamagedSidecar(t, path, nil, "empty sidecar")
+	checkDamagedSidecar(t, path, pristine[:7], "sub-magic sidecar")
+	if err := os.Remove(PyramidPath(path)); err != nil {
+		t.Fatal(err)
+	}
+	checkDamagedSidecar(t, path, nil, "missing sidecar")
+}
+
+func checkDamagedSidecar(t *testing.T, path string, sidecar []byte, label string) {
+	t.Helper()
+	if sidecar != nil {
+		if err := os.WriteFile(PyramidPath(path), sidecar, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatalf("%s: damaged sidecar prevented opening: %v", label, err)
+	}
+	defer f.Close()
+	first, last, _, err := f.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := last - first
+	for _, bins := range []int{1, 16} {
+		auto, err := f.SummarizeWindow(WindowSummaryOptions{Bins: bins, Lo: first + span/5, Hi: last - span/5, TopK: 3})
+		if err != nil {
+			t.Fatalf("%s: auto query failed: %v", label, err)
+		}
+		scan, err := f.SummarizeWindow(WindowSummaryOptions{Bins: bins, Lo: first + span/5, Hi: last - span/5, Engine: SummaryScan, TopK: 3})
+		if err != nil {
+			t.Fatalf("%s: scan query failed: %v", label, err)
+		}
+		assertSummariesEqual(t, label, auto, scan)
+	}
+}
+
+// TestSummarizeScanMatchesDirect cross-checks the scan engine itself
+// against a from-records reference on the raw record slice, so the
+// differential suite is anchored to something other than the code under
+// test.
+func TestSummarizeScanRecordCounts(t *testing.T) {
+	sb, recs := writePyrFile(t, 13, 800, CurrentHeaderVersion)
+	f := openFile(t, sb)
+	first, last, _, err := f.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := f.SummarizeWindow(WindowSummaryOptions{Bins: 9, Lo: first, Hi: last, Engine: SummaryScan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for i := range recs {
+		if s := recs[i].Start; s >= first && s < last {
+			want++
+		}
+	}
+	var got int64
+	for i := range ws.Bins {
+		got += ws.Bins[i].Records
+	}
+	if got != want {
+		t.Fatalf("scan counted %d records in window, raw records say %d", got, want)
+	}
+}

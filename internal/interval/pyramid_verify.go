@@ -1,0 +1,82 @@
+package interval
+
+// Sampled cross-validation of a summary pyramid against the frames it
+// claims to summarize — the check utility's defense against a sidecar
+// whose CRCs and signature pass but whose cells no longer (or never
+// did) match the data. Each sampled base cell is recomputed two ways:
+// the pyramid engine answers the cell-aligned window from the stored
+// summaries, the scan engine from a frame decode, and the two must
+// agree exactly (the same contract the differential test suite pins
+// down for arbitrary windows).
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+
+	"tracefw/internal/clock"
+)
+
+// VerifyPyramidOptions configures VerifyPyramid.
+type VerifyPyramidOptions struct {
+	// MaxCells bounds the sample size; <= 0 means 16. Base cells are
+	// sampled evenly across the stored range.
+	MaxCells int
+	// Context, when non-nil, aborts the recomputes between frames.
+	Context context.Context
+}
+
+// VerifyPyramid cross-validates p against f's frames on a sample of
+// base cells and returns how many cells it checked. The file's
+// attached pyramid is temporarily replaced by p and restored before
+// returning. An error means the stored summaries diverge from a frame
+// recompute (or the frames could not be read) — callers should treat
+// the sidecar as damaged and rebuild it.
+func (f *File) VerifyPyramid(p *Pyramid, opts VerifyPyramidOptions) (int, error) {
+	maxCells := opts.MaxCells
+	if maxCells <= 0 {
+		maxCells = 16
+	}
+	old := f.Pyramid()
+	f.AttachPyramid(p)
+	defer f.AttachPyramid(old)
+
+	if len(p.Levels) == 0 {
+		return 0, nil
+	}
+	base := p.Levels[0]
+	step := 1
+	if len(base.Cells) > maxCells {
+		step = len(base.Cells) / maxCells
+	}
+	checked := 0
+	for i := 0; i < len(base.Cells); i += step {
+		c := base.First + int64(i)
+		lo := clock.Time(c) * base.Width
+		if err := f.compareCellWindow(lo, lo+base.Width, p.TopK, opts.Context); err != nil {
+			return checked, fmt.Errorf("interval: pyramid cell %d [%v .. %v): %w", c, lo, lo+base.Width, err)
+		}
+		checked++
+	}
+	return checked, nil
+}
+
+// compareCellWindow summarizes one cell-aligned window on both engines
+// and compares everything but the engine metadata.
+func (f *File) compareCellWindow(lo, hi clock.Time, topK int, ctx context.Context) error {
+	var got [2]*WindowSummary
+	for ei, eng := range []SummaryEngine{SummaryPyramid, SummaryScan} {
+		ws, err := f.SummarizeWindow(WindowSummaryOptions{
+			Bins: 1, Lo: lo, Hi: hi, Engine: eng, TopK: topK, Context: ctx,
+		})
+		if err != nil {
+			return err
+		}
+		ws.Engine, ws.CellsUsed, ws.FramesDecoded = "", 0, 0
+		got[ei] = ws
+	}
+	if !reflect.DeepEqual(got[0], got[1]) {
+		return fmt.Errorf("stored cells disagree with frame recompute")
+	}
+	return nil
+}

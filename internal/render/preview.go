@@ -29,12 +29,20 @@ func PreviewSVG(p *slog.Preview) string {
 	if len(p.Dur) == 0 || len(p.Dur[0]) == 0 {
 		// Empty preview (no states or zero bins): an empty chart shell
 		// rather than a panic.
+		sb.WriteString(emptyPreviewNote(p))
 		sb.WriteString("</svg>\n")
 		return sb.String()
 	}
 	bins := len(p.Dur[0])
 	// Peak stacked duration over bins scales the y axis.
-	_, peak := stackedPeak(p.Dur, -1)
+	totals, peak := stackedPeak(p.Dur, -1)
+	if allZero(totals) {
+		// A window that overlaps no records: a placeholder note instead
+		// of an axis over bounds no bar will ever reference.
+		sb.WriteString(emptyPreviewNote(p))
+		sb.WriteString("</svg>\n")
+		return sb.String()
+	}
 	bw := w / float64(bins)
 	for b := 0; b < bins; b++ {
 		y := h + 20
@@ -78,6 +86,10 @@ func PreviewASCII(p *slog.Preview, width int) string {
 	totals, peak := stackedPeak(p.Dur, runningIdx)
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "preview: interesting time per bin, run [%v .. %v]\n", p.TStart, p.TEnd)
+	if allZero(stackedTotals(p.Dur)) {
+		sb.WriteString("(no data in window)\n")
+		return sb.String()
+	}
 	for b := range totals {
 		lo, _ := p.BinBounds(b)
 		n := int(int64(totals[b]) * int64(width) / int64(peak))
@@ -173,6 +185,28 @@ func StatsBarsSVG(tb *stats.Table) string {
 	}
 	sb.WriteString("</svg>\n")
 	return sb.String()
+}
+
+// emptyPreviewNote is the shared placeholder drawn when a preview has
+// nothing to show — no states, zero bins, or a window overlapping no
+// records.
+func emptyPreviewNote(p *slog.Preview) string {
+	return fmt.Sprintf(`<text x="60" y="120" fill="#888">no data in window [%v .. %v]</text>`+"\n", p.TStart, p.TEnd)
+}
+
+func allZero(totals []clock.Time) bool {
+	for _, t := range totals {
+		if t != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// stackedTotals sums all states per bin (nothing skipped).
+func stackedTotals(dur [][]clock.Time) []clock.Time {
+	totals, _ := stackedPeak(dur, -1)
+	return totals
 }
 
 func xLabel(tb *stats.Table) string {

@@ -1,0 +1,177 @@
+package render_test
+
+// Differential and regression tests for BuildPreview (the merged-file
+// preview path) and the empty-window placeholders: the pyramid and scan
+// engines must render byte-identical documents, and a window that
+// overlaps no records must produce the placeholder note, never an
+// axis-only or full-run document.
+
+import (
+	"strings"
+	"testing"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/interval"
+	"tracefw/internal/render"
+	"tracefw/internal/slog"
+)
+
+func pyramidMerged(t *testing.T) *interval.File {
+	t.Helper()
+	mf := merged(t)
+	p, err := interval.BuildPyramid(mf, interval.PyramidOptions{BaseCells: 128, TopK: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf.AttachPyramid(p)
+	return mf
+}
+
+func TestBuildPreviewDifferential(t *testing.T) {
+	mf := pyramidMerged(t)
+	t0, t1, _, err := mf.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := t1 - t0
+	for _, tc := range []struct {
+		name   string
+		bins   int
+		lo, hi clock.Time
+	}{
+		{"full-default", 0, 0, 0},
+		{"full-64", 64, 0, 0},
+		{"interior", 30, t0 + span/4, t0 + 3*span/4},
+		{"odd", 17, t0 + 13, t1 - 7},
+		{"overhang", 25, t0 - span, t1 + span},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := render.PreviewOptions{Bins: tc.bins, T0: tc.lo, T1: tc.hi}
+			pyrOpts, scanOpts := opts, opts
+			pyrOpts.Engine = interval.SummaryPyramid
+			scanOpts.Engine = interval.SummaryScan
+			pyr, err := render.BuildPreview(mf, pyrOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scan, err := render.BuildPreview(mf, scanOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pyr.Engine != "pyramid" || scan.Engine != "scan" {
+				t.Fatalf("engines %q/%q", pyr.Engine, scan.Engine)
+			}
+			if pyr.CellsUsed == 0 {
+				t.Fatal("pyramid engine consulted no cells")
+			}
+			if got, want := render.PreviewSVG(pyr.Preview), render.PreviewSVG(scan.Preview); got != want {
+				t.Errorf("SVG differs between engines")
+			}
+			if got, want := render.PreviewASCII(pyr.Preview, 60), render.PreviewASCII(scan.Preview, 60); got != want {
+				t.Errorf("ASCII differs between engines:\npyramid:\n%s\nscan:\n%s", got, want)
+			}
+			// Auto must agree too (and pick the pyramid on this file).
+			auto, err := render.BuildPreview(mf, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if auto.Engine != "pyramid" {
+				t.Fatalf("auto answered with %q", auto.Engine)
+			}
+			if render.PreviewSVG(auto.Preview) != render.PreviewSVG(scan.Preview) {
+				t.Error("auto SVG differs from scan")
+			}
+		})
+	}
+}
+
+func TestBuildPreviewWithoutPyramidScans(t *testing.T) {
+	mf := merged(t)
+	res, err := render.BuildPreview(mf, render.PreviewOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine != "scan" {
+		t.Fatalf("auto with no pyramid answered %q", res.Engine)
+	}
+	if res.FramesDecoded == 0 {
+		t.Fatal("scan decoded no frames")
+	}
+	svg := render.PreviewSVG(res.Preview)
+	if strings.Count(svg, "<rect") < 10 {
+		t.Fatalf("preview svg too empty:\n%s", svg)
+	}
+}
+
+// TestBuildPreviewEmptyWindow: a window beyond the run must render the
+// placeholder note — not an axis-only document and (the old bug) not
+// the full run after inverted clamping.
+func TestBuildPreviewEmptyWindow(t *testing.T) {
+	mf := pyramidMerged(t)
+	_, t1, _, err := mf.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range []interval.SummaryEngine{interval.SummaryAuto, interval.SummaryScan} {
+		res, err := render.BuildPreview(mf, render.PreviewOptions{
+			T0: t1 + clock.Second, T1: t1 + 2*clock.Second, Engine: eng,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svg := render.PreviewSVG(res.Preview)
+		if !strings.Contains(svg, "no data in window") {
+			t.Fatalf("engine %v: placeholder missing:\n%s", eng, svg)
+		}
+		if strings.Contains(svg, "<rect") {
+			t.Fatalf("engine %v: empty window rendered bars", eng)
+		}
+		txt := render.PreviewASCII(res.Preview, 40)
+		if !strings.Contains(txt, "(no data in window)") {
+			t.Fatalf("engine %v: ascii placeholder missing:\n%s", eng, txt)
+		}
+	}
+}
+
+// TestPreviewPlaceholderShapes covers the structural-empty cases the
+// renderer must survive: no states, zero bins, all-zero durations.
+func TestPreviewPlaceholderShapes(t *testing.T) {
+	for _, p := range []*slog.Preview{
+		{TStart: 0, TEnd: clock.Second},
+		{TStart: 0, TEnd: clock.Second, Dur: [][]clock.Time{}},
+		{TStart: 0, TEnd: clock.Second, Dur: [][]clock.Time{make([]clock.Time, 10)}},
+	} {
+		svg := render.PreviewSVG(p)
+		if !strings.Contains(svg, "no data in window") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+			t.Fatalf("placeholder svg malformed:\n%s", svg)
+		}
+	}
+}
+
+// TestDiagramEmptyWindow: a diagram window overlapping no frames must
+// render the placeholder, keeping the requested (not inverted) bounds.
+func TestDiagramEmptyWindow(t *testing.T) {
+	mf := merged(t)
+	_, t1, _, err := mf.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := render.BuildDiagram(mf, render.ProcessorActivity,
+		render.Options{T0: t1 + clock.Second, T1: t1 + 2*clock.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Rows) != 0 {
+		t.Fatalf("beyond-run window produced %d rows", len(d.Rows))
+	}
+	svg := d.SVG()
+	if !strings.Contains(svg, "no data in window") {
+		t.Fatalf("svg placeholder missing:\n%s", svg)
+	}
+	if strings.Contains(svg, "<rect") {
+		t.Fatal("empty diagram rendered segments")
+	}
+	if !strings.Contains(d.ASCII(40), "(no data in window)") {
+		t.Fatalf("ascii placeholder missing:\n%s", d.ASCII(40))
+	}
+}

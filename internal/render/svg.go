@@ -111,6 +111,13 @@ func (d *Diagram) SVG() string {
 	width := int(labelW + chartW + 20)
 	fmt.Fprintf(&b, svgHeader, width, height)
 	fmt.Fprintf(&b, `<text x="4" y="14" font-weight="bold">%s view</text>`+"\n", d.Kind)
+	if rows == 0 {
+		// A window that overlaps no frames: a placeholder note instead of
+		// an axis over bounds no segment will ever reference.
+		fmt.Fprintf(&b, `<text x="%.1f" y="40" fill="#888">no data in window [%v .. %v]</text>`+"\n", labelW, d.T0, d.T1)
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
 
 	span := float64(d.T1 - d.T0)
 	if span <= 0 {
@@ -177,6 +184,10 @@ func (d *Diagram) ASCII(width int) string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s view  [%v .. %v]\n", d.Kind, d.T0, d.T1)
+	if len(d.Rows) == 0 {
+		b.WriteString("(no data in window)\n")
+		return b.String()
+	}
 	labelWidth := 0
 	for _, r := range d.Rows {
 		if len(r.Label) > labelWidth {

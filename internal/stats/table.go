@@ -26,6 +26,12 @@ type Table struct {
 	// vectorized kernels over columnar batches, false for the
 	// record-at-a-time evaluator. Output is byte-identical either way.
 	Columnar bool
+	// Engine reports which data path answered a time-resolved table:
+	// "pyramid" for the summary-pyramid fast path, "scan" for the
+	// frame-decode path. Empty for spec-driven tables. Output is
+	// byte-identical either way; the field is observability only (it is
+	// not part of TSV).
+	Engine string `json:",omitempty"`
 }
 
 // Row is one table row: the x tuple and the aggregated y values.
@@ -80,6 +86,12 @@ type Options struct {
 	Context context.Context
 	// Engine picks the evaluator; see the Engine constants.
 	Engine Engine
+	// Summary picks the data path for time-resolved tables:
+	// SummaryAuto uses the file's summary pyramid when one is attached
+	// and usable (single file, non-degenerate window), falling back to
+	// the frame-decode path; SummaryPyramid requires it; SummaryScan
+	// forces frame decodes. Spec-driven tables ignore this field.
+	Summary interval.SummaryEngine
 }
 
 // Generate runs every table of the program over the interval files.

@@ -38,6 +38,22 @@ func TimeResolved(files []*interval.File, bins int, opts Options) ([]*Table, err
 	}
 	br := bucketRuler{lo: t0, span: int64(t1 - t0), bins: bins}
 
+	// Summary-pyramid fast path: a single file with a usable pyramid
+	// answers every cell from O(bins) summary cells instead of decoding
+	// frames. Peak concurrency across several files is a property of the
+	// merged event set, so the fast path is single-file only.
+	if len(files) == 1 && opts.Summary != interval.SummaryScan {
+		tabs, err := timeResolvedPyramid(files[0], bins, br, opts)
+		if err == nil {
+			return tabs, nil
+		}
+		if opts.Summary == interval.SummaryPyramid {
+			return nil, err
+		}
+	} else if opts.Summary == interval.SummaryPyramid {
+		return nil, fmt.Errorf("stats: the pyramid engine answers a single file, got %d", len(files))
+	}
+
 	agg := &trAgg{bins: bins, busy: map[trBusyKey]clock.Time{}, lane: map[trLaneKey]clock.Time{}}
 	mopts := interval.MapOptions{Parallel: opts.Parallel, Window: opts.Window, Lo: opts.Lo, Hi: opts.Hi, Context: opts.Context}
 	err = interval.MapFilesBatches(files, mopts,
@@ -76,7 +92,48 @@ func TimeResolved(files []*interval.File, bins int, opts Options) ([]*Table, err
 	if err != nil {
 		return nil, err
 	}
-	return agg.tables(br), nil
+	return agg.tables(br, "scan"), nil
+}
+
+// timeResolvedPyramid builds the three tables from one SummarizeWindow
+// call on the file's attached pyramid. The summary's per-bin busy maps
+// and peaks carry exactly the integer quantities the frame-decode path
+// accumulates (the interval package's differential suite proves the two
+// engines byte-identical), so the emitted tables are byte-identical
+// too — only the Engine marker differs.
+func timeResolvedPyramid(f *interval.File, bins int, br bucketRuler, opts Options) ([]*Table, error) {
+	ws, err := f.SummarizeWindow(interval.WindowSummaryOptions{
+		Bins:    bins,
+		Lo:      br.lo,
+		Hi:      br.lo + clock.Time(br.span),
+		Engine:  interval.SummaryPyramid,
+		Context: opts.Context,
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg := &trAgg{bins: bins, busy: map[trBusyKey]clock.Time{}, lane: map[trLaneKey]clock.Time{}}
+	peaks := make([]int, bins)
+	for bi := range ws.Bins {
+		b := &ws.Bins[bi]
+		peaks[bi] = b.PeakConc
+		for typ, v := range b.BusyByType {
+			// The pyramid histograms every type; this path applies the
+			// same exclusions as the frame-decode loop above.
+			if typ == events.EvRunning || typ == events.EvGlobalClock {
+				continue
+			}
+			agg.busy[trBusyKey{typ, bi}] += v
+		}
+		for lane, v := range b.BusyByLane {
+			agg.lane[trLaneKey{trLane{node: lane.Node, cpu: lane.CPU}, bi}] += v
+		}
+	}
+	tabs := []*Table{agg.busyTable(br), agg.laneTable(br), concurrencyRows(br, peaks)}
+	for _, t := range tabs {
+		t.Engine = "pyramid"
+	}
+	return tabs, nil
 }
 
 // bucketRuler maps times to buckets with exact integer boundaries:
@@ -133,8 +190,12 @@ type trAgg struct {
 	events []trEvent
 }
 
-func (a *trAgg) tables(br bucketRuler) []*Table {
-	return []*Table{a.busyTable(br), a.laneTable(br), a.concurrencyTable(br)}
+func (a *trAgg) tables(br bucketRuler, engine string) []*Table {
+	tabs := []*Table{a.busyTable(br), a.laneTable(br), a.concurrencyTable(br)}
+	for _, t := range tabs {
+		t.Engine = engine
+	}
+	return tabs
 }
 
 // busyTable: one row per (bucket, state type) with any busy time, in
@@ -207,7 +268,6 @@ func (a *trAgg) laneTable(br bucketRuler) *Table {
 // times: intervals are half-open), so the result does not depend on
 // frame boundaries or worker count.
 func (a *trAgg) concurrencyTable(br bucketRuler) *Table {
-	t := &Table{Name: "tr_concurrency", XLabels: []string{"bin", "t0"}, YLabels: []string{"peak"}, Columnar: true}
 	evs := a.events
 	sort.Slice(evs, func(i, j int) bool {
 		if evs[i].t != evs[j].t {
@@ -215,6 +275,7 @@ func (a *trAgg) concurrencyTable(br bucketRuler) *Table {
 		}
 		return evs[i].d < evs[j].d
 	})
+	peaks := make([]int, a.bins)
 	cur, ei := 0, 0
 	for bi := 0; bi < a.bins; bi++ {
 		hi := br.bound(bi + 1)
@@ -236,7 +297,16 @@ func (a *trAgg) concurrencyTable(br bucketRuler) *Table {
 			}
 			p = max(p, cur)
 		}
-		p = max(p, 0)
+		peaks[bi] = max(p, 0)
+	}
+	return concurrencyRows(br, peaks)
+}
+
+// concurrencyRows emits the tr_concurrency table from per-bucket peaks,
+// whichever engine computed them.
+func concurrencyRows(br bucketRuler, peaks []int) *Table {
+	t := &Table{Name: "tr_concurrency", XLabels: []string{"bin", "t0"}, YLabels: []string{"peak"}, Columnar: true}
+	for bi, p := range peaks {
 		t.Rows = append(t.Rows, Row{
 			X: []Value{num(float64(bi)), num(br.bound(bi).Seconds())},
 			Y: []float64{float64(p)},

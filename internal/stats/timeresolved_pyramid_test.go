@@ -1,0 +1,162 @@
+package stats_test
+
+// Differential tests for the time-resolved summary-pyramid fast path:
+// on the same file, the pyramid path and the frame-decode path must
+// emit byte-identical TSV for all three tables, on every window and
+// bin count; the fast path must degrade silently in auto mode and
+// loudly when forced.
+
+import (
+	"fmt"
+	"testing"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/interval"
+	"tracefw/internal/stats"
+)
+
+func pyramidFile(t *testing.T) *interval.File {
+	t.Helper()
+	mf := mergedFile(t)
+	p, err := interval.BuildPyramid(mf, interval.PyramidOptions{BaseCells: 128, TopK: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf.AttachPyramid(p)
+	return mf
+}
+
+func TestTimeResolvedPyramidMatchesScan(t *testing.T) {
+	mf := pyramidFile(t)
+	t0, t1, _, err := mf.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := t1 - t0
+	for _, tc := range []struct {
+		name string
+		bins int
+		opts stats.Options
+	}{
+		{"full-1", 1, stats.Options{}},
+		{"full-7", 7, stats.Options{}},
+		{"full-64", 64, stats.Options{}},
+		{"windowed", 9, stats.Options{Window: true, Lo: t0 + span/4, Hi: t0 + span/2}},
+		{"odd-window", 13, stats.Options{Window: true, Lo: t0 + 7, Hi: t1 - 13}},
+		{"overhang", 5, stats.Options{Window: true, Lo: t0 - span, Hi: t1 + span}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pyrOpts, scanOpts := tc.opts, tc.opts
+			pyrOpts.Summary = interval.SummaryPyramid
+			scanOpts.Summary = interval.SummaryScan
+			pyr, err := stats.TimeResolved([]*interval.File{mf}, tc.bins, pyrOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scan, err := stats.TimeResolved([]*interval.File{mf}, tc.bins, scanOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pyr) != len(scan) {
+				t.Fatalf("table counts differ: %d vs %d", len(pyr), len(scan))
+			}
+			for i := range pyr {
+				if pyr[i].Engine != "pyramid" || scan[i].Engine != "scan" {
+					t.Fatalf("table %s engines %q/%q", pyr[i].Name, pyr[i].Engine, scan[i].Engine)
+				}
+				if got, want := pyr[i].TSV(), scan[i].TSV(); got != want {
+					t.Errorf("table %s differs between engines:\npyramid:\n%s\nscan:\n%s", pyr[i].Name, got, want)
+				}
+			}
+			// Auto must pick the pyramid here and agree byte for byte.
+			auto, err := stats.TimeResolved([]*interval.File{mf}, tc.bins, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range auto {
+				if auto[i].Engine != "pyramid" {
+					t.Fatalf("auto answered table %s with %q", auto[i].Name, auto[i].Engine)
+				}
+				if auto[i].TSV() != scan[i].TSV() {
+					t.Errorf("auto table %s differs from scan", auto[i].Name)
+				}
+			}
+		})
+	}
+}
+
+func TestTimeResolvedPyramidFallbacks(t *testing.T) {
+	// No pyramid attached: auto silently scans, forced pyramid fails.
+	plain := mergedFile(t)
+	tabs, err := stats.TimeResolved([]*interval.File{plain}, 4, stats.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tabs[0].Engine != "scan" {
+		t.Fatalf("auto with no pyramid answered %q", tabs[0].Engine)
+	}
+	if _, err := stats.TimeResolved([]*interval.File{plain}, 4, stats.Options{Summary: interval.SummaryPyramid}); err == nil {
+		t.Fatal("forced pyramid succeeded with no pyramid attached")
+	}
+
+	// Degenerate window (narrower than the bin count): auto falls back.
+	mf := pyramidFile(t)
+	t0, _, _, err := mf.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tabs, err = stats.TimeResolved([]*interval.File{mf}, 50,
+		stats.Options{Window: true, Lo: t0, Hi: t0 + 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tabs[0].Engine != "scan" {
+		t.Fatalf("degenerate window answered by %q", tabs[0].Engine)
+	}
+
+	// Several files: peak concurrency is a merged-event property, so the
+	// fast path must decline even when pyramids are attached.
+	two := []*interval.File{mf, mf}
+	tabs, err = stats.TimeResolved(two, 4, stats.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tabs[0].Engine != "scan" {
+		t.Fatalf("multi-file answered by %q", tabs[0].Engine)
+	}
+	if _, err := stats.TimeResolved(two, 4, stats.Options{Summary: interval.SummaryPyramid}); err == nil {
+		t.Fatal("forced pyramid succeeded on several files")
+	}
+}
+
+// TestTimeResolvedPyramidOracleWindows sweeps windows against the
+// brute-force bound replica to make sure the fast path keeps the exact
+// bucket geometry (not just scan parity on a handful of cases).
+func TestTimeResolvedPyramidOracleWindows(t *testing.T) {
+	mf := pyramidFile(t)
+	t0, t1, _, err := mf.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := t1 - t0
+	for wi := 0; wi < 8; wi++ {
+		lo := t0 + span*clock.Time(wi)/16
+		hi := t1 - span*clock.Time(wi)/17
+		bins := 3 + wi*5
+		tabs, err := stats.TimeResolved([]*interval.File{mf}, bins,
+			stats.Options{Window: true, Lo: lo, Hi: hi})
+		if err != nil {
+			t.Fatal(err)
+		}
+		concT := tabs[2]
+		if len(concT.Rows) != bins {
+			t.Fatalf("window %d: %d rows, want %d", wi, len(concT.Rows), bins)
+		}
+		for bi, row := range concT.Rows {
+			want := trBound(max(lo, t0), int64(min(hi, t1)-max(lo, t0)), bins, bi).Seconds()
+			if got := row.X[1].Text(); got != fmt.Sprintf("%g", want) {
+				t.Fatalf("window %d bin %d: t0 %s, want %g", wi, bi, got, want)
+			}
+		}
+	}
+}

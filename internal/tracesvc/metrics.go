@@ -74,6 +74,25 @@ type metrics struct {
 	statsColumnar counter
 	statsScalar   counter
 	statsSkipped  counter
+	// Summary-planner counters: queries answered from pyramid cells vs
+	// by the frame-scan fallback, plus what each cost.
+	summaryPyramid counter
+	summaryScan    counter
+	summaryCells   counter
+	summaryFrames  counter
+}
+
+// observeSummary records one summary-planner query (a preview build or
+// a time-resolved stats run): the engine that answered it, the pyramid
+// cells it consulted, and the frames it decoded.
+func (m *metrics) observeSummary(engine string, cells, frames int) {
+	if engine == "pyramid" {
+		m.summaryPyramid.add(1)
+	} else {
+		m.summaryScan.add(1)
+	}
+	m.summaryCells.add(int64(cells))
+	m.summaryFrames.add(int64(frames))
 }
 
 type endpointMetrics struct {
@@ -134,6 +153,16 @@ func (m *metrics) writePrometheus(w io.Writer, cache CacheStats, tracesOpen int6
 	fmt.Fprintf(w, "# HELP tracesvc_stats_records_skipped_total Records excluded from statistics tables because an expression referenced a field their state type does not carry.\n")
 	fmt.Fprintf(w, "# TYPE tracesvc_stats_records_skipped_total counter\n")
 	fmt.Fprintf(w, "tracesvc_stats_records_skipped_total %d\n", m.statsSkipped.value())
+	fmt.Fprintf(w, "# HELP tracesvc_summary_queries_total Summary-planner queries (previews, time-resolved tables), by answering engine.\n")
+	fmt.Fprintf(w, "# TYPE tracesvc_summary_queries_total counter\n")
+	fmt.Fprintf(w, "tracesvc_summary_queries_total{engine=\"pyramid\"} %d\n", m.summaryPyramid.value())
+	fmt.Fprintf(w, "tracesvc_summary_queries_total{engine=\"scan\"} %d\n", m.summaryScan.value())
+	fmt.Fprintf(w, "# HELP tracesvc_summary_pyramid_cells_total Pyramid cells consulted by summary-planner queries.\n")
+	fmt.Fprintf(w, "# TYPE tracesvc_summary_pyramid_cells_total counter\n")
+	fmt.Fprintf(w, "tracesvc_summary_pyramid_cells_total %d\n", m.summaryCells.value())
+	fmt.Fprintf(w, "# HELP tracesvc_summary_frames_decoded_total Frames decoded by summary-planner queries (scan fallbacks and pyramid window edges).\n")
+	fmt.Fprintf(w, "# TYPE tracesvc_summary_frames_decoded_total counter\n")
+	fmt.Fprintf(w, "tracesvc_summary_frames_decoded_total %d\n", m.summaryFrames.value())
 
 	m.mu.Lock()
 	names := make([]string, 0, len(m.endpoints))

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
@@ -310,8 +311,10 @@ func parseWindow(r *http.Request) (lo, hi clock.Time, ok bool, err error) {
 // loop over the exact tables the library generates. Extra query
 // parameters: engine=auto|scalar|columnar picks the evaluator,
 // timeresolved=1 computes the three time-resolved metric tables over
-// ?bins buckets instead of running a program, and format=json wraps
-// each table with its engine flag and excluded-record count.
+// ?bins buckets instead of running a program,
+// summary=auto|pyramid|scan picks the summary engine those tables are
+// answered by, and format=json wraps each table with its engine flags
+// and excluded-record count.
 func (s *Service) handleStats(r *http.Request) (*response, error) {
 	t, err := s.trace(r)
 	if err != nil {
@@ -334,6 +337,9 @@ func (s *Service) handleStats(r *http.Request) (*response, error) {
 	default:
 		return nil, badRequest("bad engine %q", q.Get("engine"))
 	}
+	if opts.Summary, err = interval.ParseSummaryEngine(q.Get("summary")); err != nil {
+		return nil, badRequest("%v", err)
+	}
 	if lo, hi, ok, err := parseWindow(r); err != nil {
 		return nil, err
 	} else if ok {
@@ -345,6 +351,9 @@ func (s *Service) handleStats(r *http.Request) (*response, error) {
 			return nil, badRequest("timeresolved=1 does not take an expr")
 		}
 		tables, err = stats.TimeResolved([]*interval.File{t.file}, bins, opts)
+		if err == nil && len(tables) > 0 {
+			s.met.observeSummary(tables[0].Engine, 0, 0)
+		}
 	} else {
 		program := q.Get("expr")
 		if program == "" {
@@ -367,13 +376,14 @@ func (s *Service) handleStats(r *http.Request) (*response, error) {
 		type tableJSON struct {
 			Name     string `json:"name"`
 			Columnar bool   `json:"columnar"`
+			Engine   string `json:"engine,omitempty"`
 			Skipped  int64  `json:"skipped"`
 			Rows     int    `json:"rows"`
 			TSV      string `json:"tsv"`
 		}
 		out := make([]tableJSON, len(tables))
 		for i, tb := range tables {
-			out[i] = tableJSON{Name: tb.Name, Columnar: tb.Columnar, Skipped: tb.Skipped, Rows: len(tb.Rows), TSV: tb.TSV()}
+			out[i] = tableJSON{Name: tb.Name, Columnar: tb.Columnar, Engine: tb.Engine, Skipped: tb.Skipped, Rows: len(tb.Rows), TSV: tb.TSV()}
 		}
 		return jsonResponse(http.StatusOK, struct {
 			Tables []tableJSON `json:"tables"`
@@ -481,16 +491,59 @@ func (s *Service) handleRecords(r *http.Request) (*response, error) {
 	}{total, offset, out})
 }
 
-// handlePreview renders a time-space diagram of the trace. The SVG is
-// byte-identical to `uteview -merged <path> [-view V] [-window lo:hi]
-// [-connected]`: the same parse, the same open-ended-window clamp to
-// the run bounds, the same diagram build.
+// handlePreview renders a time-space diagram of the trace, or — with
+// view=preview — the histogram preview computed by the summary query
+// planner (?bins=N, ?engine=auto|pyramid|scan). The SVG is
+// byte-identical to `uteview -merged <path>` with the same flags: the
+// same parse, the same open-ended-window resolution, the same build.
 func (s *Service) handlePreview(r *http.Request) (*response, error) {
 	t, err := s.trace(r)
 	if err != nil {
 		return nil, err
 	}
 	q := r.URL.Query()
+	lo, hi, windowed, err := parseWindow(r)
+	if err != nil {
+		return nil, err
+	}
+	if windowed {
+		// Open-ended sides resolve to the run bounds; explicit bounds are
+		// kept even when they fall outside the run, so a window that
+		// overlaps no records renders the empty placeholder instead of
+		// snapping back to the full run through an inverted clamp.
+		start, end, _ := t.Bounds()
+		if lo == math.MinInt64 {
+			lo = start
+		}
+		if hi == math.MaxInt64 {
+			hi = end
+		}
+		if hi <= lo {
+			hi = lo + 1
+		}
+	}
+	if q.Get("view") == "preview" {
+		eng, err := interval.ParseSummaryEngine(q.Get("engine"))
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		bins := 0
+		if bs := q.Get("bins"); bs != "" {
+			if bins, err = strconv.Atoi(bs); err != nil || bins < 1 {
+				return nil, badRequest("bad bins %q", bs)
+			}
+		}
+		popts := render.PreviewOptions{Bins: bins, Engine: eng, Context: r.Context()}
+		if windowed {
+			popts.T0, popts.T1 = lo, hi
+		}
+		res, err := render.BuildPreview(t.file, popts)
+		if err != nil {
+			return nil, err
+		}
+		s.met.observeSummary(res.Engine, res.CellsUsed, res.FramesDecoded)
+		return &response{status: http.StatusOK, contentType: "image/svg+xml", body: []byte(render.PreviewSVG(res.Preview))}, nil
+	}
 	kind, err := render.ParseView(q.Get("view"))
 	if err != nil {
 		return nil, badRequest("%v", err)
@@ -499,16 +552,7 @@ func (s *Service) handlePreview(r *http.Request) (*response, error) {
 		Connected: q.Get("connected") == "1",
 		Context:   r.Context(),
 	}
-	if lo, hi, ok, err := parseWindow(r); err != nil {
-		return nil, err
-	} else if ok {
-		start, end, _ := t.Bounds()
-		if lo < start {
-			lo = start
-		}
-		if hi > end {
-			hi = end
-		}
+	if windowed {
 		opts.T0, opts.T1 = lo, hi
 	}
 	d, err := render.BuildDiagram(t.file, kind, opts)

@@ -1,0 +1,163 @@
+package tracesvc_test
+
+// Service-level tests for the summary-pyramid query paths: the
+// view=preview histogram mode, the summary= engine switch on
+// time-resolved stats, the empty-window placeholder, and the /metrics
+// counters that prove which engine answered.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"tracefw/internal/interval"
+	"tracefw/internal/tracesvc"
+)
+
+// writePyramidTrace writes a trace plus its .pyr sidecar; the registry
+// auto-loads the sidecar on open.
+func writePyramidTrace(t *testing.T, n int) string {
+	t.Helper()
+	path := writeTrace(t, t.TempDir(), n)
+	if _, err := interval.BuildPyramidSidecar(path, interval.PyramidOptions{BaseCells: 128, TopK: 8}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestServicePreviewHistogram(t *testing.T) {
+	s := tracesvc.New(tracesvc.Config{})
+	defer s.Close()
+	id := openTrace(t, s, writePyramidTrace(t, 400))
+
+	get := func(q string) string {
+		t.Helper()
+		w := do(t, s, "GET", "/v1/traces/"+id+"/preview.svg?view=preview"+q, "")
+		if w.Code != http.StatusOK {
+			t.Fatalf("preview%s: %d %s", q, w.Code, w.Body)
+		}
+		if ct := w.Header().Get("Content-Type"); ct != "image/svg+xml" {
+			t.Fatalf("content type %q", ct)
+		}
+		return w.Body.String()
+	}
+
+	auto := get("")
+	if !strings.Contains(auto, "preview") || strings.Count(auto, "<rect") < 5 {
+		t.Fatalf("histogram too empty:\n%s", auto)
+	}
+	// The pyramid and scan engines must render byte-identical documents,
+	// and auto must match both (it picks the pyramid here).
+	pyr, scan := get("&engine=pyramid"), get("&engine=scan")
+	if pyr != scan || auto != pyr {
+		t.Fatal("engines render different documents")
+	}
+	// Windowed + explicit bins exercise the planner's remainder path.
+	if w1, w2 := get("&window=0.01:0.09&bins=20&engine=pyramid"), get("&window=0.01:0.09&bins=20&engine=scan"); w1 != w2 {
+		t.Fatal("windowed engines render different documents")
+	}
+
+	for _, q := range []string{"&engine=nope", "&bins=0", "&bins=x"} {
+		if w := do(t, s, "GET", "/v1/traces/"+id+"/preview.svg?view=preview"+q, ""); w.Code != http.StatusBadRequest {
+			t.Fatalf("preview%s: %d, want 400", q, w.Code)
+		}
+	}
+
+	// The counters prove the pyramid answered: cell hits climbed and at
+	// least one query per engine was recorded.
+	m := do(t, s, "GET", "/metrics", "").Body.String()
+	for _, want := range []string{
+		`tracesvc_summary_queries_total{engine="pyramid"} 3`,
+		`tracesvc_summary_queries_total{engine="scan"} 2`,
+		"tracesvc_summary_pyramid_cells_total",
+	} {
+		if !strings.Contains(m, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, m)
+		}
+	}
+	for _, line := range strings.Split(m, "\n") {
+		if strings.HasPrefix(line, "tracesvc_summary_pyramid_cells_total ") && strings.HasSuffix(line, " 0") {
+			t.Fatalf("pyramid answered but consulted no cells: %s", line)
+		}
+	}
+}
+
+// TestServicePreviewEmptyWindow: a window beyond the run must render
+// the placeholder note — not the full run through an inverted clamp
+// (the old bug) and not a bare axis.
+func TestServicePreviewEmptyWindow(t *testing.T) {
+	s := tracesvc.New(tracesvc.Config{})
+	defer s.Close()
+	id := openTrace(t, s, writePyramidTrace(t, 300))
+
+	for _, url := range []string{
+		"/v1/traces/" + id + "/preview.svg?view=preview&window=100:200",
+		"/v1/traces/" + id + "/preview.svg?view=processor-activity&window=100:200",
+	} {
+		w := do(t, s, "GET", url, "")
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s: %d %s", url, w.Code, w.Body)
+		}
+		body := w.Body.String()
+		if !strings.Contains(body, "no data in window") {
+			t.Fatalf("%s: placeholder missing:\n%s", url, body)
+		}
+		if strings.Contains(body, "<rect") {
+			t.Fatalf("%s: beyond-run window rendered data", url)
+		}
+	}
+}
+
+func TestStatsTimeResolvedSummaryEngine(t *testing.T) {
+	s := tracesvc.New(tracesvc.Config{})
+	defer s.Close()
+	id := openTrace(t, s, writePyramidTrace(t, 400))
+
+	type tableJSON struct {
+		Name   string `json:"name"`
+		Engine string `json:"engine"`
+		TSV    string `json:"tsv"`
+	}
+	get := func(q string) []tableJSON {
+		t.Helper()
+		w := do(t, s, "GET", "/v1/traces/"+id+"/stats?timeresolved=1&bins=8&format=json"+q, "")
+		if w.Code != http.StatusOK {
+			t.Fatalf("stats%s: %d %s", q, w.Code, w.Body)
+		}
+		var out struct {
+			Tables []tableJSON `json:"tables"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Tables
+	}
+
+	pyr, scan, auto := get("&summary=pyramid"), get("&summary=scan"), get("")
+	if len(pyr) != 3 || len(scan) != 3 || len(auto) != 3 {
+		t.Fatalf("table counts %d/%d/%d", len(pyr), len(scan), len(auto))
+	}
+	for i := range pyr {
+		if pyr[i].Engine != "pyramid" || scan[i].Engine != "scan" || auto[i].Engine != "pyramid" {
+			t.Fatalf("table %s engines %q/%q/%q", pyr[i].Name, pyr[i].Engine, scan[i].Engine, auto[i].Engine)
+		}
+		if pyr[i].TSV != scan[i].TSV {
+			t.Fatalf("table %s differs between engines:\npyramid:\n%s\nscan:\n%s", pyr[i].Name, pyr[i].TSV, scan[i].TSV)
+		}
+	}
+
+	if w := do(t, s, "GET", "/v1/traces/"+id+"/stats?timeresolved=1&summary=nope", ""); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad summary engine: %d", w.Code)
+	}
+
+	// Without a sidecar auto degrades to the scan engine silently.
+	plain := openTrace(t, s, writeTrace(t, t.TempDir(), 200))
+	w := do(t, s, "GET", "/v1/traces/"+plain+"/stats?timeresolved=1&bins=4&format=json", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("plain stats: %d %s", w.Code, w.Body)
+	}
+	if !strings.Contains(w.Body.String(), `"engine": "scan"`) {
+		t.Fatalf("plain trace not answered by scan:\n%s", w.Body)
+	}
+}

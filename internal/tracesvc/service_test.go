@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -244,8 +245,8 @@ func TestStatsByteIdentical(t *testing.T) {
 }
 
 // TestPreviewByteIdentical: the preview endpoint's SVG equals uteview's
-// for the same view and window, including the open-ended-window clamp
-// to the run bounds.
+// for the same view and window, including the resolution of open-ended
+// window sides to the run bounds.
 func TestPreviewByteIdentical(t *testing.T) {
 	s := tracesvc.New(tracesvc.Config{})
 	defer s.Close()
@@ -272,11 +273,14 @@ func TestPreviewByteIdentical(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if lo < fs {
+			if lo == math.MinInt64 {
 				lo = fs
 			}
-			if hi > fe {
+			if hi == math.MaxInt64 {
 				hi = fe
+			}
+			if hi <= lo {
+				hi = lo + 1
 			}
 			opts.T0, opts.T1 = lo, hi
 		}
