@@ -22,7 +22,7 @@ race:
 # One iteration of the convert and stats benchmarks as a smoke test:
 # catches benchmark bit-rot without paying for a full measurement run.
 bench-smoke:
-	$(GO) test -run xxx -bench 'ConvertPerEvent|ConvertParallel|StatsWindow|StatsParallel|StatsColumnar|IntervalEncodeV4|IntervalScanV4|ServeWindow|ServePreview|PreviewZoom' -benchtime 1x .
+	$(GO) test -run xxx -bench 'ConvertPerEvent|ConvertParallel|StatsWindow|StatsParallel|StatsColumnar|IntervalEncodeV4|IntervalScanV4|ServeWindow|ServePreview|PreviewZoom|^BenchmarkIngest$$' -benchtime 1x .
 
 # A short fuzz of every target, one at a time (the fuzz engine allows a
 # single -fuzz pattern per invocation): catches regressions the checked-in
@@ -36,8 +36,10 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz '^FuzzPyramid$$' -fuzztime $(FUZZTIME) ./internal/interval
 	$(GO) test -run xxx -fuzz '^FuzzParseWindow$$' -fuzztime $(FUZZTIME) ./internal/clock
 	$(GO) test -run xxx -fuzz '^FuzzCompile$$' -fuzztime $(FUZZTIME) ./internal/stats
+	$(GO) test -run xxx -fuzz '^FuzzIngestBatch$$' -fuzztime $(FUZZTIME) ./internal/ingest
 
 # Full measurement run over the pipeline and analysis benchmarks (slow;
-# numbers are recorded in BENCH_pipeline.json and BENCH_stats.json).
+# numbers are recorded in BENCH_pipeline.json, BENCH_stats.json and
+# BENCH_ingest.json).
 bench:
-	$(GO) test -run xxx -bench 'ConvertPerEvent|ConvertParallel|MergeLoserTreeVsLinear|MergeReadAhead|IntervalWriterThroughput|IntervalScan|IntervalEncodeV4|StatsWindow|StatsParallel|StatsColumnar' .
+	$(GO) test -run xxx -bench 'ConvertPerEvent|ConvertParallel|MergeLoserTreeVsLinear|MergeReadAhead|IntervalWriterThroughput|IntervalScan|IntervalEncodeV4|StatsWindow|StatsParallel|StatsColumnar|^BenchmarkIngest$$' .

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"sync"
 	"testing"
 
 	"tracefw/internal/clock"
@@ -22,6 +23,7 @@ import (
 	"tracefw/internal/convert"
 	"tracefw/internal/core"
 	"tracefw/internal/events"
+	"tracefw/internal/ingest"
 	"tracefw/internal/interval"
 	"tracefw/internal/merge"
 	"tracefw/internal/mpisim"
@@ -1119,4 +1121,98 @@ func BenchmarkPreviewZoom(b *testing.B) {
 	}
 	b.Run("pyramid", func(b *testing.B) { run(b, interval.SummaryPyramid) })
 	b.Run("scan", func(b *testing.B) { run(b, interval.SummaryScan) })
+}
+
+// --- streaming ingest (the live write path) ----------------------------
+
+// ingestPreambleCut returns the end offset of the last thread-info or
+// marker-define record in a raw stream: everything up to it is the
+// node's batch-0 preamble per the ingest contract.
+func ingestPreambleCut(b *testing.B, raw []byte) int {
+	b.Helper()
+	off := convert.RawHeaderSize
+	cut := off
+	for off < len(raw) {
+		rec, n, err := trace.Decode(raw[off:])
+		if err != nil {
+			b.Fatalf("raw trace undecodable at %d: %v", off, err)
+		}
+		off += n
+		if rec.Type == events.EvThreadInfo || rec.Type == events.EvMarkerDefine {
+			cut = off
+		}
+	}
+	return cut
+}
+
+// benchIngest drives complete ingest sessions end to end — per-node raw
+// streams posted as sequence-numbered batches, incrementally converted,
+// clock-adjusted, live-merged, and sealed to an on-disk v4 file — and
+// reports raw events ingested per second.
+func benchIngest(b *testing.B, nodes int) {
+	raws := stormRawsN(b, nodes, 120)
+	ev := rawEventCount(b, raws)
+	var total int64
+	batches := make([][][]byte, nodes)
+	for n, raw := range raws {
+		total += int64(len(raw))
+		cut := ingestPreambleCut(b, raw)
+		bs := [][]byte{raw[:cut]}
+		const chunk = 64 << 10
+		for rest := raw[cut:]; len(rest) > 0; {
+			c := chunk
+			if c > len(rest) {
+				c = len(rest)
+			}
+			bs, rest = append(bs, rest[:c]), rest[c:]
+		}
+		batches[n] = bs
+	}
+	dir := b.TempDir()
+	b.SetBytes(total)
+	runtime.GC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := ingest.NewManager(ingest.Config{Dir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess, err := m.Begin(fmt.Sprintf("bench-%d", i), nodes, interval.WriterOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, nodes)
+		for n := range batches {
+			wg.Add(1)
+			go func(n int) {
+				defer wg.Done()
+				for seq, batch := range batches[n] {
+					last := seq == len(batches[n])-1
+					if err := sess.Batch(n, uint64(seq), last, batch); err != nil {
+						errs[n] = err
+						return
+					}
+				}
+			}(n)
+		}
+		wg.Wait()
+		if err := sess.Wait(); err != nil {
+			b.Fatal(err)
+		}
+		for n, err := range errs {
+			if err != nil {
+				b.Fatalf("node %d: %v", n, err)
+			}
+		}
+	}
+	b.ReportMetric(float64(ev)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkIngest measures the streaming write path at one node (pure
+// pipeline cost, no merge contention) and at four (the live k-way merge
+// fed by concurrent posters).
+func BenchmarkIngest(b *testing.B) {
+	b.Run("nodes1", func(b *testing.B) { benchIngest(b, 1) })
+	b.Run("nodes4", func(b *testing.B) { benchIngest(b, 4) })
 }

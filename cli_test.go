@@ -635,3 +635,130 @@ func TestCLITraceDaemon(t *testing.T) {
 		t.Fatalf("daemon did not announce shutdown:\n%s", tail.String())
 	}
 }
+
+// TestCLITraceDaemonIngest covers the utetraced streaming-ingest flags:
+// flag misuse exits 2, an unusable -ingest-dir exits 1 before the socket
+// binds, a daemon without -ingest-dir serves 403 on the ingest endpoints,
+// and an enabled daemon enforces trace-name validation and the batch
+// size cap over real HTTP, then drains cleanly on SIGINT.
+func TestCLITraceDaemonIngest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bin := buildCmds(t)
+
+	// Flag misuse: a non-positive batch cap is a usage error (exit 2).
+	for _, v := range []string{"0", "-5"} {
+		code, msg := runCmdFail(t, bin, "utetraced", "-ingest-max-batch", v)
+		if code != 2 || !strings.Contains(msg, "-ingest-max-batch must be positive") {
+			t.Fatalf("-ingest-max-batch %s: exit %d, stderr %q", v, code, msg)
+		}
+	}
+	// A missing ingest directory is a startup error (exit 1): the daemon
+	// refuses to run rather than silently disabling the write path.
+	code, msg := runCmdFail(t, bin, "utetraced",
+		"-ingest-dir", filepath.Join(t.TempDir(), "does-not-exist"))
+	if code != 1 || !strings.Contains(msg, "utetraced:") {
+		t.Fatalf("bad -ingest-dir: exit %d, stderr %q", code, msg)
+	}
+
+	// start launches a daemon, waits for the listen line, and returns the
+	// base URL, the startup lines printed before it, and a stopper that
+	// SIGINTs and asserts a clean, announced shutdown.
+	start := func(args ...string) (base, head string, stop func()) {
+		cmd := exec.Command(filepath.Join(bin, "utetraced"), args...)
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = cmd.Stdout
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cmd.Process.Kill() })
+		sc := bufio.NewScanner(stdout)
+		var pre strings.Builder
+		for sc.Scan() {
+			if _, addr, ok := strings.Cut(sc.Text(), "listening on "); ok {
+				base = addr
+				break
+			}
+			pre.WriteString(sc.Text())
+			pre.WriteByte('\n')
+		}
+		if base == "" {
+			t.Fatalf("no listen line; daemon output ended: %v\n%s", sc.Err(), pre.String())
+		}
+		stop = func() {
+			if err := cmd.Process.Signal(os.Interrupt); err != nil {
+				t.Fatal(err)
+			}
+			var tail strings.Builder
+			for sc.Scan() {
+				tail.WriteString(sc.Text())
+				tail.WriteByte('\n')
+			}
+			if err := cmd.Wait(); err != nil {
+				t.Fatalf("daemon exit after SIGINT: %v\n%s", err, tail.String())
+			}
+			if !strings.Contains(tail.String(), "shut down") {
+				t.Fatalf("daemon did not announce shutdown:\n%s", tail.String())
+			}
+		}
+		return base, pre.String(), stop
+	}
+	post := func(base, path string, body []byte) (int, string) {
+		resp, err := http.Post(base+path, "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	// Without -ingest-dir every ingest endpoint is a 403, read and write.
+	base, _, stop := start("-addr", "127.0.0.1:0")
+	if resp, err := http.Get(base + "/v1/ingest"); err != nil || resp.StatusCode != 403 {
+		t.Fatalf("ingest list on disabled daemon: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+	if code, body := post(base, "/v1/ingest/run?op=begin&nodes=1", nil); code != 403 {
+		t.Fatalf("begin on disabled daemon: %d %s", code, body)
+	}
+	stop()
+
+	// Enabled daemon with a deliberately small batch cap.
+	liveDir := t.TempDir()
+	base, head, stop := start("-addr", "127.0.0.1:0",
+		"-ingest-dir", liveDir, "-ingest-max-batch", "4096")
+	if !strings.Contains(head, "ingest enabled") {
+		t.Fatalf("enabled daemon did not announce ingest:\n%s", head)
+	}
+	if code, body := post(base, "/v1/ingest/.hidden?op=begin&nodes=1", nil); code != 400 {
+		t.Fatalf("begin with bad trace name: %d %s", code, body)
+	}
+	code, body := post(base, "/v1/ingest/live?op=begin&nodes=1", nil)
+	if code != 201 || !strings.Contains(body, `"live"`) {
+		t.Fatalf("begin: %d %s", code, body)
+	}
+	if code, body := post(base, "/v1/ingest/live?node=0&seq=0", make([]byte, 5000)); code != 413 {
+		t.Fatalf("oversized batch: %d %s", code, body)
+	}
+	if resp, err := http.Get(base + "/v1/ingest"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("ingest list: %v %v", resp, err)
+	} else {
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !strings.Contains(string(b), `"live"`) {
+			t.Fatalf("session missing from list: %s", b)
+		}
+	}
+	// SIGINT with the session still gathering: shutdown must drain it and
+	// still announce a clean exit.
+	stop()
+}

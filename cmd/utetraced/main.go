@@ -8,7 +8,8 @@
 // Usage:
 //
 //	utetraced [-addr HOST:PORT] [-cache-mb N] [-shards N]
-//	          [-timeout DUR] [-bins N] [trace.ute ...]
+//	          [-timeout DUR] [-bins N]
+//	          [-ingest-dir DIR] [-ingest-max-batch N] [trace.ute ...]
 //
 // Any interval files on the command line are opened before the server
 // starts listening. Endpoints:
@@ -28,6 +29,21 @@
 //	                                    ?view= ?window= ?connected=1
 //	GET    /metrics                     Prometheus text format
 //
+// With -ingest-dir the streaming write path is enabled (403 otherwise):
+//
+//	POST   /v1/ingest/{trace}?op=begin&nodes=N    start a live trace
+//	POST   /v1/ingest/{trace}?node=I&seq=S        one raw batch (&last=1
+//	                                              marks a node's final batch)
+//	POST   /v1/ingest/{trace}?op=abort            cancel (prefix stays valid)
+//	GET    /v1/ingest                             all sessions (JSON)
+//	GET    /v1/ingest/{trace}                     session status (JSON)
+//
+// A live trace is registered under /v1/traces the moment it begins and
+// is queryable from its first sealed frame group; every query sees the
+// sealed tail as of its own start. Shutdown drains in-flight sessions —
+// open states close as at end of trace and every live file seals
+// completely.
+//
 // The daemon prints one "listening on" line once the socket is bound
 // (with the resolved port, so -addr :0 is scriptable) and shuts down
 // cleanly on SIGINT/SIGTERM.
@@ -45,18 +61,25 @@ import (
 	"syscall"
 	"time"
 
+	"tracefw/internal/ingest"
 	"tracefw/internal/tracesvc"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7464", "listen address (port 0 = pick a free port)")
-		cacheMB = flag.Int64("cache-mb", 256, "decoded-frame cache budget, MiB")
-		shards  = flag.Int("shards", 16, "cache shard count")
-		timeout = flag.Duration("timeout", 30*time.Second, "per-request deadline")
-		bins    = flag.Int("bins", 50, "time bins for the predefined statistics tables")
+		addr      = flag.String("addr", "127.0.0.1:7464", "listen address (port 0 = pick a free port)")
+		cacheMB   = flag.Int64("cache-mb", 256, "decoded-frame cache budget, MiB")
+		shards    = flag.Int("shards", 16, "cache shard count")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request deadline")
+		bins      = flag.Int("bins", 50, "time bins for the predefined statistics tables")
+		ingestDir = flag.String("ingest-dir", "", "enable streaming ingest; live trace files are written here")
+		ingestMax = flag.Int64("ingest-max-batch", 8<<20, "largest accepted ingest batch, bytes")
 	)
 	flag.Parse()
+	if *ingestMax <= 0 {
+		fmt.Fprintln(os.Stderr, "utetraced: -ingest-max-batch must be positive")
+		os.Exit(2)
+	}
 
 	svc := tracesvc.New(tracesvc.Config{
 		CacheBytes:     *cacheMB << 20,
@@ -64,6 +87,14 @@ func main() {
 		RequestTimeout: *timeout,
 		DefaultBins:    *bins,
 	})
+	if *ingestDir != "" {
+		m, err := ingest.NewManager(ingest.Config{Dir: *ingestDir, MaxBatchBytes: *ingestMax})
+		if err != nil {
+			fatal(err)
+		}
+		svc.EnableIngest(m)
+		fmt.Printf("utetraced: ingest enabled, live traces in %s\n", *ingestDir)
+	}
 	for _, p := range flag.Args() {
 		t, err := svc.Registry().Open(p)
 		if err != nil {

@@ -55,6 +55,24 @@ func (m *MarkerRegistry) ID(s string) uint64 {
 	return id
 }
 
+// Lookup returns the identifier already assigned to a marker string,
+// without assigning one. Streaming ingest uses it to enforce the frozen
+// post-barrier registry: a define for an unknown string must be
+// rejected, not assigned an id the already-written header lacks.
+func (m *MarkerRegistry) Lookup(s string) (uint64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id, ok := m.ids[s]
+	return id, ok
+}
+
+// Len returns how many marker strings have been assigned identifiers.
+func (m *MarkerRegistry) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.ids)
+}
+
 // Table returns a copy of the id → string table for interval headers.
 func (m *MarkerRegistry) Table() map[uint64]string {
 	m.mu.Lock()
@@ -120,8 +138,11 @@ type threadState struct {
 }
 
 type converter struct {
-	node     int
-	w        *interval.Writer
+	node int
+	// sink receives every emitted interval record in end-time order. The
+	// batch path points it at an interval.Writer's Add; the streaming
+	// path (Stream) at the ingest pipeline's adjust-and-enqueue stage.
+	sink     func(*interval.Record) error
 	markers  *MarkerRegistry
 	tolerant bool
 	threads  map[int32]*threadState
@@ -182,6 +203,9 @@ func scanTables(src io.ReadSeeker) (*tablePass, error) {
 		}
 		switch rec.Type {
 		case events.EvThreadInfo:
+			if len(rec.Args) < 4 {
+				return nil, fmt.Errorf("convert: thread-info record with %d args (want 4)", len(rec.Args))
+			}
 			haveInfo[rec.TID] = true
 			tp.threads = append(tp.threads, interval.ThreadEntry{
 				Task:   int32(uint32(rec.Args[2])),
@@ -192,12 +216,18 @@ func scanTables(src io.ReadSeeker) (*tablePass, error) {
 				Type:   uint8(rec.Args[3]),
 			})
 		case events.EvMarkerDefine:
+			if len(rec.Args) < 1 {
+				return nil, fmt.Errorf("convert: marker-define record with no args")
+			}
 			if !definedStr[rec.Str] {
 				definedStr[rec.Str] = true
 				tp.defines = append(tp.defines, rec.Str)
 			}
 			evs = append(evs, markerEv{tid: rec.TID, define: true, localID: rec.Args[0]})
 		case events.EvMarkerBegin:
+			if len(rec.Args) < 1 {
+				return nil, fmt.Errorf("convert: marker-begin record with no args")
+			}
 			evs = append(evs, markerEv{tid: rec.TID, localID: rec.Args[0]})
 		}
 	}
@@ -283,7 +313,7 @@ func convertRecords(src io.ReadSeeker, dst io.WriteSeeker, opts Options, tp *tab
 
 	c := &converter{
 		node:        tp.node,
-		w:           w,
+		sink:        w.Add,
 		markers:     markers,
 		tolerant:    opts.Tolerant,
 		threads:     make(map[int32]*threadState),
@@ -340,6 +370,19 @@ func (c *converter) event(rec *trace.Record) error {
 	now := rec.Time
 	if now > c.lastTime {
 		c.lastTime = now
+	}
+	// Arity guard for the argument words indexed below; a well-formed
+	// tracer always emits them, but the streaming ingest path feeds this
+	// converter untrusted wire bytes.
+	need := 0
+	switch rec.Type {
+	case events.EvGlobalClock, events.EvDispatch, events.EvMarkerDefine:
+		need = 1
+	case events.EvMarkerBegin, events.EvMarkerEnd:
+		need = 2
+	}
+	if len(rec.Args) < need {
+		return fmt.Errorf("convert: %s record with %d args (want %d)", rec.Type.Name(), len(rec.Args), need)
 	}
 	switch rec.Type {
 	case events.EvThreadInfo:
@@ -577,7 +620,7 @@ func (c *converter) emit(r *interval.Record) error {
 	if e := r.End(); e > c.lastEmitEnd {
 		c.lastEmitEnd = e
 	}
-	return c.w.Add(r)
+	return c.sink(r)
 }
 
 // finish closes states of threads that are still live when the trace

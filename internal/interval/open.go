@@ -1,6 +1,7 @@
 package interval
 
 import (
+	"fmt"
 	"io"
 	"os"
 )
@@ -19,10 +20,11 @@ type openOptions struct {
 	verifySums bool
 	salvage    *SalvageResult
 	pyramid    bool
+	liveTail   int64
 }
 
 func defaultOpenOptions() openOptions {
-	return openOptions{verifySums: true, pyramid: true}
+	return openOptions{verifySums: true, pyramid: true, liveTail: -1}
 }
 
 // WithVerifyChecksums controls verification of per-frame payload
@@ -56,6 +58,20 @@ func WithSalvage(sink *SalvageResult) Option {
 // (a bare reader has no path).
 func WithPyramid(v bool) Option {
 	return func(o *openOptions) { o.pyramid = v }
+}
+
+// WithLiveTail opens a snapshot of a file that is still being written:
+// sealedSize is a prefix length previously reported by the writer (a
+// SealInfo.Size from WriterOptions.OnSeal). The reader clamps every
+// bound to sealedSize, so bytes beyond it — not yet written, or a
+// directory mid-flush — are invisible, and it treats a directory whose
+// next link equals sealedSize as the end of the chain (the writer
+// writes that link speculatively; it only becomes a real pointer once
+// the next directory seals). A sealedSize that covers only the header
+// yields a valid empty trace. Opening a fully Closed file with its
+// final size behaves identically to a plain Open.
+func WithLiveTail(sealedSize int64) Option {
+	return func(o *openOptions) { o.liveTail = sealedSize }
 }
 
 // Open opens an interval file on disk. With no options it behaves
@@ -101,6 +117,16 @@ func NewFile(r io.ReadSeeker, opts ...Option) (*File, error) {
 	f, err := readFileHeader(r)
 	if err != nil {
 		return nil, err
+	}
+	if o.liveTail >= 0 {
+		if o.liveTail > f.Size {
+			return nil, fmt.Errorf("interval: live tail %d beyond file size %d", o.liveTail, f.Size)
+		}
+		if o.liveTail < f.FirstDir {
+			return nil, fmt.Errorf("interval: live tail %d truncates the header (tables end at %d)", o.liveTail, f.FirstDir)
+		}
+		f.Size = o.liveTail
+		f.live = true
 	}
 	f.verifySums = o.verifySums
 	if o.salvage != nil {

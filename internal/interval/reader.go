@@ -59,8 +59,16 @@ type File struct {
 	FirstDir int64
 	// Size is the total file size, used to bound every offset and length
 	// read from the file so corrupted metadata cannot trigger huge
-	// allocations.
+	// allocations. For a live-tail snapshot (WithLiveTail) it is the
+	// sealed prefix length, which may be shorter than the on-disk file.
 	Size int64
+
+	// live marks a WithLiveTail snapshot: a directory whose next link
+	// equals Size is the (speculative) end of the chain, and a chain
+	// that would start exactly at Size is an empty trace. Both
+	// conditions are impossible on a closed file, where the final link
+	// has been patched to 0.
+	live bool
 
 	r      io.ReadSeeker
 	ra     io.ReaderAt // non-nil when r supports ReadAt (concurrent frame reads)
@@ -279,6 +287,13 @@ func (f *File) readDirHeader(offset int64) (*FrameDir, int, error) {
 	if f.closed.Load() {
 		return nil, 0, ErrClosed
 	}
+	if f.live && offset == f.Size {
+		// Live snapshot taken before the first directory sealed (or, on
+		// a later walk, a FirstDir that still points past the sealed
+		// prefix): synthesize the empty end-of-chain directory the
+		// writer has not flushed yet.
+		return &FrameDir{Offset: offset}, 0, nil
+	}
 	hdrSize := dirHeaderSize(f.Header.HeaderVersion)
 	if _, err := f.r.Seek(offset, io.SeekStart); err != nil {
 		return nil, 0, f.closedErr(err)
@@ -292,6 +307,11 @@ func (f *File) readDirHeader(offset int64) (*FrameDir, int, error) {
 		Offset: offset,
 		Prev:   int64(binary.LittleEndian.Uint64(h[8:])),
 		Next:   int64(binary.LittleEndian.Uint64(h[16:])),
+	}
+	if f.live && d.Next == f.Size {
+		// The writer's speculative next link: the following directory
+		// has not sealed yet, so this is the end of the chain.
+		d.Next = 0
 	}
 	if f.Header.HeaderVersion >= 3 && binary.LittleEndian.Uint32(h[4:]) != dirMagic {
 		return nil, 0, fmt.Errorf("interval: directory at %d has bad magic %#x", offset, binary.LittleEndian.Uint32(h[4:]))

@@ -137,6 +137,26 @@ type WriterOptions struct {
 	// zero-duration continuation pseudo-intervals that represent the
 	// nested outer states at the start of each frame (paper §3.3).
 	FramePrologue func() []Record
+	// OnSeal, if set, is invoked after every directory flush — the point
+	// at which the frames of that directory have reached the underlying
+	// writer and the file prefix of SealInfo.Size bytes is durable and
+	// self-consistent (see FORMATS.md "always-valid prefix"). Streaming
+	// ingest uses it to publish the live tail to readers. The callback
+	// runs on the writer's goroutine; it must not call back into the
+	// Writer.
+	OnSeal func(SealInfo)
+}
+
+// SealInfo describes the valid file prefix after a directory seal.
+// Opening the file with WithLiveTail(Size) observes exactly Frames
+// frames in Dirs directories; bytes beyond Size may not exist yet or
+// may be a partially-written next directory.
+type SealInfo struct {
+	Size   int64      // length of the valid, durable prefix
+	Frames int        // total frames sealed so far
+	Dirs   int        // total directories written so far
+	End    clock.Time // largest record end time sealed so far
+	Final  bool       // set on the Close-time notification
 }
 
 func (o WriterOptions) frameBytes() int {
@@ -154,25 +174,34 @@ func (o WriterOptions) framesPerDir() int {
 }
 
 // Writer streams interval records into the frame/directory structure of
-// Figure 4. It needs a WriteSeeker to patch each directory's
-// next-directory link once the following directory's position is known.
+// Figure 4. Steady-state writing is strictly append-only: every
+// directory is written with its next link speculatively pointing at the
+// byte immediately after its frames — which is exactly where the next
+// directory lands — so mid-stream links are never rewritten and the
+// sealed prefix of a partially-written file is always valid. The
+// WriteSeeker is needed only at Close, which patches the final
+// directory's speculative next link to 0 when no further directory
+// follows it.
 type Writer struct {
 	ws   io.WriteSeeker
 	opts WriterOptions
 
-	off        int64 // current file offset
-	lastEnd    clock.Time
-	anyRecord  bool
-	frame      []byte
-	frameMeta  frameEntry
-	group      []frameEntry // closed frames of the pending directory
-	groupBytes []byte
-	prevDirOff int64  // offset of the previous directory (-1 none)
-	patchOff   int64  // where the previous directory's next field lives
-	version    uint32 // directory layout version being written
-	enc        v4EncState
-	closed     bool
-	err        error
+	off          int64 // current file offset
+	lastEnd      clock.Time
+	anyRecord    bool
+	frame        []byte
+	frameMeta    frameEntry
+	group        []frameEntry // closed frames of the pending directory
+	groupBytes   []byte
+	prevDirOff   int64  // offset of the previous directory (-1 none)
+	patchOff     int64  // where the previous directory's next field lives
+	version      uint32 // directory layout version being written
+	sealedFrames int    // frames flushed to directories so far
+	sealedDirs   int    // directories written so far
+	sealedEnd    clock.Time
+	enc          v4EncState
+	closed       bool
+	err          error
 	// framePB/groupPB are the pooled backing buffers behind frame and
 	// groupBytes, returned to the pool on Close.
 	framePB *[]byte
@@ -453,20 +482,50 @@ func (w *Writer) flushGroup(last bool) error {
 		w.err = fmt.Errorf("interval: writing frame directory: %w", err)
 		return w.err
 	}
-	// Update the end-of-file position first: patchU64 seeks back to it.
 	w.off = dirOff + int64(len(buf))
-	// Patch the previous directory's next pointer to this directory.
-	if w.patchOff >= 0 {
-		if err := w.patchU64(w.patchOff, uint64(dirOff)); err != nil {
-			return err
-		}
-	}
+	// The previous directory's next link already equals dirOff: it was
+	// written speculatively as the offset just past that directory's
+	// frames, and flushGroup is the only writer of file bytes. Nothing
+	// to rewrite — the steady state is pure append (always-valid
+	// prefix; Close patches only the final link).
 	w.prevDirOff = dirOff
 	w.patchOff = dirOff + 4 + 4 + 8 // next field within the dir header
+	w.sealedFrames += len(w.group)
+	w.sealedDirs++
+	for _, fe := range w.group {
+		if fe.end > w.sealedEnd {
+			w.sealedEnd = fe.end
+		}
+	}
 	w.group = w.group[:0]
 	w.groupBytes = w.groupBytes[:0]
+	w.notifySeal(last)
 	return nil
 }
+
+// notifySeal reports the current valid prefix to the OnSeal callback.
+func (w *Writer) notifySeal(final bool) {
+	if w.opts.OnSeal == nil {
+		return
+	}
+	w.opts.OnSeal(SealInfo{
+		Size:   w.off,
+		Frames: w.sealedFrames,
+		Dirs:   w.sealedDirs,
+		End:    w.sealedEnd,
+		Final:  final,
+	})
+}
+
+// SealedSize returns the length of the valid file prefix: the header
+// plus every directory flushed so far. Opening the file with
+// WithLiveTail(SealedSize()) observes exactly the sealed frames. Not
+// synchronized — call from the writing goroutine or via OnSeal.
+func (w *Writer) SealedSize() int64 { return w.off }
+
+// SealedFrames returns how many frames have been flushed into
+// directories so far (buffered, unflushed frames are not counted).
+func (w *Writer) SealedFrames() int { return w.sealedFrames }
 
 func (w *Writer) patchU64(off int64, v uint64) error {
 	if _, err := w.ws.Seek(off, io.SeekStart); err != nil {
@@ -505,12 +564,16 @@ func (w *Writer) Close() error {
 			return err
 		}
 	} else {
-		// Either nothing was ever written, or the previous directory's
-		// next pointer already points past the end; rewrite it to 0.
+		// The final directory's speculative next link points just past
+		// the end of the file; rewriting it to 0 is the only in-place
+		// patch the writer ever performs (live readers treat a next link
+		// equal to the sealed size the same way, so a crash before this
+		// patch loses nothing).
 		if w.patchOff >= 0 {
 			if err := w.patchU64(w.patchOff, 0); err != nil {
 				return err
 			}
+			w.notifySeal(true)
 		} else {
 			// Empty file: one directory with no entries (and, for v2+,
 			// zero aggregate bounds) so readers always find a directory.
@@ -520,6 +583,8 @@ func (w *Writer) Close() error {
 				return w.err
 			}
 			w.off += int64(len(buf))
+			w.sealedDirs++
+			w.notifySeal(true)
 		}
 	}
 	return w.err

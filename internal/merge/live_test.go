@@ -1,0 +1,257 @@
+package merge_test
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/events"
+	"tracefw/internal/interval"
+	"tracefw/internal/merge"
+	"tracefw/internal/profile"
+	"tracefw/internal/xrand"
+)
+
+// synthStateFile builds a per-node input with nested Begin/End states
+// and periodic global-clock records — the shapes that exercise the
+// pseudo-interval tracker and the clock-record filter.
+func synthStateFile(t *testing.T, rng *xrand.Rand, node, n int) *interval.File {
+	t.Helper()
+	sb := interval.NewSeekBuffer()
+	w, err := interval.NewWriter(sb, interval.Header{
+		ProfileVersion: profile.StdVersion,
+		HeaderVersion:  interval.CurrentHeaderVersion,
+		FieldMask:      profile.MaskIndividual,
+		Threads: []interval.ThreadEntry{
+			{Task: int32(node), Node: uint16(node), LTID: 0, Type: events.ThreadMPI},
+		},
+		Markers: map[uint64]string{},
+	}, interval.WriterOptions{FrameBytes: 256, FramesPerDir: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := clock.Time(rng.Int63n(1000))
+	depth := 0
+	for i := 0; i < n; i++ {
+		end += clock.Time(rng.Int63n(int64(clock.Millisecond)))
+		r := interval.Record{
+			Start: end, Dura: 0,
+			Node: uint16(node), Thread: 0, CPU: uint16(node),
+		}
+		switch {
+		case i%17 == 0:
+			r.Type = events.EvGlobalClock
+			r.Bebits = profile.Complete
+			r.Extra = []uint64{uint64(end) + uint64(node)*1000}
+		case depth < 3 && i%3 == 0:
+			r.Type = events.EvMPISend
+			r.Bebits = profile.Begin
+			r.Extra = []uint64{uint64(i), 1, 64, 0, 0, 0}
+			depth++
+		case depth > 0 && i%5 == 0:
+			r.Type = events.EvMPISend
+			r.Bebits = profile.End
+			r.Extra = []uint64{uint64(i), 1, 64, 0, 0, 0}
+			depth--
+		default:
+			r.Type = events.EvRunning
+			r.Bebits = profile.Complete
+			dura := clock.Time(rng.Int63n(int64(clock.Millisecond)))
+			r.Start, r.Dura = end-dura, dura
+		}
+		if err := w.Add(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := interval.NewFile(sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// pushFile replays one input file into a live source exactly as the
+// batch merge's stream stage would: global-clock records are dropped
+// (they fed pair extraction) and timestamps pass through the
+// EstimatorNone adjuster anchored at the first pair.
+func pushFile(t *testing.T, f *interval.File, src *merge.LiveSource) {
+	pairs, err := merge.ExtractPairs(f)
+	if err != nil {
+		t.Error(err)
+		src.Fail(err)
+		return
+	}
+	adj := &clock.RatioAdjuster{R: 1}
+	if len(pairs) > 0 {
+		adj.G0, adj.L0 = pairs[0].Global, pairs[0].Local
+	}
+	recs, err := f.Scan().All()
+	if err != nil {
+		t.Error(err)
+		src.Fail(err)
+		return
+	}
+	for i := range recs {
+		r := recs[i]
+		if r.Type == events.EvGlobalClock {
+			continue
+		}
+		end := adj.Global(r.End())
+		r.Start = adj.Global(r.Start)
+		r.Dura = end - r.Start
+		if err := src.Push(&r); err != nil {
+			t.Error(err)
+			return
+		}
+	}
+	src.CloseSend()
+}
+
+// TestLiveMergeByteIdentical: concurrent producers feeding LiveSources
+// yield a file byte-identical to the batch Merge of the same inputs
+// under EstimatorNone, across pseudo/linear option combinations and
+// tiny queue capacities (exercising backpressure).
+func TestLiveMergeByteIdentical(t *testing.T) {
+	for trial := 0; trial < 12; trial++ {
+		k := 1 + trial%5
+		mkFiles := func() []*interval.File {
+			r := xrand.New(uint64(7000 + trial))
+			files := make([]*interval.File, k)
+			for s := 0; s < k; s++ {
+				files[s] = synthStateFile(t, r, s, 100+r.Intn(300))
+			}
+			return files
+		}
+		opts := merge.Options{
+			Estimator: merge.EstimatorNone,
+			NoPseudo:  trial%4 == 1,
+			Linear:    trial%3 == 0,
+			Parallel:  1,
+			Writer:    interval.WriterOptions{FrameBytes: 512, FramesPerDir: 2},
+		}
+
+		refOut := interval.NewSeekBuffer()
+		refRes, err := merge.Merge(mkFiles(), refOut, opts)
+		if err != nil {
+			t.Fatalf("trial %d: batch merge: %v", trial, err)
+		}
+
+		files := mkFiles()
+		hdrs := make([]interval.Header, k)
+		sources := make([]*merge.LiveSource, k)
+		for i, f := range files {
+			hdrs[i] = f.Header
+			sources[i] = merge.NewLiveSource(4) // tiny: force backpressure
+		}
+		liveOut := interval.NewSeekBuffer()
+		live, err := merge.NewLive(liveOut, hdrs, sources, opts)
+		if err != nil {
+			t.Fatalf("trial %d: NewLive: %v", trial, err)
+		}
+		var wg sync.WaitGroup
+		for i := range files {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				pushFile(t, files[i], sources[i])
+			}(i)
+		}
+		if err := live.Run(); err != nil {
+			t.Fatalf("trial %d: live merge: %v", trial, err)
+		}
+		wg.Wait()
+		if !bytes.Equal(liveOut.Bytes(), refOut.Bytes()) {
+			t.Fatalf("trial %d: live merge differs from batch merge (%d vs %d bytes)",
+				trial, liveOut.Len(), refOut.Len())
+		}
+		if live.Result().Records != refRes.Records || live.Result().Pseudo != refRes.Pseudo {
+			t.Fatalf("trial %d: result mismatch: %+v vs %+v", trial, live.Result(), refRes)
+		}
+	}
+}
+
+// TestLiveMergeFailurePropagates: a failed source unblocks the merge
+// with its error, poisons sibling producers, and still seals the
+// already-merged prefix into an openable file.
+func TestLiveMergeFailurePropagates(t *testing.T) {
+	boom := errors.New("node crashed")
+	sources := []*merge.LiveSource{merge.NewLiveSource(0), merge.NewLiveSource(0)}
+	hdrs := []interval.Header{
+		{ProfileVersion: profile.StdVersion, Markers: map[uint64]string{}},
+		{ProfileVersion: profile.StdVersion, Markers: map[uint64]string{}},
+	}
+	out := interval.NewSeekBuffer()
+	live, err := merge.NewLive(out, hdrs, sources, merge.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := interval.Record{Type: events.EvRunning, Bebits: profile.Complete, Start: 1, Dura: 1}
+	if err := sources[0].Push(&r); err != nil {
+		t.Fatal(err)
+	}
+	sources[0].CloseSend()
+	sources[1].Fail(boom)
+	if err := live.Run(); !errors.Is(err, boom) {
+		t.Fatalf("Run returned %v, want %v", err, boom)
+	}
+	if err := sources[0].Push(&r); err == nil {
+		t.Fatal("push on a poisoned sibling source succeeded")
+	}
+	if _, err := interval.NewFile(interval.NewSeekBufferFrom(out.Bytes())); err != nil {
+		t.Fatalf("merged prefix after failure not openable: %v", err)
+	}
+}
+
+// TestLiveSourcePushCopiesSlices: the queue must own deep copies of
+// Extra/Vec. The streaming converter back-patches a marker's end
+// address into the open state's extra slice after the begin piece was
+// already emitted; if Push aliased that slice, records queued during
+// the marker would diverge from the batch pipeline, which encodes at
+// emit time.
+func TestLiveSourcePushCopiesSlices(t *testing.T) {
+	s := merge.NewLiveSource(4)
+	r := interval.Record{
+		Type:   events.EvMarkerState,
+		Bebits: profile.Begin,
+		Start:  1,
+		Extra:  []uint64{7, 42, 0},
+		Vec:    []uint64{5},
+	}
+	if err := s.Push(&r); err != nil {
+		t.Fatal(err)
+	}
+	r.Extra[2] = 99 // the converter's endAddr back-patch
+	r.Vec[0] = 99
+	if err := s.Advance(); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Current()
+	if got.Extra[2] != 0 {
+		t.Fatalf("queued record saw post-push Extra mutation: extras=%v", got.Extra)
+	}
+	if got.Vec[0] != 5 {
+		t.Fatalf("queued record saw post-push Vec mutation: vec=%v", got.Vec)
+	}
+}
+
+// TestLiveSourceCloseSemantics: pushes after CloseSend fail and an
+// empty closed source reads as immediately done.
+func TestLiveSourceCloseSemantics(t *testing.T) {
+	s := merge.NewLiveSource(2)
+	s.CloseSend()
+	r := interval.Record{Type: events.EvRunning, Bebits: profile.Complete}
+	if err := s.Push(&r); !errors.Is(err, merge.ErrSourceClosed) {
+		t.Fatalf("push after CloseSend: %v", err)
+	}
+	if err := s.Advance(); err != nil {
+		t.Fatal(err)
+	}
+	if _, done := s.CurrentEnd(); !done {
+		t.Fatal("closed empty source not done")
+	}
+}

@@ -298,46 +298,17 @@ func Merge(files []*interval.File, dst io.WriteSeeker, opts Options) (*Result, e
 
 	// Merged header: union of thread tables (sorted by node, ltid) and
 	// marker tables.
-	hdr := interval.Header{
-		HeaderVersion: interval.CurrentHeaderVersion,
-		FieldMask:     profile.MaskMerged,
-		Markers:       map[uint64]string{},
-	}
+	hdrs := make([]interval.Header, len(files))
 	for i, f := range files {
-		if i == 0 {
-			hdr.ProfileVersion = f.Header.ProfileVersion
-		} else if f.Header.ProfileVersion != hdr.ProfileVersion {
-			return nil, fmt.Errorf("merge: input %d profile version %#x differs from %#x",
-				i, f.Header.ProfileVersion, hdr.ProfileVersion)
-		}
-		hdr.Threads = append(hdr.Threads, f.Header.Threads...)
-		for id, s := range f.Header.Markers {
-			if prev, ok := hdr.Markers[id]; ok && prev != s {
-				return nil, fmt.Errorf("merge: marker id %d means %q and %q; convert the run with a shared registry", id, prev, s)
-			}
-			hdr.Markers[id] = s
-		}
+		hdrs[i] = f.Header
 	}
-	sort.Slice(hdr.Threads, func(i, j int) bool {
-		a, b := hdr.Threads[i], hdr.Threads[j]
-		if a.Node != b.Node {
-			return a.Node < b.Node
-		}
-		return a.LTID < b.LTID
-	})
+	hdr, err := UnionHeader(hdrs)
+	if err != nil {
+		return nil, err
+	}
 
-	trk := newTracker()
-	var lastEnd clock.Time
-	wopts := opts.Writer
-	if !opts.NoPseudo {
-		wopts.FramePrologue = func() []interval.Record {
-			ps := trk.pseudos(lastEnd)
-			res.Pseudo += int64(len(ps))
-			res.Records += int64(len(ps))
-			return ps
-		}
-	}
-	w, err := interval.NewWriter(dst, hdr, wopts)
+	ms := &mergeState{res: res, trk: newTracker()}
+	w, err := interval.NewWriter(dst, hdr, ms.writerOptions(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -346,7 +317,6 @@ func Merge(files []*interval.File, dst io.WriteSeeker, opts Options) (*Result, e
 	// synchronous streams at width 1. Producers are shut down (quit,
 	// then drained via wg) on every return path.
 	srcs := make([]recordSource, len(files))
-	streams := make([]source, len(files))
 	if width > 1 {
 		quit := make(chan struct{})
 		var wg sync.WaitGroup
@@ -362,15 +332,91 @@ func Merge(files []*interval.File, dst io.WriteSeeker, opts Options) (*Result, e
 			srcs[i] = &stream{sc: f.Scan(), adj: adjs[i], keepClock: opts.KeepClockRecords}
 		}
 	}
+	if err := ms.run(w, srcs, opts.Linear); err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// UnionHeader builds a merged-file header from the per-node input
+// headers: the union of the thread tables sorted by (node, ltid) and
+// the union of the marker tables, rejecting conflicting identifier
+// assignments. Both the batch merge and the streaming ingest path
+// (which knows its inputs' headers before any records exist) build
+// their output header here.
+func UnionHeader(hdrs []interval.Header) (interval.Header, error) {
+	hdr := interval.Header{
+		HeaderVersion: interval.CurrentHeaderVersion,
+		FieldMask:     profile.MaskMerged,
+		Markers:       map[uint64]string{},
+	}
+	for i, h := range hdrs {
+		if i == 0 {
+			hdr.ProfileVersion = h.ProfileVersion
+		} else if h.ProfileVersion != hdr.ProfileVersion {
+			return interval.Header{}, fmt.Errorf("merge: input %d profile version %#x differs from %#x",
+				i, h.ProfileVersion, hdr.ProfileVersion)
+		}
+		hdr.Threads = append(hdr.Threads, h.Threads...)
+		for id, s := range h.Markers {
+			if prev, ok := hdr.Markers[id]; ok && prev != s {
+				return interval.Header{}, fmt.Errorf("merge: marker id %d means %q and %q; convert the run with a shared registry", id, prev, s)
+			}
+			hdr.Markers[id] = s
+		}
+	}
+	sort.Slice(hdr.Threads, func(i, j int) bool {
+		a, b := hdr.Threads[i], hdr.Threads[j]
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.LTID < b.LTID
+	})
+	return hdr, nil
+}
+
+// mergeState is the write-side state shared by the batch merge and the
+// live (streaming) merge: the open-state tracker and the last written
+// end time feed the FramePrologue closure, so both paths plant
+// identical pseudo-intervals and are byte-identical by construction.
+type mergeState struct {
+	res     *Result
+	trk     *tracker
+	lastEnd clock.Time
+}
+
+// writerOptions installs the pseudo-interval frame prologue over the
+// caller's writer options.
+func (ms *mergeState) writerOptions(opts Options) interval.WriterOptions {
+	wopts := opts.Writer
+	if !opts.NoPseudo {
+		wopts.FramePrologue = func() []interval.Record {
+			ps := ms.trk.pseudos(ms.lastEnd)
+			ms.res.Pseudo += int64(len(ps))
+			ms.res.Records += int64(len(ps))
+			return ps
+		}
+	}
+	return wopts
+}
+
+// run is the k-way merge write loop: advance every source to its first
+// record, then repeatedly pick the smallest (end, input index) record,
+// write it, track open states, and refill. It does not close the
+// writer; callers own that.
+func (ms *mergeState) run(w *interval.Writer, srcs []recordSource, linear bool) error {
+	streams := make([]source, len(srcs))
 	for i, st := range srcs {
 		if err := st.Advance(); err != nil {
-			return nil, fmt.Errorf("merge: input %d: %w", i, err)
+			return fmt.Errorf("merge: input %d: %w", i, err)
 		}
 		streams[i] = st
 	}
-
 	var pk picker
-	if opts.Linear {
+	if linear {
 		pk = &linearScan{srcs: streams}
 	} else {
 		pk = newLoserTree(streams)
@@ -384,24 +430,21 @@ func Merge(files []*interval.File, dst io.WriteSeeker, opts Options) (*Result, e
 		st := srcs[i]
 		r := *st.Current()
 		if first {
-			lastEnd = r.End()
+			ms.lastEnd = r.End()
 			first = false
 		}
 		if err := w.Add(&r); err != nil {
-			return nil, fmt.Errorf("merge: writing record from input %d: %w", i, err)
+			return fmt.Errorf("merge: writing record from input %d: %w", i, err)
 		}
-		res.Records++
-		lastEnd = r.End()
-		trk.observe(&r)
+		ms.res.Records++
+		ms.lastEnd = r.End()
+		ms.trk.observe(&r)
 		if err := st.Advance(); err != nil {
-			return nil, fmt.Errorf("merge: input %d: %w", i, err)
+			return fmt.Errorf("merge: input %d: %w", i, err)
 		}
 		pk.Fix(i)
 	}
-	if err := w.Close(); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return nil
 }
 
 // MergeFiles merges interval files on disk into outPath.

@@ -49,8 +49,13 @@ func (o Options) FileName(node int) string {
 // Raw trace file header: magic, version, node id, cpu count, enabled mask.
 const (
 	rawMagic      = "UTRAW1\x00\x00"
-	rawHeaderSize = 8 + 4 + 4 + 4 + 4
+	rawHeaderSize = RawHeaderSize
 )
+
+// RawHeaderSize is the length of the raw trace file header (magic,
+// version, node id, cpu count, enabled mask). Streaming ingest uses it
+// to split a node's preamble batch into header and records.
+const RawHeaderSize = 8 + 4 + 4 + 4 + 4
 
 // Facility is the per-node trace recorder. Methods are safe for
 // concurrent use by the simulated threads of one node.

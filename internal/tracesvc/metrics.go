@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"tracefw/internal/ingest"
 )
 
 // Hand-rolled Prometheus text-format metrics (stdlib only, per the
@@ -205,4 +207,34 @@ func (m *metrics) writePrometheus(w io.Writer, cache CacheStats, tracesOpen int6
 // shortest representation, no exponent for these magnitudes.
 func trimFloat(f float64) string {
 	return fmt.Sprintf("%g", f)
+}
+
+// writeIngestMetrics appends the streaming-ingest counters; only
+// emitted when ingest is enabled, so scrapes of a query-only daemon are
+// unchanged.
+func writeIngestMetrics(w io.Writer, st ingest.Stats) {
+	fmt.Fprintf(w, "# HELP tracesvc_ingest_sessions_active Live traces currently being ingested.\n")
+	fmt.Fprintf(w, "# TYPE tracesvc_ingest_sessions_active gauge\n")
+	fmt.Fprintf(w, "tracesvc_ingest_sessions_active %d\n", st.SessionsActive)
+	fmt.Fprintf(w, "# HELP tracesvc_ingest_sessions_done_total Ingest sessions completed (all nodes finished or drained).\n")
+	fmt.Fprintf(w, "# TYPE tracesvc_ingest_sessions_done_total counter\n")
+	fmt.Fprintf(w, "tracesvc_ingest_sessions_done_total %d\n", st.SessionsDone)
+	fmt.Fprintf(w, "# HELP tracesvc_ingest_sessions_failed_total Ingest sessions that failed or were aborted (their sealed prefix stays valid).\n")
+	fmt.Fprintf(w, "# TYPE tracesvc_ingest_sessions_failed_total counter\n")
+	fmt.Fprintf(w, "tracesvc_ingest_sessions_failed_total %d\n", st.SessionsFailed)
+	fmt.Fprintf(w, "# HELP tracesvc_ingest_batches_total Batches accepted across all sessions.\n")
+	fmt.Fprintf(w, "# TYPE tracesvc_ingest_batches_total counter\n")
+	fmt.Fprintf(w, "tracesvc_ingest_batches_total %d\n", st.Batches)
+	fmt.Fprintf(w, "# HELP tracesvc_ingest_bytes_total Raw batch bytes accepted across all sessions.\n")
+	fmt.Fprintf(w, "# TYPE tracesvc_ingest_bytes_total counter\n")
+	fmt.Fprintf(w, "tracesvc_ingest_bytes_total %d\n", st.Bytes)
+	fmt.Fprintf(w, "# HELP tracesvc_ingest_records_total Raw event records decoded across all sessions.\n")
+	fmt.Fprintf(w, "# TYPE tracesvc_ingest_records_total counter\n")
+	fmt.Fprintf(w, "tracesvc_ingest_records_total %d\n", st.Records)
+	fmt.Fprintf(w, "# HELP tracesvc_ingest_seals_total Frame-group seals published by live writers (each one advances the queryable tail).\n")
+	fmt.Fprintf(w, "# TYPE tracesvc_ingest_seals_total counter\n")
+	fmt.Fprintf(w, "tracesvc_ingest_seals_total %d\n", st.Seals)
+	fmt.Fprintf(w, "# HELP tracesvc_ingest_errors_total Rejected ingest requests (bad sequence, oversized batch, contract violations).\n")
+	fmt.Fprintf(w, "# TYPE tracesvc_ingest_errors_total counter\n")
+	fmt.Fprintf(w, "tracesvc_ingest_errors_total %d\n", st.Errors)
 }

@@ -44,15 +44,20 @@ func (t *Trace) Bounds() (clock.Time, clock.Time, int64) { return t.start, t.end
 type Registry struct {
 	cache *FrameCache
 
-	mu     sync.RWMutex
-	byID   map[string]*Trace
-	nextID uint64
+	mu       sync.RWMutex
+	byID     map[string]*Trace
+	liveByID map[string]*liveEntry
+	nextID   uint64
 }
 
 // NewRegistry builds an empty registry whose traces decode frames
 // through the given cache.
 func NewRegistry(cache *FrameCache) *Registry {
-	return &Registry{cache: cache, byID: make(map[string]*Trace)}
+	return &Registry{
+		cache:    cache,
+		byID:     make(map[string]*Trace),
+		liveByID: make(map[string]*liveEntry),
+	}
 }
 
 // Open opens and registers the interval file at path: the directory
@@ -74,8 +79,27 @@ func (r *Registry) Open(path string) (*Trace, error) {
 }
 
 // register wires an already-open file into the registry (Open's tail;
-// tests use it with in-memory files).
+// tests use it with in-memory files). A failed registration burns the
+// allocated ID — IDs stay stable and unrecycled either way.
 func (r *Registry) register(path string, f *interval.File) (*Trace, error) {
+	r.mu.Lock()
+	r.nextID++
+	id, num := fmt.Sprintf("t%d", r.nextID), r.nextID
+	r.mu.Unlock()
+	t, err := buildTrace(id, path, num, f, r.cache)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.byID[t.ID] = t
+	r.mu.Unlock()
+	return t, nil
+}
+
+// buildTrace preloads an open file and assembles the resident Trace —
+// shared by static registration and live-snapshot resolution (which
+// reuses one cache namespace across generations).
+func buildTrace(id, path string, num uint64, f *interval.File, cache *FrameCache) (*Trace, error) {
 	if !f.ConcurrentReads() {
 		return nil, fmt.Errorf("tracesvc: %s: reader does not support concurrent frame reads", path)
 	}
@@ -94,13 +118,10 @@ func (r *Registry) register(path string, f *interval.File) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	r.mu.Lock()
-	r.nextID++
 	t := &Trace{
-		ID:     fmt.Sprintf("t%d", r.nextID),
+		ID:     id,
 		Path:   path,
-		num:    r.nextID,
+		num:    num,
 		file:   f,
 		frames: frames,
 		dirs:   len(dirs),
@@ -111,18 +132,15 @@ func (r *Registry) register(path string, f *interval.File) (*Trace, error) {
 	// The hook makes every frame decode — map-reduce engine, scanners,
 	// DecodeFrame — hit the shared cache. Installed before the trace is
 	// published, never changed after, as SetFrameDecoder requires.
-	cache, num := r.cache, t.num
 	f.SetFrameDecoder(func(f *interval.File, fe interval.FrameEntry) ([]interval.Record, error) {
 		return cache.Get(num, fe.Offset, func() ([]interval.Record, error) {
 			return f.DecodeFrameDirect(fe)
 		})
 	})
-	r.byID[t.ID] = t
-	r.mu.Unlock()
 	return t, nil
 }
 
-// Get looks a trace up by ID.
+// Get looks a static trace up by ID (live traces resolve via Resolve).
 func (r *Registry) Get(id string) (*Trace, bool) {
 	r.mu.RLock()
 	t, ok := r.byID[id]
@@ -130,23 +148,53 @@ func (r *Registry) Get(id string) (*Trace, bool) {
 	return t, ok
 }
 
-// List returns the registered traces in ID (registration) order.
+// Resolve looks a trace up by ID, resolving live traces to a snapshot
+// of their newest seal generation.
+func (r *Registry) Resolve(id string) (*Trace, error) {
+	r.mu.RLock()
+	t, ok := r.byID[id]
+	var e *liveEntry
+	if !ok {
+		e, ok = r.liveByID[id]
+	}
+	r.mu.RUnlock()
+	if !ok {
+		return nil, notFound(id)
+	}
+	if e != nil {
+		return e.resolve(r.cache)
+	}
+	return t, nil
+}
+
+// List returns the registered traces in ID (registration) order. Live
+// traces appear as their newest resolved snapshot; ones with no sealed
+// data yet (or whose resolution fails) are omitted.
 func (r *Registry) List() []*Trace {
 	r.mu.RLock()
-	ts := make([]*Trace, 0, len(r.byID))
+	ts := make([]*Trace, 0, len(r.byID)+len(r.liveByID))
 	for _, t := range r.byID {
 		ts = append(ts, t)
 	}
+	lives := make([]*liveEntry, 0, len(r.liveByID))
+	for _, e := range r.liveByID {
+		lives = append(lives, e)
+	}
 	r.mu.RUnlock()
+	for _, e := range lives {
+		if t, err := e.resolve(r.cache); err == nil {
+			ts = append(ts, t)
+		}
+	}
 	sort.Slice(ts, func(i, j int) bool { return ts[i].num < ts[j].num })
 	return ts
 }
 
-// Len returns the number of registered traces.
+// Len returns the number of registered traces (live ones included).
 func (r *Registry) Len() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return len(r.byID)
+	return len(r.byID) + len(r.liveByID)
 }
 
 // Close unregisters a trace, drops its cached frames, and closes the
@@ -158,28 +206,61 @@ func (r *Registry) Close(id string) bool {
 	if ok {
 		delete(r.byID, id)
 	}
+	var e *liveEntry
+	if !ok {
+		if e, ok = r.liveByID[id]; ok {
+			delete(r.liveByID, id)
+		}
+	}
 	r.mu.Unlock()
 	if !ok {
 		return false
+	}
+	if e != nil {
+		e.close()
+		r.cache.InvalidateFile(e.num)
+		return true
 	}
 	r.cache.InvalidateFile(t.num)
 	t.file.Close()
 	return true
 }
 
-// CloseAll closes every registered trace (daemon shutdown).
+// CloseAll closes every registered trace (daemon shutdown), including
+// live ones that never sealed any data.
 func (r *Registry) CloseAll() {
-	for _, t := range r.List() {
-		r.Close(t.ID)
+	r.mu.RLock()
+	ids := make([]string, 0, len(r.byID)+len(r.liveByID))
+	for id := range r.byID {
+		ids = append(ids, id)
+	}
+	for id := range r.liveByID {
+		ids = append(ids, id)
+	}
+	r.mu.RUnlock()
+	for _, id := range ids {
+		r.Close(id)
 	}
 }
 
 // framesDecoded sums the frame payload reads of every registered trace
-// — the warm/cold proof counter exported via /metrics.
+// — the warm/cold proof counter exported via /metrics. Live traces
+// count their current snapshot without forcing a resolve.
 func (r *Registry) framesDecoded() int64 {
+	r.mu.RLock()
+	files := make([]*interval.File, 0, len(r.byID)+len(r.liveByID))
+	for _, t := range r.byID {
+		files = append(files, t.file)
+	}
+	for _, e := range r.liveByID {
+		if f := e.file(); f != nil {
+			files = append(files, f)
+		}
+	}
+	r.mu.RUnlock()
 	var n int64
-	for _, t := range r.List() {
-		n += t.file.DecodedFrames()
+	for _, f := range files {
+		n += f.DecodedFrames()
 	}
 	return n
 }

@@ -57,6 +57,9 @@ type Service struct {
 	reg   *Registry
 	met   *metrics
 	mux   *http.ServeMux
+	// ing is nil until EnableIngest; the ingest endpoints answer 403
+	// while it is.
+	ing *ingestState
 }
 
 // New builds a service with an empty registry.
@@ -79,6 +82,12 @@ func New(cfg Config) *Service {
 	s.handle("GET /v1/traces/{id}/records", "records", s.handleRecords)
 	s.handle("GET /v1/traces/{id}/preview.svg", "preview", s.handlePreview)
 	s.handle("GET /metrics", "metrics", s.handleMetrics)
+	s.handle("GET /v1/ingest", "ingest-list", s.handleIngestList)
+	s.handle("GET /v1/ingest/{trace}", "ingest-status", s.handleIngestStatus)
+	// Batch POSTs run without the request deadline: a push into a full
+	// merge queue blocks legitimately (that block is the backpressure
+	// bounding ingest memory), and cancelling it would tear a batch.
+	s.handleNoDeadline("POST /v1/ingest/{trace}", "ingest", s.handleIngestPost)
 	return s
 }
 
@@ -93,8 +102,14 @@ func (s *Service) Cache() *FrameCache { return s.cache }
 // Handler returns the root handler.
 func (s *Service) Handler() http.Handler { return s.mux }
 
-// Close closes every registered trace.
-func (s *Service) Close() { s.reg.CloseAll() }
+// Close drains any in-flight ingest sessions — sealing every live trace
+// into a complete, valid file — and closes every registered trace.
+func (s *Service) Close() {
+	if s.ing != nil {
+		s.ing.mgr.DrainAll()
+	}
+	s.reg.CloseAll()
+}
 
 // response is a fully materialized reply. Handlers build replies in
 // memory — every endpoint's payload is bounded (tables, frame lists,
@@ -150,13 +165,29 @@ func errStatus(err error) int {
 // handle registers one endpoint: request counting, the per-request
 // deadline, latency observation, and error rendering wrap the handler.
 func (s *Service) handle(pattern, name string, fn func(r *http.Request) (*response, error)) {
+	s.handleWrapped(pattern, name, fn, true)
+}
+
+// handleNoDeadline registers an endpoint exempt from the request
+// deadline (ingest batch POSTs, which block on merge backpressure).
+func (s *Service) handleNoDeadline(pattern, name string, fn func(r *http.Request) (*response, error)) {
+	s.handleWrapped(pattern, name, fn, false)
+}
+
+func (s *Service) handleWrapped(pattern, name string, fn func(r *http.Request) (*response, error), deadline bool) {
 	em := s.met.endpoint(name)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		em.requests.add(1)
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-		resp, err := fn(r.WithContext(ctx))
-		cancel()
+		var resp *response
+		var err error
+		if deadline {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			resp, err = fn(r.WithContext(ctx))
+			cancel()
+		} else {
+			resp, err = fn(r)
+		}
 		if err != nil {
 			em.errors.add(1)
 			em.latency.observe(time.Since(t0))
@@ -238,14 +269,11 @@ func (s *Service) handleOpen(r *http.Request) (*response, error) {
 	return jsonResponse(http.StatusCreated, infoOf(t))
 }
 
-// trace resolves the {id} path segment.
+// trace resolves the {id} path segment. Live traces resolve to a
+// snapshot of their newest seal generation, so every query observes the
+// live tail as of its own start.
 func (s *Service) trace(r *http.Request) (*Trace, error) {
-	id := r.PathValue("id")
-	t, ok := s.reg.Get(id)
-	if !ok {
-		return nil, notFound(id)
-	}
-	return t, nil
+	return s.reg.Resolve(r.PathValue("id"))
 }
 
 func (s *Service) handleGet(r *http.Request) (*response, error) {
@@ -565,5 +593,8 @@ func (s *Service) handlePreview(r *http.Request) (*response, error) {
 func (s *Service) handleMetrics(*http.Request) (*response, error) {
 	var b bytes.Buffer
 	s.met.writePrometheus(&b, s.cache.Stats(), int64(s.reg.Len()), s.reg.framesDecoded())
+	if s.ing != nil {
+		writeIngestMetrics(&b, s.ing.mgr.Stats())
+	}
 	return &response{status: http.StatusOK, contentType: "text/plain; version=0.0.4; charset=utf-8", body: b.Bytes()}, nil
 }
