@@ -1,0 +1,176 @@
+package tracefw
+
+// Benchmarks for the horizontal serving tier (internal/shard): the
+// router's scatter-gather window path, and the cache-capacity scaling
+// argument behind running N backends at all. On a single-CPU machine
+// adding backends cannot add compute, but it does add aggregate
+// decoded-frame cache: the router splits a trace's frame ranges across
+// the fleet, so each backend's working set shrinks with N. When one
+// backend's cache cannot hold the whole trace, a fleet whose combined
+// cache can turns every warm query from a decode back into a lookup.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"tracefw/internal/interval"
+	"tracefw/internal/load"
+	"tracefw/internal/shard"
+	"tracefw/internal/tracesvc"
+)
+
+// routerFleet is an in-process serving tier: n tracesvc backends behind
+// real HTTP listeners and a router splitting every trace across them.
+type routerFleet struct {
+	router   *shard.Router
+	backends []*tracesvc.Service
+	id       string
+	windows  []string
+}
+
+// benchRouterFleet builds a fleet whose per-backend cache budget is
+// cacheBytes (0 = default 256 MiB) over one trace of n records, split
+// across the backends from the first frame directory on.
+func benchRouterFleet(b *testing.B, nBackends int, cacheBytes int64, n int) *routerFleet {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), "bench.ute")
+	writeIntervalFile(b, path, interval.CurrentHeaderVersion, n)
+
+	f := &routerFleet{}
+	var bs []shard.Backend
+	for i := 0; i < nBackends; i++ {
+		svc := tracesvc.New(tracesvc.Config{CacheBytes: cacheBytes, CacheShards: 1})
+		svc.SetReady()
+		ts := httptest.NewServer(svc.Handler())
+		b.Cleanup(func() { ts.Close(); svc.Close() })
+		f.backends = append(f.backends, svc)
+		bs = append(bs, shard.Backend{Name: fmt.Sprintf("b%d", i), URL: ts.URL})
+	}
+	rt, err := shard.NewRouter(shard.Config{Backends: bs, SplitFrames: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(rt.Close)
+	f.router = rt
+	info, err := rt.OpenTrace(context.Background(), path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.id = info.ID
+
+	// Eight windows tiling the whole run: cycling through them sweeps
+	// every frame, which is the cache's worst case when it cannot hold
+	// the trace and its best case when it can.
+	const nw = 8
+	span := float64(info.EndNs-info.StartNs) / 1e9
+	lo := float64(info.StartNs) / 1e9
+	for i := 0; i < nw; i++ {
+		f.windows = append(f.windows, fmt.Sprintf("%.9f:%.9f",
+			lo+span*float64(i)/nw, lo+span*float64(i+1)/nw))
+	}
+	return f
+}
+
+func (f *routerFleet) query(b *testing.B, i int) {
+	b.Helper()
+	url := fmt.Sprintf("/v1/traces/%s/records?window=%s&count=1", f.id, f.windows[i%len(f.windows)])
+	w := httptest.NewRecorder()
+	f.router.Handler().ServeHTTP(w, httptest.NewRequest("GET", url, nil))
+	if w.Code != http.StatusOK {
+		b.Fatalf("GET %s: %d %s", url, w.Code, w.Body)
+	}
+}
+
+// decodedBytes sums the backends' decoded-frame cache occupancy.
+func (f *routerFleet) cacheStats() (bytes, hits, misses int64) {
+	for _, svc := range f.backends {
+		st := svc.Cache().Stats()
+		bytes += st.Bytes
+		hits += st.Hits
+		misses += st.Misses
+	}
+	return
+}
+
+// BenchmarkRouterWindow measures one warm scatter-gathered window count
+// through the router over two backends — the serving tier's hot path:
+// two HTTP legs, frame-order merge, JSON encode.
+func BenchmarkRouterWindow(b *testing.B) {
+	f := benchRouterFleet(b, 2, 0, 20000)
+	f.query(b, 0) // warm both segment caches for window 0
+	runtime.GC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.query(b, 0)
+	}
+}
+
+// BenchmarkUteloadSmoke drives the load generator end to end against a
+// two-backend router fleet: one op is a complete uteload run (trace
+// discovery, cold pass over every window, measured warm phase, backend
+// cache scrape). It exists for `make ci`'s one-iteration smoke — it
+// catches bit-rot anywhere in the serving tier's client-visible surface
+// without paying for a measurement run.
+func BenchmarkUteloadSmoke(b *testing.B) {
+	f := benchRouterFleet(b, 2, 0, 4000)
+	ts := httptest.NewServer(f.router.Handler())
+	defer ts.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := load.Run(context.Background(), load.Config{
+			BaseURL: ts.URL, Clients: 2, Requests: 16, Windows: 4, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Cold.Errors+rep.Warm.Errors > 0 {
+			b.Fatalf("load run errored: %+v", rep)
+		}
+	}
+}
+
+// BenchmarkRouterScaling is the capacity argument measured: the same
+// window sweep against 1, 2, and 4 backends whose per-backend cache
+// holds ~60% of the trace's decoded frames. One backend evicts on every
+// lap (a cyclic sweep is LRU's worst case) and pays the decode price
+// per query; two backends each own roughly half the frame ranges, fit
+// them, and serve every warm query from cache. hitratio is printed per
+// op so the mechanism is visible next to the time.
+func BenchmarkRouterScaling(b *testing.B) {
+	const records = 20000
+	// Probe the decoded working set with an uncapped single backend.
+	probe := benchRouterFleet(b, 1, 0, records)
+	for i := range probe.windows {
+		probe.query(b, i)
+	}
+	working, _, _ := probe.cacheStats()
+	if working == 0 {
+		b.Fatal("probe decoded nothing")
+	}
+	perBackend := working * 6 / 10
+
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("backends-%d", n), func(b *testing.B) {
+			f := benchRouterFleet(b, n, perBackend, records)
+			for i := range f.windows { // warm lap
+				f.query(b, i)
+			}
+			_, h0, m0 := f.cacheStats()
+			runtime.GC()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.query(b, i)
+			}
+			b.StopTimer()
+			_, h1, m1 := f.cacheStats()
+			if dh, dm := h1-h0, m1-m0; dh+dm > 0 {
+				b.ReportMetric(float64(dh)/float64(dh+dm), "hitratio")
+			}
+		})
+	}
+}

@@ -27,7 +27,7 @@ import (
 func buildCmds(t *testing.T) string {
 	t.Helper()
 	bin := t.TempDir()
-	for _, name := range []string{"tracegen", "uteconvert", "utemerge", "utestats", "uteview", "utedump", "utecheck", "utetraced"} {
+	for _, name := range []string{"tracegen", "uteconvert", "utemerge", "utestats", "uteview", "utedump", "utecheck", "utetraced", "uterouter", "uteload"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(bin, name), "./cmd/"+name)
 		cmd.Env = os.Environ()
 		if out, err := cmd.CombinedOutput(); err != nil {
@@ -634,6 +634,169 @@ func TestCLITraceDaemon(t *testing.T) {
 	if !strings.Contains(tail.String(), "shut down") {
 		t.Fatalf("daemon did not announce shutdown:\n%s", tail.String())
 	}
+}
+
+// TestCLIServingTier stands up the full horizontal serving tier as real
+// processes: two utetraced backends, a uterouter splitting a preloaded
+// trace across them, and a uteload run against the router. The router's
+// answers must match a single backend's byte for byte, uteload must
+// finish with zero errors, and every process must shut down cleanly on
+// SIGINT.
+func TestCLIServingTier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bin := buildCmds(t)
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.ute")
+	writeIntervalFile(t, tracePath, interval.CurrentHeaderVersion, 400)
+
+	// Flag misuse is exit 2 before anything binds.
+	if code, msg := runCmdFail(t, bin, "uterouter"); code != 2 || !strings.Contains(msg, "-backends is required") {
+		t.Fatalf("uterouter without -backends: exit %d, stderr %q", code, msg)
+	}
+	if code, msg := runCmdFail(t, bin, "uteload"); code != 2 || !strings.Contains(msg, "-url is required") {
+		t.Fatalf("uteload without -url: exit %d, stderr %q", code, msg)
+	}
+	if code, msg := runCmdFail(t, bin, "uteload", "-url", "http://127.0.0.1:1", "-mix", "stats=x"); code != 2 || !strings.Contains(msg, "bad -mix") {
+		t.Fatalf("uteload with bad -mix: exit %d, stderr %q", code, msg)
+	}
+
+	// start launches one daemon binary, waits for its listen line, and
+	// returns the base URL plus a stopper asserting a clean SIGINT exit.
+	start := func(name string, args ...string) (base string, stop func()) {
+		cmd := exec.Command(filepath.Join(bin, name), args...)
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = cmd.Stdout
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cmd.Process.Kill() })
+		sc := bufio.NewScanner(stdout)
+		var pre strings.Builder
+		for sc.Scan() {
+			if _, addr, ok := strings.Cut(sc.Text(), "listening on "); ok {
+				base = addr
+				break
+			}
+			pre.WriteString(sc.Text())
+			pre.WriteByte('\n')
+		}
+		if base == "" {
+			t.Fatalf("%s printed no listen line: %v\n%s", name, sc.Err(), pre.String())
+		}
+		stop = func() {
+			if err := cmd.Process.Signal(os.Interrupt); err != nil {
+				t.Fatal(err)
+			}
+			var tail strings.Builder
+			for sc.Scan() {
+				tail.WriteString(sc.Text())
+				tail.WriteByte('\n')
+			}
+			if err := cmd.Wait(); err != nil {
+				t.Fatalf("%s exit after SIGINT: %v\n%s", name, err, tail.String())
+			}
+			if !strings.Contains(tail.String(), "shut down") {
+				t.Fatalf("%s did not announce shutdown:\n%s", name, tail.String())
+			}
+		}
+		return base, stop
+	}
+	get := func(base, path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	b0, stop0 := start("utetraced", "-addr", "127.0.0.1:0")
+	b1, stop1 := start("utetraced", "-addr", "127.0.0.1:0")
+	// -split-frames 1 forces the trace into per-backend segments even at
+	// this test's size, so scatter-gather actually runs.
+	router, stopRouter := start("uterouter",
+		"-addr", "127.0.0.1:0", "-backends", b0+","+b1, "-split-frames", "1", tracePath)
+
+	if code, body := get(router, "/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("router healthz: %d %q", code, body)
+	}
+	if code, body := get(router, "/readyz"); code != 200 || body != "ready\n" {
+		t.Fatalf("router readyz: %d %q", code, body)
+	}
+	code, body := get(router, "/v1/traces")
+	if code != 200 || !strings.Contains(body, tracePath) {
+		t.Fatalf("router list: %d %s", code, body)
+	}
+	if code, body := get(router, "/v1/traces/t1/records?count=1"); code != 200 || !strings.Contains(body, `"count": 400`) {
+		t.Fatalf("router records count: %d %s", code, body)
+	}
+	// Byte identity through real processes: the backends each hold the
+	// whole trace as their own t1, so a direct backend answer is the
+	// single-node reference for the router's scatter-gathered one.
+	for _, q := range []string{"/records?limit=25&offset=190", "/stats", "/preview.svg"} {
+		cr, br := get(router, "/v1/traces/t1"+q)
+		cb, bb := get(b0, "/v1/traces/t1"+q)
+		if cr != 200 || cb != 200 || br != bb {
+			t.Fatalf("router vs backend mismatch on %s: %d/%d\nrouter: %.200s\nbackend: %.200s", q, cr, cb, br, bb)
+		}
+	}
+	if code, body := get(router, "/metrics"); code != 200 ||
+		!strings.Contains(body, "uterouter_ring_points") ||
+		!strings.Contains(body, "uterouter_scatter_queries_total") {
+		t.Fatalf("router metrics: %d %.300s", code, body)
+	}
+
+	// uteload against the router, scraping both backends' caches.
+	out := runCmd(t, bin, "uteload", "-url", router, "-backends", b0+","+b1,
+		"-clients", "2", "-requests", "40", "-windows", "4", "-json")
+	var rep struct {
+		Traces int `json:"traces"`
+		Cold   struct {
+			Requests int `json:"requests"`
+			Errors   int `json:"errors"`
+		} `json:"cold"`
+		Warm struct {
+			Requests int     `json:"requests"`
+			Errors   int     `json:"errors"`
+			QPS      float64 `json:"qps"`
+			P99Ms    float64 `json:"p99_ms"`
+		} `json:"warm"`
+		Backends []struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+		} `json:"backends"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("uteload -json output: %v\n%s", err, out)
+	}
+	if rep.Traces != 1 || rep.Warm.Requests != 40 || rep.Cold.Errors != 0 || rep.Warm.Errors != 0 {
+		t.Fatalf("uteload report: %s", out)
+	}
+	if rep.Warm.QPS <= 0 || rep.Warm.P99Ms <= 0 {
+		t.Fatalf("uteload reported no throughput: %s", out)
+	}
+	if len(rep.Backends) != 2 {
+		t.Fatalf("uteload scraped %d backends, want 2: %s", len(rep.Backends), out)
+	}
+	// The split means both backends serve frames for this one trace.
+	for i, b := range rep.Backends {
+		if b.Hits+b.Misses == 0 {
+			t.Fatalf("backend %d saw no cache traffic: %s", i, out)
+		}
+	}
+
+	stopRouter()
+	stop1()
+	stop0()
 }
 
 // TestCLITraceDaemonIngest covers the utetraced streaming-ingest flags:

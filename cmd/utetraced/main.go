@@ -103,6 +103,8 @@ func main() {
 		fmt.Printf("utetraced: opened %s as %s\n", p, t.ID)
 	}
 
+	svc.SetReady()
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)

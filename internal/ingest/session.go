@@ -550,6 +550,16 @@ func (s *Session) Drain() {
 		<-s.mergeDone
 		return
 	}
+	// Lift every queue bound first. The loop below finishes nodes one at
+	// a time while the merge consumes in global end-time order: a bounded
+	// Push here (or in a producer holding a node lock this loop needs)
+	// can block on a full queue that the merge will not touch until a
+	// later node's source closes — a deadlock this loop itself would
+	// cause. Unbounded queues make every flush complete immediately; the
+	// records left at drain time are finite.
+	for _, n := range s.nodes {
+		n.src.Unbound()
+	}
 	for _, n := range s.nodes {
 		n.mu.Lock()
 		if !n.finished {

@@ -101,10 +101,10 @@ func MapFilesFrames[T any](files []*File, opts MapOptions, mapFn func(file int, 
 			}
 		}
 	}
-	red := newOrderedReducer()
+	red := par.NewOrderedReducer()
 	return par.Do(len(jobs), p, func(i int) error {
 		if err := ctx.Err(); err != nil {
-			red.abort()
+			red.Abort()
 			return err
 		}
 		j := jobs[i]
@@ -115,15 +115,15 @@ func MapFilesFrames[T any](files []*File, opts MapOptions, mapFn func(file int, 
 		}
 		putBuf(pb)
 		if err != nil {
-			red.abort()
+			red.Abort()
 			return err
 		}
 		v, err := mapFn(j.file, j.fe, recs)
 		if err != nil {
-			red.abort()
+			red.Abort()
 			return err
 		}
-		return red.reduce(i, func() error { return reduceFn(j.file, j.fe, v) })
+		return red.Reduce(i, func() error { return reduceFn(j.file, j.fe, v) })
 	})
 }
 
@@ -171,25 +171,25 @@ func MapFilesBatches[T any](files []*File, opts MapOptions, mapFn func(file int,
 			}
 		}
 	}
-	red := newOrderedReducer()
+	red := par.NewOrderedReducer()
 	return par.Do(len(jobs), p, func(i int) error {
 		if err := ctx.Err(); err != nil {
-			red.abort()
+			red.Abort()
 			return err
 		}
 		j := jobs[i]
 		b := batchPool.Get().(*Batch)
 		defer batchPool.Put(b)
 		if err := files[j.file].DecodeFrameBatch(j.fe, b); err != nil {
-			red.abort()
+			red.Abort()
 			return err
 		}
 		v, err := mapFn(j.file, j.fe, b)
 		if err != nil {
-			red.abort()
+			red.Abort()
 			return err
 		}
-		return red.reduce(i, func() error { return reduceFn(j.file, j.fe, v) })
+		return red.Reduce(i, func() error { return reduceFn(j.file, j.fe, v) })
 	})
 }
 
@@ -219,50 +219,6 @@ func decodeFrame(f *File, fe FrameEntry, buf []byte) ([]Record, []byte, error) {
 	return recs, buf, err
 }
 
-// orderedReducer serializes reduce calls into ascending item order.
-// Workers finish map work in any order; each then waits its turn here.
-// Because a worker only takes a new item after reducing its previous
-// one, at most pool-size items are ever parked waiting.
-type orderedReducer struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	next   int
-	failed bool
-}
-
-func newOrderedReducer() *orderedReducer {
-	o := &orderedReducer{}
-	o.cond = sync.NewCond(&o.mu)
-	return o
-}
-
-// abort wakes every parked worker after a map failure so none waits for
-// a turn that will never come.
-func (o *orderedReducer) abort() {
-	o.mu.Lock()
-	o.failed = true
-	o.cond.Broadcast()
-	o.mu.Unlock()
-}
-
-// reduce runs fn once items 0..i-1 have reduced. After an abort it
-// returns nil without running fn; the aborting item's error is the one
-// the caller reports.
-func (o *orderedReducer) reduce(i int, fn func() error) error {
-	o.mu.Lock()
-	for o.next != i && !o.failed {
-		o.cond.Wait()
-	}
-	if o.failed {
-		o.mu.Unlock()
-		return nil
-	}
-	err := fn()
-	if err != nil {
-		o.failed = true
-	}
-	o.next++
-	o.cond.Broadcast()
-	o.mu.Unlock()
-	return err
-}
+// The ordered reduction itself lives in par.OrderedReducer — the shard
+// router's scatter-gather merge shares it, so both layers agree on the
+// frame-order reduce discipline.

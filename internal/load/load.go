@@ -1,0 +1,428 @@
+// Package load is the serving-tier load generator behind cmd/uteload:
+// N concurrent clients replay a configurable mix of window-stats,
+// preview, time-resolved, and record-count queries against a tracesvc
+// or uterouter endpoint, with zipfian trace popularity and a bounded
+// per-trace window pool so the run has a natural cold phase (first
+// touch of each window decodes frames) and a warm phase (repeats hit
+// the decoded-frame caches). The report carries QPS, latency
+// percentiles, error rates, and — when backend URLs are given —
+// per-backend cache hit ratios scraped from /metrics.
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tracefw/internal/tracesvc"
+	"tracefw/internal/xrand"
+)
+
+// Mix weights the query types; a zero Mix selects the default blend
+// (stats-heavy, matching the paper's preview-then-drill-down usage).
+type Mix struct {
+	Stats        int `json:"stats"`
+	Preview      int `json:"preview"`
+	TimeResolved int `json:"timeresolved"`
+	Records      int `json:"records"`
+}
+
+func (m Mix) total() int { return m.Stats + m.Preview + m.TimeResolved + m.Records }
+
+// Config tunes one load run; zero values select the defaults.
+type Config struct {
+	// BaseURL is the service under test (a utetraced or uterouter).
+	BaseURL string
+	// BackendURLs, when set, are scraped for decoded-frame cache hit
+	// ratios before and after the measured phase.
+	BackendURLs []string
+	// Clients is the concurrent client count (default 4).
+	Clients int
+	// Requests is the measured warm-phase request count (default 200).
+	Requests int
+	// Mix weights the query types (zero value: 4/2/1/3).
+	Mix Mix
+	// ZipfS is the zipf exponent for trace popularity (default 1.1):
+	// rank r drawn with probability proportional to 1/(r+1)^s.
+	ZipfS float64
+	// Seed makes the request sequence reproducible (default 1).
+	Seed uint64
+	// Bins is the bins parameter sent on stats/preview queries
+	// (default 16).
+	Bins int
+	// Windows is the per-trace window-pool size (default 16). A finite
+	// pool is what creates the warm phase: the cold pass touches every
+	// window once, the measured pass replays them.
+	Windows int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Requests <= 0 {
+		c.Requests = 200
+	}
+	if c.Mix.total() <= 0 {
+		c.Mix = Mix{Stats: 4, Preview: 2, TimeResolved: 1, Records: 3}
+	}
+	if c.ZipfS <= 0 {
+		c.ZipfS = 1.1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Bins <= 0 {
+		c.Bins = 16
+	}
+	if c.Windows <= 0 {
+		c.Windows = 16
+	}
+	return c
+}
+
+// Phase is the measured result of one run phase.
+type Phase struct {
+	Requests int     `json:"requests"`
+	Errors   int     `json:"errors"`
+	Seconds  float64 `json:"seconds"`
+	QPS      float64 `json:"qps"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+}
+
+// BackendCache is one backend's decoded-frame cache movement over the
+// measured phase.
+type BackendCache struct {
+	URL      string  `json:"url"`
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// Report is the full run result.
+type Report struct {
+	Traces   int            `json:"traces"`
+	Clients  int            `json:"clients"`
+	Mix      Mix            `json:"mix"`
+	Cold     Phase          `json:"cold"`
+	Warm     Phase          `json:"warm"`
+	Backends []BackendCache `json:"backends,omitempty"`
+}
+
+// zipf is a small cumulative-table zipfian sampler over ranks [0, n).
+type zipf struct {
+	cum []float64
+}
+
+func newZipf(n int, s float64) *zipf {
+	z := &zipf{cum: make([]float64, n)}
+	sum := 0.0
+	for r := 0; r < n; r++ {
+		sum += 1 / math.Pow(float64(r+1), s)
+		z.cum[r] = sum
+	}
+	for r := range z.cum {
+		z.cum[r] /= sum
+	}
+	return z
+}
+
+func (z *zipf) rank(u float64) int {
+	i := sort.SearchFloat64s(z.cum, u)
+	if i >= len(z.cum) {
+		i = len(z.cum) - 1
+	}
+	return i
+}
+
+// query is one templated request.
+type query struct {
+	kind string
+	url  string
+}
+
+// Run executes the load: discover traces, build window pools, run the
+// cold pass (every window touched once), then the measured warm phase.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: cfg.Clients * 2,
+		IdleConnTimeout:     90 * time.Second,
+	}}
+	defer client.CloseIdleConnections()
+
+	traces, err := listTraces(ctx, client, cfg.BaseURL)
+	if err != nil {
+		return nil, err
+	}
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("load: service has no traces registered")
+	}
+
+	// Window pools: random sub-spans of each trace's run, reproducible
+	// from the seed. Spans between 10%% and 50%% of the run keep queries
+	// nontrivial without always touching every frame.
+	rng := xrand.New(cfg.Seed)
+	pools := make([][]string, len(traces))
+	for i, tr := range traces {
+		dur := tr.EndSec - tr.StartSec
+		pools[i] = make([]string, cfg.Windows)
+		for w := range pools[i] {
+			span := dur * (0.1 + 0.4*rng.Float64())
+			lo := tr.StartSec + (dur-span)*rng.Float64()
+			pools[i][w] = fmt.Sprintf("%.6f:%.6f", lo, lo+span)
+		}
+	}
+
+	kinds := mixTable(cfg.Mix)
+	mkQuery := func(ti, wi, ki int) query {
+		id := traces[ti].ID
+		window := pools[ti][wi]
+		switch kinds[ki%len(kinds)] {
+		case "stats":
+			return query{"stats", fmt.Sprintf("/v1/traces/%s/stats?bins=%d&window=%s", id, cfg.Bins, window)}
+		case "preview":
+			return query{"preview", fmt.Sprintf("/v1/traces/%s/preview.svg?view=preview&bins=%d&window=%s", id, cfg.Bins, window)}
+		case "timeresolved":
+			return query{"timeresolved", fmt.Sprintf("/v1/traces/%s/stats?timeresolved=1&bins=%d&window=%s", id, cfg.Bins, window)}
+		default:
+			return query{"records", fmt.Sprintf("/v1/traces/%s/records?count=1&window=%s", id, window)}
+		}
+	}
+
+	// Cold pass: every (trace, window) pair once, query kind rotating
+	// through the mix, spread over the clients.
+	var cold []query
+	k := 0
+	for ti := range traces {
+		for wi := range pools[ti] {
+			cold = append(cold, mkQuery(ti, wi, k))
+			k++
+		}
+	}
+	coldPhase, err := runPhase(ctx, client, cfg, cold)
+	if err != nil {
+		return nil, err
+	}
+
+	// Warm phase: zipfian trace choice, uniform window from the pool,
+	// weighted kind — the measured workload.
+	z := newZipf(len(traces), cfg.ZipfS)
+	warm := make([]query, cfg.Requests)
+	for i := range warm {
+		ti := z.rank(rng.Float64())
+		warm[i] = mkQuery(ti, rng.Intn(cfg.Windows), rng.Intn(len(kinds)))
+	}
+
+	before := scrapeCaches(ctx, client, cfg.BackendURLs)
+	warmPhase, err := runPhase(ctx, client, cfg, warm)
+	if err != nil {
+		return nil, err
+	}
+	after := scrapeCaches(ctx, client, cfg.BackendURLs)
+
+	rep := &Report{
+		Traces:  len(traces),
+		Clients: cfg.Clients,
+		Mix:     cfg.Mix,
+		Cold:    coldPhase,
+		Warm:    warmPhase,
+	}
+	for i, url := range cfg.BackendURLs {
+		hits := after[i].hits - before[i].hits
+		misses := after[i].misses - before[i].misses
+		bc := BackendCache{URL: url, Hits: hits, Misses: misses}
+		if hits+misses > 0 {
+			bc.HitRatio = float64(hits) / float64(hits+misses)
+		}
+		rep.Backends = append(rep.Backends, bc)
+	}
+	return rep, nil
+}
+
+// mixTable expands the mix weights into a lookup table of kinds.
+func mixTable(m Mix) []string {
+	var t []string
+	for i := 0; i < m.Stats; i++ {
+		t = append(t, "stats")
+	}
+	for i := 0; i < m.Preview; i++ {
+		t = append(t, "preview")
+	}
+	for i := 0; i < m.TimeResolved; i++ {
+		t = append(t, "timeresolved")
+	}
+	for i := 0; i < m.Records; i++ {
+		t = append(t, "records")
+	}
+	return t
+}
+
+// runPhase fires the queries from cfg.Clients goroutines, each pulling
+// from a shared index, and folds the latency samples into a Phase.
+func runPhase(ctx context.Context, client *http.Client, cfg Config, queries []query) (Phase, error) {
+	if len(queries) == 0 {
+		return Phase{}, nil
+	}
+	var (
+		next    int64
+		nextMu  sync.Mutex
+		lats    = make([]time.Duration, 0, len(queries))
+		latMu   sync.Mutex
+		errs    int64
+		wg      sync.WaitGroup
+		ctxErr  error
+		ctxErrM sync.Mutex
+	)
+	take := func() int {
+		nextMu.Lock()
+		defer nextMu.Unlock()
+		if int(next) >= len(queries) {
+			return -1
+		}
+		i := int(next)
+		next++
+		return i
+	}
+	t0 := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, len(queries)/cfg.Clients+1)
+			for {
+				i := take()
+				if i < 0 || ctx.Err() != nil {
+					break
+				}
+				q := queries[i]
+				s0 := time.Now()
+				req, err := http.NewRequestWithContext(ctx, "GET", cfg.BaseURL+q.url, nil)
+				if err != nil {
+					ctxErrM.Lock()
+					if ctxErr == nil {
+						ctxErr = err
+					}
+					ctxErrM.Unlock()
+					return
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					latMu.Lock()
+					errs++
+					latMu.Unlock()
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				d := time.Since(s0)
+				local = append(local, d)
+				if resp.StatusCode != http.StatusOK {
+					latMu.Lock()
+					errs++
+					latMu.Unlock()
+				}
+			}
+			latMu.Lock()
+			lats = append(lats, local...)
+			latMu.Unlock()
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	if ctxErr != nil {
+		return Phase{}, ctxErr
+	}
+	if err := ctx.Err(); err != nil {
+		return Phase{}, err
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	ph := Phase{
+		Requests: len(queries),
+		Errors:   int(errs),
+		Seconds:  wall.Seconds(),
+		QPS:      float64(len(queries)) / wall.Seconds(),
+	}
+	if len(lats) > 0 {
+		ph.P50Ms = ms(percentile(lats, 0.50))
+		ph.P95Ms = ms(percentile(lats, 0.95))
+		ph.P99Ms = ms(percentile(lats, 0.99))
+		ph.MaxMs = ms(lats[len(lats)-1])
+	}
+	return ph, nil
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+func listTraces(ctx context.Context, client *http.Client, base string) ([]tracesvc.TraceInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/v1/traces", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("load: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("load: list traces: %s", resp.Status)
+	}
+	var tl tracesvc.TraceList
+	if err := json.NewDecoder(resp.Body).Decode(&tl); err != nil {
+		return nil, fmt.Errorf("load: list traces: %v", err)
+	}
+	return tl.Traces, nil
+}
+
+// cacheCounters is one scrape of a backend's frame-cache counters.
+type cacheCounters struct{ hits, misses int64 }
+
+// scrapeCaches reads tracesvc_cache_{hits,misses}_total from each
+// backend's /metrics; unreachable backends read as zero (the delta then
+// reports 0/0, not an error — the load run itself is the result).
+func scrapeCaches(ctx context.Context, client *http.Client, urls []string) []cacheCounters {
+	out := make([]cacheCounters, len(urls))
+	for i, u := range urls {
+		req, err := http.NewRequestWithContext(ctx, "GET", u+"/metrics", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		for _, line := range strings.Split(string(body), "\n") {
+			if v, ok := strings.CutPrefix(line, "tracesvc_cache_hits_total "); ok {
+				out[i].hits, _ = strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+			}
+			if v, ok := strings.CutPrefix(line, "tracesvc_cache_misses_total "); ok {
+				out[i].misses, _ = strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+			}
+		}
+	}
+	return out
+}

@@ -96,6 +96,21 @@ func (s *LiveSource) Push(r *interval.Record) error {
 	return nil
 }
 
+// Unbound lifts the queue's capacity bound: pending and future Pushes
+// stop blocking and every record stays buffered until the merge
+// consumes it. Drain paths need this — a drain finishing every source
+// from one goroutine can block in a bounded Push while the merge waits
+// on a different source that same goroutine has yet to finish, and a
+// producer blocked in Push holds its node lock against the drain. The
+// remaining records at drain time are finite, so the bound no longer
+// buys anything.
+func (s *LiveSource) Unbound() {
+	s.mu.Lock()
+	s.max = int(^uint(0) >> 1)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
 // CloseSend marks the end of the stream: Advance drains the queue and
 // then reports the source done.
 func (s *LiveSource) CloseSend() {

@@ -27,6 +27,59 @@ func Workers(p, n int) int {
 	return p
 }
 
+// OrderedReducer serializes reduce calls into ascending item order: work
+// items complete on any goroutine in any order, and each then waits its
+// turn here, so the reduction observes partial results in exactly the
+// sequence a sequential run would produce. It is the byte-identity
+// backbone of the interval map-reduce engine, and the shard router's
+// scatter-gather reuses it to merge per-backend partial responses in
+// frame (segment) order. Because a worker only takes a new item after
+// reducing its previous one, at most pool-size items are ever parked.
+type OrderedReducer struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	next   int
+	failed bool
+}
+
+// NewOrderedReducer builds a reducer expecting items numbered from 0.
+func NewOrderedReducer() *OrderedReducer {
+	o := &OrderedReducer{}
+	o.cond = sync.NewCond(&o.mu)
+	return o
+}
+
+// Abort wakes every parked worker after a failure so none waits for a
+// turn that will never come.
+func (o *OrderedReducer) Abort() {
+	o.mu.Lock()
+	o.failed = true
+	o.cond.Broadcast()
+	o.mu.Unlock()
+}
+
+// Reduce runs fn once items 0..i-1 have reduced. After an Abort it
+// returns nil without running fn; the aborting item's error is the one
+// the caller reports.
+func (o *OrderedReducer) Reduce(i int, fn func() error) error {
+	o.mu.Lock()
+	for o.next != i && !o.failed {
+		o.cond.Wait()
+	}
+	if o.failed {
+		o.mu.Unlock()
+		return nil
+	}
+	err := fn()
+	if err != nil {
+		o.failed = true
+	}
+	o.next++
+	o.cond.Broadcast()
+	o.mu.Unlock()
+	return err
+}
+
 // Do runs fn(0) … fn(n-1) on at most Workers(p, n) goroutines and waits
 // for completion. With one worker it runs inline on the caller's
 // goroutine and stops at the first error, exactly like a plain loop.

@@ -83,3 +83,75 @@ func TestDoEmpty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestOrderedReducerOrder: reductions land in ascending item order no
+// matter how the workers interleave.
+func TestOrderedReducerOrder(t *testing.T) {
+	for _, p := range []int{1, 2, 8} {
+		red := NewOrderedReducer()
+		var got []int
+		if err := Do(200, p, func(i int) error {
+			return red.Reduce(i, func() error {
+				got = append(got, i)
+				return nil
+			})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 200 {
+			t.Fatalf("p=%d: %d reductions", p, len(got))
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("p=%d: reduction %d got item %d", p, i, v)
+			}
+		}
+	}
+}
+
+// TestOrderedReducerAbort: after an abort, parked workers return nil
+// promptly instead of waiting for a turn that never comes.
+func TestOrderedReducerAbort(t *testing.T) {
+	red := NewOrderedReducer()
+	var reduced int32
+	err := Do(64, 4, func(i int) error {
+		if i == 0 {
+			red.Abort()
+			return errors.New("item 0 failed")
+		}
+		return red.Reduce(i, func() error {
+			atomic.AddInt32(&reduced, 1)
+			return nil
+		})
+	})
+	if err == nil || err.Error() != "item 0 failed" {
+		t.Fatalf("err = %v", err)
+	}
+	if n := atomic.LoadInt32(&reduced); n != 0 {
+		t.Fatalf("%d reductions ran after abort of item 0", n)
+	}
+}
+
+// TestOrderedReducerError: a failing reduction poisons the reducer —
+// later items do not reduce.
+func TestOrderedReducerError(t *testing.T) {
+	red := NewOrderedReducer()
+	var after int32
+	err := Do(32, 4, func(i int) error {
+		return red.Reduce(i, func() error {
+			if i == 3 {
+				return errors.New("reduce 3 failed")
+			}
+			if i > 3 {
+				atomic.AddInt32(&after, 1)
+			}
+			return nil
+		})
+	})
+	if err == nil || err.Error() != "reduce 3 failed" {
+		t.Fatalf("err = %v", err)
+	}
+	if n := atomic.LoadInt32(&after); n != 0 {
+		t.Fatalf("%d reductions ran past the failing one", n)
+	}
+}

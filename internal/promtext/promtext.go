@@ -1,0 +1,105 @@
+// Package promtext is the hand-rolled Prometheus text-exposition kit
+// the serving layers share (stdlib only, per the repo's
+// no-new-dependencies rule): atomic counters and gauges plus
+// fixed-bucket latency histograms, rendered in the exposition format's
+// deterministic order so scrapes are diffable. Both the trace query
+// daemon (internal/tracesvc) and the shard router (internal/shard)
+// build their /metrics endpoints on it.
+package promtext
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down; it shares Counter's
+// representation (Add with a negative delta decreases it).
+type Gauge = Counter
+
+// LatencyBuckets are the default histogram upper bounds in seconds,
+// spanning cache-hit microseconds to multi-second cold scans.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// NumBuckets must equal len(LatencyBuckets); a const so the bucket
+// array needs no allocation. Checked at init.
+const NumBuckets = 16
+
+func init() {
+	if len(LatencyBuckets) != NumBuckets {
+		panic("promtext: NumBuckets out of sync with LatencyBuckets")
+	}
+}
+
+// Histogram is a fixed-bucket latency histogram over LatencyBuckets.
+// Observations and rendering are lock-free; the rendered snapshot is
+// approximate under concurrency, which the exposition format permits.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Int64
+	count   atomic.Int64
+	sumNs   atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	sec := d.Seconds()
+	for i, ub := range LatencyBuckets {
+		if sec <= ub {
+			h.buckets[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// WriteBuckets renders the histogram's bucket/sum/count lines for one
+// label set. labels is the rendered label body without braces (e.g.
+// `endpoint="stats"`); empty means no labels.
+func (h *Histogram) WriteBuckets(w io.Writer, family, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum int64
+	for bi, ub := range LatencyBuckets {
+		cum += h.buckets[bi].Load()
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", family, labels, sep, TrimFloat(ub), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", family, labels, sep, h.count.Load())
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", family, float64(h.sumNs.Load())/1e9)
+		fmt.Fprintf(w, "%s_count %d\n", family, h.count.Load())
+		return
+	}
+	fmt.Fprintf(w, "%s_sum{%s} %g\n", family, labels, float64(h.sumNs.Load())/1e9)
+	fmt.Fprintf(w, "%s_count{%s} %d\n", family, labels, h.count.Load())
+}
+
+// Header writes one family's HELP and TYPE lines.
+func Header(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+// TrimFloat renders a bucket bound the way Prometheus clients do:
+// shortest representation, no exponent for these magnitudes.
+func TrimFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}

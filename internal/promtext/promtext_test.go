@@ -1,0 +1,69 @@
+package promtext
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Add(3)
+	c.Add(2)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	var g Gauge
+	g.Add(7)
+	g.Add(-4)
+	if g.Value() != 3 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+}
+
+// TestHistogramRendering pins the exposition format: cumulative
+// buckets, +Inf, sum in seconds, count — labelled and unlabelled.
+func TestHistogramRendering(t *testing.T) {
+	var h Histogram
+	h.Observe(50 * time.Microsecond) // first bucket (<= 0.0001)
+	h.Observe(2 * time.Millisecond)  // <= 0.0025
+	h.Observe(20 * time.Second)      // over every bound: +Inf only
+
+	var b strings.Builder
+	h.WriteBuckets(&b, "x_seconds", `backend="b1"`)
+	out := b.String()
+	for _, want := range []string{
+		"x_seconds_bucket{backend=\"b1\",le=\"0.0001\"} 1\n",
+		"x_seconds_bucket{backend=\"b1\",le=\"0.0025\"} 2\n",
+		"x_seconds_bucket{backend=\"b1\",le=\"10\"} 2\n",
+		"x_seconds_bucket{backend=\"b1\",le=\"+Inf\"} 3\n",
+		"x_seconds_count{backend=\"b1\"} 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering lacks %q:\n%s", want, out)
+		}
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+
+	b.Reset()
+	h.WriteBuckets(&b, "y_seconds", "")
+	out = b.String()
+	for _, want := range []string{
+		"y_seconds_bucket{le=\"+Inf\"} 3\n",
+		"y_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("unlabelled rendering lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHeader(t *testing.T) {
+	var b strings.Builder
+	Header(&b, "foo_total", "counter", "Foos.")
+	if b.String() != "# HELP foo_total Foos.\n# TYPE foo_total counter\n" {
+		t.Fatalf("header = %q", b.String())
+	}
+}

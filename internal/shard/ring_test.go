@@ -1,0 +1,137 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"tracefw/internal/tracesvc"
+)
+
+// TestRingDeterministicAndBalanced pins the two placement properties
+// the router relies on: two rings built from the same backend count
+// agree on every key, and virtual nodes spread keys roughly evenly.
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	a := newRing(4, 64)
+	b := newRing(4, 64)
+	counts := make([]int, 4)
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("/traces/run-%d.ute", i)
+		if a.lookup(k) != b.lookup(k) {
+			t.Fatalf("rings disagree on %q", k)
+		}
+		counts[a.lookup(k)]++
+	}
+	for i, c := range counts {
+		if c < keys/4/3 || c > keys*3/4 {
+			t.Fatalf("backend %d owns %d of %d keys — ring badly skewed: %v", i, c, keys, counts)
+		}
+	}
+	if a.size() != 4*64 {
+		t.Fatalf("ring size %d, want 256", a.size())
+	}
+}
+
+// TestRingStability: growing the fleet by one backend must move only a
+// minority of keys — the consistent-hashing property that makes scale-up
+// cheap (only the moved traces go cold).
+func TestRingStability(t *testing.T) {
+	small := newRing(3, 64)
+	big := newRing(4, 64)
+	const keys = 4000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("trace-%d", i)
+		from, to := small.lookup(k), big.lookup(k)
+		if from != to {
+			if to != 3 {
+				t.Fatalf("key %q moved between old backends (%d -> %d)", k, from, to)
+			}
+			moved++
+		}
+	}
+	// Fair share for the new backend is 1/4; allow generous slack.
+	if moved > keys/2 {
+		t.Fatalf("adding one backend moved %d/%d keys", moved, keys)
+	}
+	if moved == 0 {
+		t.Fatal("new backend received no keys")
+	}
+}
+
+// TestBuildSegments checks the dir-boundary splitter: segments tile the
+// frame list, cut only at directory boundaries, and land on distinct
+// backends; small traces stay whole.
+func TestBuildSegments(t *testing.T) {
+	mkDirs := func(sizes ...int) []tracesvc.DirInfo {
+		dirs := make([]tracesvc.DirInfo, len(sizes))
+		first := 0
+		for i, n := range sizes {
+			dirs[i] = tracesvc.DirInfo{
+				FirstFrame: first, Frames: n,
+				StartNs: int64(first) * 100, EndNs: int64(first+n) * 100,
+			}
+			first += n
+		}
+		return dirs
+	}
+	total := func(dirs []tracesvc.DirInfo) int {
+		last := dirs[len(dirs)-1]
+		return last.FirstFrame + last.Frames
+	}
+
+	for _, tc := range []struct {
+		sizes    []int
+		backends int
+		wantSegs int
+	}{
+		{[]int{4, 4, 4, 4, 4, 4, 4, 2}, 2, 2},
+		{[]int{4, 4, 4, 4, 4, 4, 4, 2}, 3, 3},
+		{[]int{10, 1, 1, 1}, 4, 4},
+		{[]int{5, 5}, 8, 2}, // never more segments than dirs
+	} {
+		dirs := mkDirs(tc.sizes...)
+		info := tracesvc.TraceInfo{Frames: total(dirs), StartNs: 0, EndNs: int64(total(dirs)) * 100}
+		segs := buildSegments(dirs, info, 0, tc.backends, 1)
+		if len(segs) != tc.wantSegs {
+			t.Fatalf("%v x %d backends: %d segments, want %d: %+v", tc.sizes, tc.backends, len(segs), tc.wantSegs, segs)
+		}
+		// Tiling: contiguous, starts at 0, ends at the frame count.
+		next := 0
+		owners := map[int]bool{}
+		for _, s := range segs {
+			if s.lo != next || s.hi <= s.lo {
+				t.Fatalf("%v: segments do not tile: %+v", tc.sizes, segs)
+			}
+			next = s.hi
+			if owners[s.owner] {
+				t.Fatalf("%v: owner %d assigned twice: %+v", tc.sizes, s.owner, segs)
+			}
+			owners[s.owner] = true
+			// Cuts only at dir boundaries.
+			okLo, okHi := false, false
+			for _, d := range dirs {
+				if d.FirstFrame == s.lo {
+					okLo = true
+				}
+				if d.FirstFrame+d.Frames == s.hi {
+					okHi = true
+				}
+			}
+			if !okLo || !okHi {
+				t.Fatalf("%v: segment %+v cuts inside a directory", tc.sizes, s)
+			}
+		}
+		if next != info.Frames {
+			t.Fatalf("%v: segments cover %d of %d frames", tc.sizes, next, info.Frames)
+		}
+	}
+
+	// Below the split threshold: one whole-trace segment on the ring owner.
+	dirs := mkDirs(4, 4, 4)
+	info := tracesvc.TraceInfo{Frames: 12, EndNs: 1200}
+	segs := buildSegments(dirs, info, 1, 4, 100)
+	if len(segs) != 1 || segs[0].lo != 0 || segs[0].hi != 12 || segs[0].owner != 1 {
+		t.Fatalf("small trace split: %+v", segs)
+	}
+}

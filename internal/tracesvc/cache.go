@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"tracefw/internal/interval"
+	"tracefw/internal/promtext"
 )
 
 // frameKey identifies one cached frame: the registry-assigned file
@@ -32,11 +33,11 @@ type FrameCache struct {
 	shardBudget int64
 
 	// stats are approximate across shards and exported via /metrics.
-	hits      counter
-	misses    counter
-	evictions counter
-	bytes     gauge
-	entries   gauge
+	hits      promtext.Counter
+	misses    promtext.Counter
+	evictions promtext.Counter
+	bytes     promtext.Gauge
+	entries   promtext.Gauge
 }
 
 type cacheShard struct {
@@ -110,7 +111,7 @@ func (c *FrameCache) Get(file uint64, off int64, load func() ([]interval.Record,
 			// Ready entry: bump it to the front and serve.
 			sh.moveToFront(e)
 			sh.mu.Unlock()
-			c.hits.add(1)
+			c.hits.Add(1)
 			return e.recs, e.err
 		default:
 		}
@@ -118,13 +119,13 @@ func (c *FrameCache) Get(file uint64, off int64, load func() ([]interval.Record,
 		// it outside the lock. Counted as a hit — no second decode runs.
 		sh.mu.Unlock()
 		<-e.ready
-		c.hits.add(1)
+		c.hits.Add(1)
 		return e.recs, e.err
 	}
 	e := &cacheEntry{key: k, ready: make(chan struct{})}
 	sh.entries[k] = e
 	sh.mu.Unlock()
-	c.misses.add(1)
+	c.misses.Add(1)
 
 	recs, err := load()
 	e.recs, e.err = recs, err
@@ -140,8 +141,8 @@ func (c *FrameCache) Get(file uint64, off int64, load func() ([]interval.Record,
 		e.size = recordsBytes(recs)
 		sh.linkFront(e)
 		sh.bytes += e.size
-		c.bytes.add(e.size)
-		c.entries.add(1)
+		c.bytes.Add(e.size)
+		c.entries.Add(1)
 		c.evictLocked(sh)
 	}
 	sh.mu.Unlock()
@@ -157,9 +158,9 @@ func (c *FrameCache) evictLocked(sh *cacheShard) {
 		sh.unlink(victim)
 		delete(sh.entries, victim.key)
 		sh.bytes -= victim.size
-		c.bytes.add(-victim.size)
-		c.entries.add(-1)
-		c.evictions.add(1)
+		c.bytes.Add(-victim.size)
+		c.entries.Add(-1)
+		c.evictions.Add(1)
 	}
 }
 
@@ -178,8 +179,8 @@ func (c *FrameCache) InvalidateFile(file uint64) {
 			if e.linked {
 				sh.unlink(e)
 				sh.bytes -= e.size
-				c.bytes.add(-e.size)
-				c.entries.add(-1)
+				c.bytes.Add(-e.size)
+				c.entries.Add(-1)
 			}
 		}
 		sh.mu.Unlock()
@@ -197,8 +198,8 @@ func (c *FrameCache) Flush() {
 			if e.linked {
 				sh.unlink(e)
 				sh.bytes -= e.size
-				c.bytes.add(-e.size)
-				c.entries.add(-1)
+				c.bytes.Add(-e.size)
+				c.entries.Add(-1)
 			}
 		}
 		sh.mu.Unlock()
@@ -214,11 +215,11 @@ type CacheStats struct {
 // Stats snapshots the counters (approximate under concurrency).
 func (c *FrameCache) Stats() CacheStats {
 	return CacheStats{
-		Hits:      c.hits.value(),
-		Misses:    c.misses.value(),
-		Evictions: c.evictions.value(),
-		Bytes:     c.bytes.value(),
-		Entries:   c.entries.value(),
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Evictions: c.evictions.Value(),
+		Bytes:     c.bytes.Value(),
+		Entries:   c.entries.Value(),
 	}
 }
 

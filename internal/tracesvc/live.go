@@ -68,8 +68,11 @@ func (r *Registry) AddLive(prov LiveProvider) string {
 func (e *liveEntry) resolve(cache *FrameCache) (*Trace, error) {
 	path, size, gen, ready := e.prov.LiveInfo()
 	if !ready {
+		// retryAfter tells clients when to poll again: the first frame
+		// group usually seals within a second of ingest starting.
 		return nil, &httpErr{code: http.StatusServiceUnavailable,
-			msg: fmt.Sprintf("live trace %s has no sealed data yet", e.id)}
+			msg:        fmt.Sprintf("live trace %s has no sealed data yet", e.id),
+			retryAfter: 1}
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()

@@ -5,64 +5,15 @@ import (
 	"io"
 	"sort"
 	"sync"
-	"sync/atomic"
-	"time"
 
 	"tracefw/internal/ingest"
+	"tracefw/internal/promtext"
 )
 
-// Hand-rolled Prometheus text-format metrics (stdlib only, per the
-// repo's no-new-dependencies rule): atomic counters and gauges plus
-// fixed-bucket latency histograms, rendered by writePrometheus in the
-// exposition format's deterministic order.
-
-type counter struct{ v atomic.Int64 }
-
-func (c *counter) add(n int64) { c.v.Add(n) }
-func (c *counter) value() int64 {
-	return c.v.Load()
-}
-
-type gauge = counter
-
-// latencyBuckets are the histogram upper bounds in seconds, spanning
-// cache-hit microseconds to multi-second cold scans.
-var latencyBuckets = []float64{
-	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
-	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
-}
-
-// histogram is a fixed-bucket latency histogram. Observations and
-// rendering are lock-free; the rendered snapshot is approximate under
-// concurrency, which the exposition format permits.
-type histogram struct {
-	buckets [numBuckets]atomic.Int64
-	count   atomic.Int64
-	sumNs   atomic.Int64
-}
-
-// numBuckets must equal len(latencyBuckets); a const so the bucket
-// array needs no allocation. Checked at init.
-const numBuckets = 16
-
-func init() {
-	if len(latencyBuckets) != numBuckets {
-		panic("tracesvc: numBuckets out of sync with latencyBuckets")
-	}
-}
-
-// observe records one request duration.
-func (h *histogram) observe(d time.Duration) {
-	sec := d.Seconds()
-	for i, ub := range latencyBuckets {
-		if sec <= ub {
-			h.buckets[i].Add(1)
-			break
-		}
-	}
-	h.count.Add(1)
-	h.sumNs.Add(int64(d))
-}
+// /metrics is rendered with the shared hand-rolled Prometheus kit
+// (internal/promtext): atomic counters and gauges plus fixed-bucket
+// latency histograms, families in a fixed order and endpoint labels
+// sorted, so scrapes are diffable.
 
 // metrics aggregates everything /metrics exposes. Per-endpoint
 // histograms and request counters are created up front for the fixed
@@ -73,15 +24,20 @@ type metrics struct {
 	// Stats-engine counters: tables produced by each evaluator and the
 	// running total of records excluded by the errSkip path (previously
 	// dropped silently).
-	statsColumnar counter
-	statsScalar   counter
-	statsSkipped  counter
+	statsColumnar promtext.Counter
+	statsScalar   promtext.Counter
+	statsSkipped  promtext.Counter
 	// Summary-planner counters: queries answered from pyramid cells vs
 	// by the frame-scan fallback, plus what each cost.
-	summaryPyramid counter
-	summaryScan    counter
-	summaryCells   counter
-	summaryFrames  counter
+	summaryPyramid promtext.Counter
+	summaryScan    promtext.Counter
+	summaryCells   promtext.Counter
+	summaryFrames  promtext.Counter
+	// rangeQueries counts requests that restricted their scan to an
+	// explicit frame-index range (?frames=lo:hi) — the shard router's
+	// scatter-gather legs, so a backend can tell fan-out traffic from
+	// whole-trace queries.
+	rangeQueries promtext.Counter
 }
 
 // observeSummary records one summary-planner query (a preview build or
@@ -89,18 +45,18 @@ type metrics struct {
 // cells it consulted, and the frames it decoded.
 func (m *metrics) observeSummary(engine string, cells, frames int) {
 	if engine == "pyramid" {
-		m.summaryPyramid.add(1)
+		m.summaryPyramid.Add(1)
 	} else {
-		m.summaryScan.add(1)
+		m.summaryScan.Add(1)
 	}
-	m.summaryCells.add(int64(cells))
-	m.summaryFrames.add(int64(frames))
+	m.summaryCells.Add(int64(cells))
+	m.summaryFrames.Add(int64(frames))
 }
 
 type endpointMetrics struct {
-	requests counter
-	errors   counter
-	latency  histogram
+	requests promtext.Counter
+	errors   promtext.Counter
+	latency  promtext.Histogram
 }
 
 func newMetrics() *metrics {
@@ -122,49 +78,37 @@ func (m *metrics) endpoint(name string) *endpointMetrics {
 }
 
 // writePrometheus renders every metric in Prometheus text exposition
-// format. Families are rendered in a fixed order and endpoint labels
-// sorted, so scrapes are diffable.
+// format.
 func (m *metrics) writePrometheus(w io.Writer, cache CacheStats, tracesOpen int64, framesDecoded int64) {
-	fmt.Fprintf(w, "# HELP tracesvc_cache_hits_total Decoded-frame cache hits (including singleflight waiters).\n")
-	fmt.Fprintf(w, "# TYPE tracesvc_cache_hits_total counter\n")
+	promtext.Header(w, "tracesvc_cache_hits_total", "counter", "Decoded-frame cache hits (including singleflight waiters).")
 	fmt.Fprintf(w, "tracesvc_cache_hits_total %d\n", cache.Hits)
-	fmt.Fprintf(w, "# HELP tracesvc_cache_misses_total Decoded-frame cache misses (each one decode).\n")
-	fmt.Fprintf(w, "# TYPE tracesvc_cache_misses_total counter\n")
+	promtext.Header(w, "tracesvc_cache_misses_total", "counter", "Decoded-frame cache misses (each one decode).")
 	fmt.Fprintf(w, "tracesvc_cache_misses_total %d\n", cache.Misses)
-	fmt.Fprintf(w, "# HELP tracesvc_cache_evictions_total Frames evicted to stay under the byte budget.\n")
-	fmt.Fprintf(w, "# TYPE tracesvc_cache_evictions_total counter\n")
+	promtext.Header(w, "tracesvc_cache_evictions_total", "counter", "Frames evicted to stay under the byte budget.")
 	fmt.Fprintf(w, "tracesvc_cache_evictions_total %d\n", cache.Evictions)
-	fmt.Fprintf(w, "# HELP tracesvc_cache_bytes_resident Approximate bytes of decoded records resident in the cache.\n")
-	fmt.Fprintf(w, "# TYPE tracesvc_cache_bytes_resident gauge\n")
+	promtext.Header(w, "tracesvc_cache_bytes_resident", "gauge", "Approximate bytes of decoded records resident in the cache.")
 	fmt.Fprintf(w, "tracesvc_cache_bytes_resident %d\n", cache.Bytes)
-	fmt.Fprintf(w, "# HELP tracesvc_cache_frames_resident Decoded frames resident in the cache.\n")
-	fmt.Fprintf(w, "# TYPE tracesvc_cache_frames_resident gauge\n")
+	promtext.Header(w, "tracesvc_cache_frames_resident", "gauge", "Decoded frames resident in the cache.")
 	fmt.Fprintf(w, "tracesvc_cache_frames_resident %d\n", cache.Entries)
-	fmt.Fprintf(w, "# HELP tracesvc_traces_open Trace files currently registered.\n")
-	fmt.Fprintf(w, "# TYPE tracesvc_traces_open gauge\n")
+	promtext.Header(w, "tracesvc_traces_open", "gauge", "Trace files currently registered.")
 	fmt.Fprintf(w, "tracesvc_traces_open %d\n", tracesOpen)
-	fmt.Fprintf(w, "# HELP tracesvc_frames_decoded_total Frame payload reads across all registered traces.\n")
-	fmt.Fprintf(w, "# TYPE tracesvc_frames_decoded_total counter\n")
+	promtext.Header(w, "tracesvc_frames_decoded_total", "counter", "Frame payload reads across all registered traces.")
 	fmt.Fprintf(w, "tracesvc_frames_decoded_total %d\n", framesDecoded)
-	fmt.Fprintf(w, "# HELP tracesvc_stats_tables_columnar_total Statistics tables produced by the vectorized columnar engine.\n")
-	fmt.Fprintf(w, "# TYPE tracesvc_stats_tables_columnar_total counter\n")
-	fmt.Fprintf(w, "tracesvc_stats_tables_columnar_total %d\n", m.statsColumnar.value())
-	fmt.Fprintf(w, "# HELP tracesvc_stats_tables_scalar_total Statistics tables produced by the record-at-a-time engine.\n")
-	fmt.Fprintf(w, "# TYPE tracesvc_stats_tables_scalar_total counter\n")
-	fmt.Fprintf(w, "tracesvc_stats_tables_scalar_total %d\n", m.statsScalar.value())
-	fmt.Fprintf(w, "# HELP tracesvc_stats_records_skipped_total Records excluded from statistics tables because an expression referenced a field their state type does not carry.\n")
-	fmt.Fprintf(w, "# TYPE tracesvc_stats_records_skipped_total counter\n")
-	fmt.Fprintf(w, "tracesvc_stats_records_skipped_total %d\n", m.statsSkipped.value())
-	fmt.Fprintf(w, "# HELP tracesvc_summary_queries_total Summary-planner queries (previews, time-resolved tables), by answering engine.\n")
-	fmt.Fprintf(w, "# TYPE tracesvc_summary_queries_total counter\n")
-	fmt.Fprintf(w, "tracesvc_summary_queries_total{engine=\"pyramid\"} %d\n", m.summaryPyramid.value())
-	fmt.Fprintf(w, "tracesvc_summary_queries_total{engine=\"scan\"} %d\n", m.summaryScan.value())
-	fmt.Fprintf(w, "# HELP tracesvc_summary_pyramid_cells_total Pyramid cells consulted by summary-planner queries.\n")
-	fmt.Fprintf(w, "# TYPE tracesvc_summary_pyramid_cells_total counter\n")
-	fmt.Fprintf(w, "tracesvc_summary_pyramid_cells_total %d\n", m.summaryCells.value())
-	fmt.Fprintf(w, "# HELP tracesvc_summary_frames_decoded_total Frames decoded by summary-planner queries (scan fallbacks and pyramid window edges).\n")
-	fmt.Fprintf(w, "# TYPE tracesvc_summary_frames_decoded_total counter\n")
-	fmt.Fprintf(w, "tracesvc_summary_frames_decoded_total %d\n", m.summaryFrames.value())
+	promtext.Header(w, "tracesvc_stats_tables_columnar_total", "counter", "Statistics tables produced by the vectorized columnar engine.")
+	fmt.Fprintf(w, "tracesvc_stats_tables_columnar_total %d\n", m.statsColumnar.Value())
+	promtext.Header(w, "tracesvc_stats_tables_scalar_total", "counter", "Statistics tables produced by the record-at-a-time engine.")
+	fmt.Fprintf(w, "tracesvc_stats_tables_scalar_total %d\n", m.statsScalar.Value())
+	promtext.Header(w, "tracesvc_stats_records_skipped_total", "counter", "Records excluded from statistics tables because an expression referenced a field their state type does not carry.")
+	fmt.Fprintf(w, "tracesvc_stats_records_skipped_total %d\n", m.statsSkipped.Value())
+	promtext.Header(w, "tracesvc_summary_queries_total", "counter", "Summary-planner queries (previews, time-resolved tables), by answering engine.")
+	fmt.Fprintf(w, "tracesvc_summary_queries_total{engine=\"pyramid\"} %d\n", m.summaryPyramid.Value())
+	fmt.Fprintf(w, "tracesvc_summary_queries_total{engine=\"scan\"} %d\n", m.summaryScan.Value())
+	promtext.Header(w, "tracesvc_summary_pyramid_cells_total", "counter", "Pyramid cells consulted by summary-planner queries.")
+	fmt.Fprintf(w, "tracesvc_summary_pyramid_cells_total %d\n", m.summaryCells.Value())
+	promtext.Header(w, "tracesvc_summary_frames_decoded_total", "counter", "Frames decoded by summary-planner queries (scan fallbacks and pyramid window edges).")
+	fmt.Fprintf(w, "tracesvc_summary_frames_decoded_total %d\n", m.summaryFrames.Value())
+	promtext.Header(w, "tracesvc_range_queries_total", "counter", "Requests restricted to an explicit frame-index range (?frames=lo:hi) — the shard router's scatter-gather legs.")
+	fmt.Fprintf(w, "tracesvc_range_queries_total %d\n", m.rangeQueries.Value())
 
 	m.mu.Lock()
 	names := make([]string, 0, len(m.endpoints))
@@ -178,63 +122,38 @@ func (m *metrics) writePrometheus(w io.Writer, cache CacheStats, tracesOpen int6
 	}
 	m.mu.Unlock()
 
-	fmt.Fprintf(w, "# HELP tracesvc_requests_total Requests served, by endpoint.\n")
-	fmt.Fprintf(w, "# TYPE tracesvc_requests_total counter\n")
+	promtext.Header(w, "tracesvc_requests_total", "counter", "Requests served, by endpoint.")
 	for i, name := range names {
-		fmt.Fprintf(w, "tracesvc_requests_total{endpoint=%q} %d\n", name, ems[i].requests.value())
+		fmt.Fprintf(w, "tracesvc_requests_total{endpoint=%q} %d\n", name, ems[i].requests.Value())
 	}
-	fmt.Fprintf(w, "# HELP tracesvc_request_errors_total Requests answered with a 4xx/5xx status, by endpoint.\n")
-	fmt.Fprintf(w, "# TYPE tracesvc_request_errors_total counter\n")
+	promtext.Header(w, "tracesvc_request_errors_total", "counter", "Requests answered with a 4xx/5xx status, by endpoint.")
 	for i, name := range names {
-		fmt.Fprintf(w, "tracesvc_request_errors_total{endpoint=%q} %d\n", name, ems[i].errors.value())
+		fmt.Fprintf(w, "tracesvc_request_errors_total{endpoint=%q} %d\n", name, ems[i].errors.Value())
 	}
-	fmt.Fprintf(w, "# HELP tracesvc_request_seconds Request latency, by endpoint.\n")
-	fmt.Fprintf(w, "# TYPE tracesvc_request_seconds histogram\n")
+	promtext.Header(w, "tracesvc_request_seconds", "histogram", "Request latency, by endpoint.")
 	for i, name := range names {
-		h := &ems[i].latency
-		var cum int64
-		for bi, ub := range latencyBuckets {
-			cum += h.buckets[bi].Load()
-			fmt.Fprintf(w, "tracesvc_request_seconds_bucket{endpoint=%q,le=%q} %d\n", name, trimFloat(ub), cum)
-		}
-		fmt.Fprintf(w, "tracesvc_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, h.count.Load())
-		fmt.Fprintf(w, "tracesvc_request_seconds_sum{endpoint=%q} %g\n", name, float64(h.sumNs.Load())/1e9)
-		fmt.Fprintf(w, "tracesvc_request_seconds_count{endpoint=%q} %d\n", name, h.count.Load())
+		ems[i].latency.WriteBuckets(w, "tracesvc_request_seconds", fmt.Sprintf("endpoint=%q", name))
 	}
-}
-
-// trimFloat renders a bucket bound the way Prometheus clients do:
-// shortest representation, no exponent for these magnitudes.
-func trimFloat(f float64) string {
-	return fmt.Sprintf("%g", f)
 }
 
 // writeIngestMetrics appends the streaming-ingest counters; only
 // emitted when ingest is enabled, so scrapes of a query-only daemon are
 // unchanged.
 func writeIngestMetrics(w io.Writer, st ingest.Stats) {
-	fmt.Fprintf(w, "# HELP tracesvc_ingest_sessions_active Live traces currently being ingested.\n")
-	fmt.Fprintf(w, "# TYPE tracesvc_ingest_sessions_active gauge\n")
+	promtext.Header(w, "tracesvc_ingest_sessions_active", "gauge", "Live traces currently being ingested.")
 	fmt.Fprintf(w, "tracesvc_ingest_sessions_active %d\n", st.SessionsActive)
-	fmt.Fprintf(w, "# HELP tracesvc_ingest_sessions_done_total Ingest sessions completed (all nodes finished or drained).\n")
-	fmt.Fprintf(w, "# TYPE tracesvc_ingest_sessions_done_total counter\n")
+	promtext.Header(w, "tracesvc_ingest_sessions_done_total", "counter", "Ingest sessions completed (all nodes finished or drained).")
 	fmt.Fprintf(w, "tracesvc_ingest_sessions_done_total %d\n", st.SessionsDone)
-	fmt.Fprintf(w, "# HELP tracesvc_ingest_sessions_failed_total Ingest sessions that failed or were aborted (their sealed prefix stays valid).\n")
-	fmt.Fprintf(w, "# TYPE tracesvc_ingest_sessions_failed_total counter\n")
+	promtext.Header(w, "tracesvc_ingest_sessions_failed_total", "counter", "Ingest sessions that failed or were aborted (their sealed prefix stays valid).")
 	fmt.Fprintf(w, "tracesvc_ingest_sessions_failed_total %d\n", st.SessionsFailed)
-	fmt.Fprintf(w, "# HELP tracesvc_ingest_batches_total Batches accepted across all sessions.\n")
-	fmt.Fprintf(w, "# TYPE tracesvc_ingest_batches_total counter\n")
+	promtext.Header(w, "tracesvc_ingest_batches_total", "counter", "Batches accepted across all sessions.")
 	fmt.Fprintf(w, "tracesvc_ingest_batches_total %d\n", st.Batches)
-	fmt.Fprintf(w, "# HELP tracesvc_ingest_bytes_total Raw batch bytes accepted across all sessions.\n")
-	fmt.Fprintf(w, "# TYPE tracesvc_ingest_bytes_total counter\n")
+	promtext.Header(w, "tracesvc_ingest_bytes_total", "counter", "Raw batch bytes accepted across all sessions.")
 	fmt.Fprintf(w, "tracesvc_ingest_bytes_total %d\n", st.Bytes)
-	fmt.Fprintf(w, "# HELP tracesvc_ingest_records_total Raw event records decoded across all sessions.\n")
-	fmt.Fprintf(w, "# TYPE tracesvc_ingest_records_total counter\n")
+	promtext.Header(w, "tracesvc_ingest_records_total", "counter", "Raw event records decoded across all sessions.")
 	fmt.Fprintf(w, "tracesvc_ingest_records_total %d\n", st.Records)
-	fmt.Fprintf(w, "# HELP tracesvc_ingest_seals_total Frame-group seals published by live writers (each one advances the queryable tail).\n")
-	fmt.Fprintf(w, "# TYPE tracesvc_ingest_seals_total counter\n")
+	promtext.Header(w, "tracesvc_ingest_seals_total", "counter", "Frame-group seals published by live writers (each one advances the queryable tail).")
 	fmt.Fprintf(w, "tracesvc_ingest_seals_total %d\n", st.Seals)
-	fmt.Fprintf(w, "# HELP tracesvc_ingest_errors_total Rejected ingest requests (bad sequence, oversized batch, contract violations).\n")
-	fmt.Fprintf(w, "# TYPE tracesvc_ingest_errors_total counter\n")
+	promtext.Header(w, "tracesvc_ingest_errors_total", "counter", "Rejected ingest requests (bad sequence, oversized batch, contract violations).")
 	fmt.Fprintf(w, "tracesvc_ingest_errors_total %d\n", st.Errors)
 }

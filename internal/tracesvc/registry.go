@@ -23,9 +23,13 @@ type Trace struct {
 	file   *interval.File
 	frames []interval.FrameEntry
 	dirs   int
-	start  clock.Time
-	end    clock.Time
-	recs   int64
+	// dirInfos maps each frame directory to its contiguous range in the
+	// flattened frame list plus its aggregates — the boundaries the shard
+	// router splits a huge trace at.
+	dirInfos []DirInfo
+	start    clock.Time
+	end      clock.Time
+	recs     int64
 }
 
 // File returns the underlying interval file.
@@ -118,16 +122,29 @@ func buildTrace(id, path string, num uint64, f *interval.File, cache *FrameCache
 	if err != nil {
 		return nil, err
 	}
+	dirInfos := make([]DirInfo, len(dirs))
+	first := 0
+	for i, d := range dirs {
+		dirInfos[i] = DirInfo{
+			FirstFrame: first,
+			Frames:     len(d.Entries),
+			Records:    d.Records,
+			StartNs:    int64(d.Start),
+			EndNs:      int64(d.End),
+		}
+		first += len(d.Entries)
+	}
 	t := &Trace{
-		ID:     id,
-		Path:   path,
-		num:    num,
-		file:   f,
-		frames: frames,
-		dirs:   len(dirs),
-		start:  start,
-		end:    end,
-		recs:   recs,
+		ID:       id,
+		Path:     path,
+		num:      num,
+		file:     f,
+		frames:   frames,
+		dirs:     len(dirs),
+		dirInfos: dirInfos,
+		start:    start,
+		end:      end,
+		recs:     recs,
 	}
 	// The hook makes every frame decode — map-reduce engine, scanners,
 	// DecodeFrame — hit the shared cache. Installed before the trace is

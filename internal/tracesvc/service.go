@@ -9,6 +9,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"tracefw/internal/clock"
@@ -60,6 +61,12 @@ type Service struct {
 	// ing is nil until EnableIngest; the ingest endpoints answer 403
 	// while it is.
 	ing *ingestState
+	// ready flips once startup registration is complete (SetReady);
+	// draining flips when shutdown begins. /readyz reports 200 only
+	// while ready && !draining — the router's health checker keys off
+	// it to stop routing to a backend that is going away.
+	ready    atomic.Bool
+	draining atomic.Bool
 }
 
 // New builds a service with an empty registry.
@@ -82,6 +89,28 @@ func New(cfg Config) *Service {
 	s.handle("GET /v1/traces/{id}/records", "records", s.handleRecords)
 	s.handle("GET /v1/traces/{id}/preview.svg", "preview", s.handlePreview)
 	s.handle("GET /metrics", "metrics", s.handleMetrics)
+	// Liveness and readiness stay outside the metrics/deadline wrapper:
+	// health pollers hit them every couple of seconds and would drown
+	// the endpoint latency histograms in no-op samples.
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok\n"))
+	})
+	s.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		switch {
+		case s.draining.Load():
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("draining\n"))
+		case !s.ready.Load():
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("starting: registry not yet populated\n"))
+		default:
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte("ready\n"))
+		}
+	})
 	s.handle("GET /v1/ingest", "ingest-list", s.handleIngestList)
 	s.handle("GET /v1/ingest/{trace}", "ingest-status", s.handleIngestStatus)
 	// Batch POSTs run without the request deadline: a push into a full
@@ -102,9 +131,17 @@ func (s *Service) Cache() *FrameCache { return s.cache }
 // Handler returns the root handler.
 func (s *Service) Handler() http.Handler { return s.mux }
 
+// SetReady marks startup registration complete: /readyz starts
+// answering 200. The daemon calls it after preloading its command-line
+// traces, right before it starts serving.
+func (s *Service) SetReady() { s.ready.Store(true) }
+
 // Close drains any in-flight ingest sessions — sealing every live trace
 // into a complete, valid file — and closes every registered trace.
+// /readyz flips to 503 "draining" at entry, so a router health checker
+// stops sending new work while the drain runs.
 func (s *Service) Close() {
+	s.draining.Store(true)
 	if s.ing != nil {
 		s.ing.mgr.DrainAll()
 	}
@@ -129,10 +166,14 @@ func jsonResponse(status int, v any) (*response, error) {
 	return &response{status: status, contentType: "application/json", body: append(b, '\n')}, nil
 }
 
-// httpErr is an error with an intended status code.
+// httpErr is an error with an intended status code. retryAfter, when
+// positive, becomes a Retry-After header (seconds) on the rendered
+// error — set on the 503s a client is expected to retry, like a live
+// trace that has not sealed its first frame group yet.
 type httpErr struct {
-	code int
-	msg  string
+	code       int
+	msg        string
+	retryAfter int
 }
 
 func (e *httpErr) Error() string { return e.msg }
@@ -178,7 +219,7 @@ func (s *Service) handleWrapped(pattern, name string, fn func(r *http.Request) (
 	em := s.met.endpoint(name)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
-		em.requests.add(1)
+		em.requests.Add(1)
 		var resp *response
 		var err error
 		if deadline {
@@ -189,8 +230,12 @@ func (s *Service) handleWrapped(pattern, name string, fn func(r *http.Request) (
 			resp, err = fn(r)
 		}
 		if err != nil {
-			em.errors.add(1)
-			em.latency.observe(time.Since(t0))
+			em.errors.Add(1)
+			em.latency.Observe(time.Since(t0))
+			var he *httpErr
+			if errors.As(err, &he) && he.retryAfter > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(he.retryAfter))
+			}
 			http.Error(w, err.Error(), errStatus(err))
 			return
 		}
@@ -202,30 +247,13 @@ func (s *Service) handleWrapped(pattern, name string, fn func(r *http.Request) (
 		w.Header().Set("Content-Length", strconv.Itoa(len(resp.body)))
 		w.WriteHeader(resp.status)
 		w.Write(resp.body)
-		em.latency.observe(time.Since(t0))
+		em.latency.Observe(time.Since(t0))
 	})
 }
 
-// traceInfo is the JSON shape of one registered trace: identity plus
-// the header and directory metadata resident since registration.
-type traceInfo struct {
-	ID             string  `json:"id"`
-	Path           string  `json:"path"`
-	HeaderVersion  uint32  `json:"headerVersion"`
-	ProfileVersion uint32  `json:"profileVersion"`
-	Threads        int     `json:"threads"`
-	Dirs           int     `json:"dirs"`
-	Frames         int     `json:"frames"`
-	Records        int64   `json:"records"`
-	StartNs        int64   `json:"startNs"`
-	EndNs          int64   `json:"endNs"`
-	StartSec       float64 `json:"startSec"`
-	EndSec         float64 `json:"endSec"`
-}
-
-func infoOf(t *Trace) traceInfo {
+func infoOf(t *Trace) TraceInfo {
 	start, end, recs := t.Bounds()
-	return traceInfo{
+	return TraceInfo{
 		ID:             t.ID,
 		Path:           t.Path,
 		HeaderVersion:  t.file.Header.HeaderVersion,
@@ -243,13 +271,11 @@ func infoOf(t *Trace) traceInfo {
 
 func (s *Service) handleList(*http.Request) (*response, error) {
 	ts := s.reg.List()
-	infos := make([]traceInfo, len(ts))
+	infos := make([]TraceInfo, len(ts))
 	for i, t := range ts {
 		infos[i] = infoOf(t)
 	}
-	return jsonResponse(http.StatusOK, struct {
-		Traces []traceInfo `json:"traces"`
-	}{infos})
+	return jsonResponse(http.StatusOK, TraceList{Traces: infos})
 }
 
 func (s *Service) handleOpen(r *http.Request) (*response, error) {
@@ -297,16 +323,9 @@ func (s *Service) handleFrames(r *http.Request) (*response, error) {
 	if err != nil {
 		return nil, err
 	}
-	type frameInfo struct {
-		Offset  int64  `json:"offset"`
-		Bytes   uint32 `json:"bytes"`
-		Records uint32 `json:"records"`
-		StartNs int64  `json:"startNs"`
-		EndNs   int64  `json:"endNs"`
-	}
-	fis := make([]frameInfo, len(t.frames))
+	fis := make([]FrameInfo, len(t.frames))
 	for i, fe := range t.frames {
-		fis[i] = frameInfo{
+		fis[i] = FrameInfo{
 			Offset:  fe.Offset,
 			Bytes:   fe.Bytes,
 			Records: fe.Records,
@@ -314,9 +333,7 @@ func (s *Service) handleFrames(r *http.Request) (*response, error) {
 			EndNs:   int64(fe.End),
 		}
 	}
-	return jsonResponse(http.StatusOK, struct {
-		Frames []frameInfo `json:"frames"`
-	}{fis})
+	return jsonResponse(http.StatusOK, FrameList{Frames: fis, Dirs: t.dirInfos})
 }
 
 // parseWindow reads the optional ?window=lo:hi query parameter (seconds,
@@ -394,11 +411,11 @@ func (s *Service) handleStats(r *http.Request) (*response, error) {
 	}
 	for _, tb := range tables {
 		if tb.Columnar {
-			s.met.statsColumnar.add(1)
+			s.met.statsColumnar.Add(1)
 		} else {
-			s.met.statsScalar.add(1)
+			s.met.statsScalar.Add(1)
 		}
-		s.met.statsSkipped.add(tb.Skipped)
+		s.met.statsSkipped.Add(tb.Skipped)
 	}
 	if q.Get("format") == "json" {
 		type tableJSON struct {
@@ -424,24 +441,13 @@ func (s *Service) handleStats(r *http.Request) (*response, error) {
 	return &response{status: http.StatusOK, contentType: "text/tab-separated-values; charset=utf-8", body: b.Bytes()}, nil
 }
 
-// recordJSON is the JSON shape of one interval record.
-type recordJSON struct {
-	Type    string   `json:"type"`
-	Bebits  string   `json:"bebits"`
-	StartNs int64    `json:"startNs"`
-	DuraNs  int64    `json:"duraNs"`
-	EndNs   int64    `json:"endNs"`
-	CPU     uint16   `json:"cpu"`
-	Node    uint16   `json:"node"`
-	Thread  uint16   `json:"thread"`
-	Extra   []uint64 `json:"extra,omitempty"`
-	Vec     []uint64 `json:"vec,omitempty"`
-}
-
 // handleRecords pages through the records overlapping a window. The
 // scan walks the resident frame list, decoding only overlapping frames
 // — through the cache, so a warm repeat decodes nothing. ?count=1 skips
-// the bodies and returns the total alone.
+// the bodies and returns the total alone. ?frames=lo:hi restricts the
+// scan to the half-open frame-index range [lo, hi) of the flattened
+// frame list — the shard router's scatter-gather legs use it so each
+// backend touches (and caches) only its own contiguous frame range.
 func (s *Service) handleRecords(r *http.Request) (*response, error) {
 	t, err := s.trace(r)
 	if err != nil {
@@ -465,14 +471,23 @@ func (s *Service) handleRecords(r *http.Request) (*response, error) {
 	if err != nil {
 		return nil, err
 	}
+	frames := t.frames
+	if fr := q.Get("frames"); fr != "" {
+		flo, fhi, ok := parseFrameRange(fr, len(t.frames))
+		if !ok {
+			return nil, badRequest("bad frames %q", fr)
+		}
+		frames = t.frames[flo:fhi]
+		s.met.rangeQueries.Add(1)
+	}
 
 	ctx := r.Context()
-	var out []recordJSON
+	var out []RecordJSON
 	if !countOnly {
-		out = make([]recordJSON, 0, min(limit, 4096))
+		out = make([]RecordJSON, 0, min(limit, 4096))
 	}
 	total := 0
-	for _, fe := range t.frames {
+	for _, fe := range frames {
 		if windowed && (fe.End < lo || fe.Start > hi) {
 			continue
 		}
@@ -493,7 +508,7 @@ func (s *Service) handleRecords(r *http.Request) (*response, error) {
 			if countOnly || n < offset || n >= offset+limit {
 				continue
 			}
-			out = append(out, recordJSON{
+			out = append(out, RecordJSON{
 				Type:    rec.Type.Name(),
 				Bebits:  rec.Bebits.String(),
 				StartNs: int64(rec.Start),
@@ -508,15 +523,31 @@ func (s *Service) handleRecords(r *http.Request) (*response, error) {
 		}
 	}
 	if countOnly {
-		return jsonResponse(http.StatusOK, struct {
-			Count int `json:"count"`
-		}{total})
+		return jsonResponse(http.StatusOK, RecordCount{Count: total})
 	}
-	return jsonResponse(http.StatusOK, struct {
-		Total   int          `json:"total"`
-		Offset  int          `json:"offset"`
-		Records []recordJSON `json:"records"`
-	}{total, offset, out})
+	return jsonResponse(http.StatusOK, RecordsPage{Total: total, Offset: offset, Records: out})
+}
+
+// parseFrameRange parses a "lo:hi" half-open frame-index range against a
+// trace with n frames. Both bounds are required; the range may be empty
+// (lo == hi) but never inverted or out of bounds.
+func parseFrameRange(s string, n int) (lo, hi int, ok bool) {
+	i := -1
+	for j := 0; j < len(s); j++ {
+		if s[j] == ':' {
+			i = j
+			break
+		}
+	}
+	if i < 0 {
+		return 0, 0, false
+	}
+	lo, err1 := strconv.Atoi(s[:i])
+	hi, err2 := strconv.Atoi(s[i+1:])
+	if err1 != nil || err2 != nil || lo < 0 || hi < lo || hi > n {
+		return 0, 0, false
+	}
+	return lo, hi, true
 }
 
 // handlePreview renders a time-space diagram of the trace, or — with

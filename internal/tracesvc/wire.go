@@ -1,0 +1,83 @@
+package tracesvc
+
+// Wire shapes of the JSON endpoints, exported so the shard router
+// (internal/shard) can rebuild scatter-gathered responses from the same
+// struct definitions the handlers marshal — field order, tags, and
+// omitempty behavior are then identical by construction, which is what
+// makes a merged router response byte-identical to a single-node
+// answer.
+
+// TraceInfo is the JSON shape of one registered trace: identity plus
+// the header and directory metadata resident since registration.
+type TraceInfo struct {
+	ID             string  `json:"id"`
+	Path           string  `json:"path"`
+	HeaderVersion  uint32  `json:"headerVersion"`
+	ProfileVersion uint32  `json:"profileVersion"`
+	Threads        int     `json:"threads"`
+	Dirs           int     `json:"dirs"`
+	Frames         int     `json:"frames"`
+	Records        int64   `json:"records"`
+	StartNs        int64   `json:"startNs"`
+	EndNs          int64   `json:"endNs"`
+	StartSec       float64 `json:"startSec"`
+	EndSec         float64 `json:"endSec"`
+}
+
+// TraceList is the GET /v1/traces body.
+type TraceList struct {
+	Traces []TraceInfo `json:"traces"`
+}
+
+// FrameInfo is one frame directory entry on the wire.
+type FrameInfo struct {
+	Offset  int64  `json:"offset"`
+	Bytes   uint32 `json:"bytes"`
+	Records uint32 `json:"records"`
+	StartNs int64  `json:"startNs"`
+	EndNs   int64  `json:"endNs"`
+}
+
+// DirInfo is one frame directory's aggregate metadata: the frame-index
+// range it spans in the flattened frame list plus its time bounds. The
+// shard router splits a huge trace into contiguous frame ranges at
+// these boundaries.
+type DirInfo struct {
+	FirstFrame int   `json:"firstFrame"`
+	Frames     int   `json:"frames"`
+	Records    int64 `json:"records"`
+	StartNs    int64 `json:"startNs"`
+	EndNs      int64 `json:"endNs"`
+}
+
+// FrameList is the GET /v1/traces/{id}/frames body.
+type FrameList struct {
+	Frames []FrameInfo `json:"frames"`
+	Dirs   []DirInfo   `json:"dirs"`
+}
+
+// RecordJSON is the JSON shape of one interval record.
+type RecordJSON struct {
+	Type    string   `json:"type"`
+	Bebits  string   `json:"bebits"`
+	StartNs int64    `json:"startNs"`
+	DuraNs  int64    `json:"duraNs"`
+	EndNs   int64    `json:"endNs"`
+	CPU     uint16   `json:"cpu"`
+	Node    uint16   `json:"node"`
+	Thread  uint16   `json:"thread"`
+	Extra   []uint64 `json:"extra,omitempty"`
+	Vec     []uint64 `json:"vec,omitempty"`
+}
+
+// RecordsPage is the GET /v1/traces/{id}/records body.
+type RecordsPage struct {
+	Total   int          `json:"total"`
+	Offset  int          `json:"offset"`
+	Records []RecordJSON `json:"records"`
+}
+
+// RecordCount is the GET /v1/traces/{id}/records?count=1 body.
+type RecordCount struct {
+	Count int `json:"count"`
+}
