@@ -21,10 +21,12 @@ race:
 
 # One iteration of the convert and stats benchmarks as a smoke test:
 # catches benchmark bit-rot without paying for a full measurement run.
-# RouterWindow covers the serving tier's scatter-gather path and
-# UteloadSmoke is one full load-generator run against a router fleet.
+# RouterWindow covers the serving tier's scatter-gather path,
+# UteloadSmoke is one full load-generator run against a router fleet,
+# SchedHotLoop pins the simulator's per-event cost, and SweepCell runs
+# one scenario-sweep cell through the whole pipeline.
 bench-smoke:
-	$(GO) test -run xxx -bench 'ConvertPerEvent|ConvertParallel|StatsWindow|StatsParallel|StatsColumnar|IntervalEncodeV4|IntervalScanV4|ServeWindow|ServePreview|PreviewZoom|RouterWindow|UteloadSmoke|^BenchmarkIngest$$' -benchtime 1x .
+	$(GO) test -run xxx -bench 'ConvertPerEvent|ConvertParallel|StatsWindow|StatsParallel|StatsColumnar|IntervalEncodeV4|IntervalScanV4|ServeWindow|ServePreview|PreviewZoom|RouterWindow|UteloadSmoke|SchedHotLoop|SweepCell|^BenchmarkIngest$$' -benchtime 1x .
 
 # A short fuzz of every target, one at a time (the fuzz engine allows a
 # single -fuzz pattern per invocation): catches regressions the checked-in
@@ -41,7 +43,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz '^FuzzIngestBatch$$' -fuzztime $(FUZZTIME) ./internal/ingest
 
 # Full measurement run over the pipeline and analysis benchmarks (slow;
-# numbers are recorded in BENCH_pipeline.json, BENCH_stats.json and
-# BENCH_ingest.json).
+# numbers are recorded in BENCH_pipeline.json, BENCH_stats.json,
+# BENCH_ingest.json and BENCH_sim.json).
 bench:
-	$(GO) test -run xxx -bench 'ConvertPerEvent|ConvertParallel|MergeLoserTreeVsLinear|MergeReadAhead|IntervalWriterThroughput|IntervalScan|IntervalEncodeV4|StatsWindow|StatsParallel|StatsColumnar|RouterWindow|RouterScaling|^BenchmarkIngest$$' .
+	$(GO) test -run xxx -bench 'ConvertPerEvent|ConvertParallel|MergeLoserTreeVsLinear|MergeReadAhead|IntervalWriterThroughput|IntervalScan|IntervalEncodeV4|StatsWindow|StatsParallel|StatsColumnar|RouterWindow|RouterScaling|SchedHotLoop|SweepCell|^BenchmarkIngest$$' .

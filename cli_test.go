@@ -8,6 +8,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -27,7 +28,7 @@ import (
 func buildCmds(t *testing.T) string {
 	t.Helper()
 	bin := t.TempDir()
-	for _, name := range []string{"tracegen", "uteconvert", "utemerge", "utestats", "uteview", "utedump", "utecheck", "utetraced", "uterouter", "uteload"} {
+	for _, name := range []string{"tracegen", "uteconvert", "utemerge", "utestats", "uteview", "utedump", "utecheck", "utetraced", "uterouter", "uteload", "utesweep"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(bin, name), "./cmd/"+name)
 		cmd.Env = os.Environ()
 		if out, err := cmd.CombinedOutput(); err != nil {
@@ -342,6 +343,28 @@ func TestCLIErrorPaths(t *testing.T) {
 		args []string
 		code int
 	}{
+		{"tracegen", []string{"-out", dir, "-nodes", "0"}, 2},
+		{"tracegen", []string{"-out", dir, "-nodes", "-3"}, 2},
+		{"tracegen", []string{"-out", dir, "-cpus", "0"}, 2},
+		{"tracegen", []string{"-out", dir, "-tasks-per-node", "-1"}, 2},
+		{"tracegen", []string{"-out", dir, "-buffer", "-1"}, 2},
+		{"tracegen", []string{"-out", dir, "-wrap", "-buffer", "64"}, 2},
+		{"tracegen", []string{"-out", dir, "-workload", "nope"}, 2},
+		{"tracegen", []string{"-out", dir, "-workload", "ring", "-params", "wat=1"}, 2},
+		{"tracegen", []string{"-out", dir, "-workload", "ring", "-params", "iters=0"}, 2},
+		{"tracegen", []string{"-out", dir, "-workload", "ring", "-threads", "2"}, 2},
+		{"tracegen", []string{"-out", dir, "-policy", "nope"}, 2},
+		{"tracegen", []string{"-out", dir, "-policy", "oversub:1"}, 2},
+		{"tracegen", []string{"-out", dir, "-outlier-prob", "1.5"}, 2},
+
+		{"utesweep", []string{"-j", "-1"}, 2},
+		{"utesweep", []string{"-nodes", "0"}, 2},
+		{"utesweep", []string{"-policies", ""}, 2},
+		{"utesweep", []string{"-policies", "nope"}, 2},
+		{"utesweep", []string{"-workloads", "nope"}, 2},
+		{"utesweep", []string{"-workloads", "ring(iters=0)"}, 2},
+		{"utesweep", []string{"-workloads", "ring(iters=3"}, 2},
+
 		{"uteconvert", nil, 2},
 		{"uteconvert", []string{missing}, 1},
 		{"uteconvert", []string{garbage}, 1},
@@ -430,6 +453,47 @@ func corruptFirstFrame(t *testing.T, path string) {
 	b[0] ^= 0xff
 	if _, err := fl.WriteAt(b[:], frames[0].Offset); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCLISweep runs a small policy × workload grid end-to-end and checks
+// the comparison tables are byte-identical across -j values and reruns.
+func TestCLISweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bin := buildCmds(t)
+
+	run := func(j int) (string, []byte) {
+		out := t.TempDir()
+		table := runCmd(t, bin, "utesweep",
+			"-policies", "fifo,oversub",
+			"-workloads", "imbalance(iters=2);bursty(waves=2,iters=2)",
+			"-nodes", "2", "-cpus", "2", "-tasks-per-node", "2",
+			"-seed", "7", "-j", fmt.Sprint(j), "-out", out)
+		tsv, err := os.ReadFile(filepath.Join(out, "sweep.tsv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return table, tsv
+	}
+
+	table1, tsv1 := run(1)
+	_, tsv4 := run(4)
+	_, tsvAgain := run(1)
+
+	// runCmd captures stderr too, which carries host-dependent wall-clock
+	// throughput — only the written artifacts are compared byte-for-byte.
+	if !bytes.Equal(tsv1, tsv4) {
+		t.Errorf("sweep.tsv differs between -j 1 and -j 4:\n--- j=1\n%s--- j=4\n%s", tsv1, tsv4)
+	}
+	if !bytes.Equal(tsv1, tsvAgain) {
+		t.Errorf("sweep.tsv differs across reruns with the same seed")
+	}
+	for _, want := range []string{"workload\tpolicy", "imbalance(iters=2)", "bursty(", "fifo", "oversub"} {
+		if !strings.Contains(table1, want) {
+			t.Errorf("sweep table missing %q:\n%s", want, table1)
+		}
 	}
 }
 

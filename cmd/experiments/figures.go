@@ -17,6 +17,10 @@ import (
 
 // flashRun executes the FLASH-like workload used by Figures 6 and 7.
 func flashRun(iters int) (*core.Run, error) {
+	main, err := workload.Build("flash", workload.Params{"iters": int64(iters), "refine_each": 5})
+	if err != nil {
+		return nil, err
+	}
 	return core.Execute(core.Config{
 		Nodes:        4,
 		CPUsPerNode:  4,
@@ -26,13 +30,17 @@ func flashRun(iters int) (*core.Run, error) {
 		// Small frames give the viewer fine-grained random access.
 		Convert: interval.WriterOptions{FrameBytes: 16 << 10},
 		Slog:    slog.Options{FrameBytes: 16 << 10},
-	}, workload.Flash{Iters: iters, RefineEach: 5}.Main())
+	}, main)
 }
 
 // sppmRun executes the paper's Figure 8/9 configuration: 4 nodes, each
 // an 8-way SMP, one MPI task per node with four threads of which one
 // makes MPI calls and one is idle.
 func sppmRun() (*core.Run, error) {
+	main, err := workload.Build("sppm", workload.Params{"iters": 10, "threads": 4})
+	if err != nil {
+		return nil, err
+	}
 	return core.Execute(core.Config{
 		Nodes:        4,
 		CPUsPerNode:  8,
@@ -41,7 +49,7 @@ func sppmRun() (*core.Run, error) {
 		// The era's AIX dispatcher had weak affinity — the reason the
 		// paper's Figure 9 shows MPI threads jumping between CPUs.
 		Affinity: sched.AffinityLowestFree,
-	}, workload.SPPM{Iters: 10, ThreadsPerTask: 4}.Main())
+	}, main)
 }
 
 func runFig6(e *env) error {

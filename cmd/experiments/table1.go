@@ -27,6 +27,10 @@ var table1Targets = []int64{40282, 128378, 254225, 641354, 4613568, 11216936}
 // tasks here) — writing raw trace files to dir, as the real tracing
 // facility does.
 func runStormFiles(dir string, iters int) ([]string, error) {
+	main, err := workload.Build("storm", workload.Params{"iters": int64(iters), "threads": 3})
+	if err != nil {
+		return nil, err
+	}
 	cfg := mpisim.Config{
 		Cluster: cluster.Config{
 			Nodes:       2,
@@ -43,7 +47,7 @@ func runStormFiles(dir string, iters int) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	w.Start(workload.Storm{Iters: iters, Threads: 3}.Main())
+	w.Start(main)
 	if _, err := w.Run(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,152 @@
+// Command utesweep runs a scheduling-policy × workload scenario grid
+// through the full trace pipeline (generate → convert → merge → stats)
+// and emits a deterministic comparison table: busy time, load balance,
+// and peak concurrency per cell, with delta columns against the first
+// policy. Cells run in parallel (-j); the TSV and JSON outputs are
+// byte-identical for every -j and across reruns. Per-cell wall-clock
+// throughput goes to stderr — it is host-dependent and never part of
+// the tables.
+//
+// Usage:
+//
+//	utesweep [-policies fifo,bestfit,oversub]
+//	         [-workloads "imbalance;stragglers(iters=5);bursty"]
+//	         [-nodes N] [-cpus C] [-tasks-per-node T] [-seed S]
+//	         [-j N] [-out DIR] [-quiet]
+//
+// Scenario syntax: NAME or NAME(k=v,k=v) with parameters from the
+// workload registry (tracegen -list-workloads prints it). With -out,
+// sweep.tsv and sweep.json are written into DIR; the table always goes
+// to stdout unless -quiet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tracefw/internal/sweep"
+	"tracefw/internal/workload"
+)
+
+func main() {
+	var (
+		policies  = flag.String("policies", "fifo,bestfit,oversub", "comma-separated scheduling policies")
+		workloads = flag.String("workloads", "imbalance;stragglers;bursty", "semicolon-separated scenarios: NAME or NAME(k=v,k=v)")
+		nodes     = flag.Int("nodes", 8, "SMP nodes per cell")
+		cpus      = flag.Int("cpus", 2, "CPUs per node")
+		tpn       = flag.Int("tasks-per-node", 4, "MPI tasks per node (defaults oversubscribe the CPUs so policies differ)")
+		seed      = flag.Uint64("seed", 1, "simulation seed (shared by every cell)")
+		jobs      = flag.Int("j", 0, "cells in flight (0 = GOMAXPROCS); tables do not depend on it")
+		outDir    = flag.String("out", "", "also write sweep.tsv and sweep.json into DIR")
+		quiet     = flag.Bool("quiet", false, "suppress the stdout table (useful with -out)")
+	)
+	flag.Parse()
+
+	if *jobs < 0 {
+		usageErr(fmt.Sprintf("-j must be >= 0, got %d", *jobs))
+	}
+	if *nodes < 1 || *cpus < 1 || *tpn < 1 {
+		usageErr("-nodes, -cpus, and -tasks-per-node must be >= 1")
+	}
+	grid := sweep.Grid{Policies: splitList(*policies)}
+	if len(grid.Policies) == 0 {
+		usageErr("-policies is empty")
+	}
+	for _, s := range strings.Split(*workloads, ";") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		sc, err := parseScenario(s)
+		if err != nil {
+			usageErr(err.Error())
+		}
+		grid.Scenarios = append(grid.Scenarios, sc)
+	}
+	if len(grid.Scenarios) == 0 {
+		usageErr("-workloads is empty")
+	}
+
+	res, err := sweep.Run(grid, sweep.Options{
+		Nodes: *nodes, CPUsPerNode: *cpus, TasksPerNode: *tpn,
+		Seed: *seed, Parallel: *jobs,
+	})
+	if err != nil {
+		// Grid validation failures (unknown policy/workload, bad params)
+		// are usage errors; anything after validation is a runtime error.
+		if isValidation(err) {
+			usageErr(err.Error())
+		}
+		fatal(err)
+	}
+
+	if !*quiet {
+		os.Stdout.Write(res.TSV())
+	}
+	fmt.Fprint(os.Stderr, res.Throughput())
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(*outDir, "sweep.tsv"), res.TSV(), 0o644); err != nil {
+			fatal(err)
+		}
+		js, err := res.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(*outDir, "sweep.json"), append(js, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "utesweep: wrote %s and %s\n",
+			filepath.Join(*outDir, "sweep.tsv"), filepath.Join(*outDir, "sweep.json"))
+	}
+}
+
+// parseScenario parses NAME or NAME(k=v,k=v).
+func parseScenario(s string) (sweep.Scenario, error) {
+	name, rest, hasParams := strings.Cut(s, "(")
+	name = strings.TrimSpace(name)
+	if !hasParams {
+		return sweep.Scenario{Name: name}, nil
+	}
+	if !strings.HasSuffix(rest, ")") {
+		return sweep.Scenario{}, fmt.Errorf("scenario %q: missing closing parenthesis", s)
+	}
+	params, err := workload.ParseParams(strings.TrimSuffix(rest, ")"))
+	if err != nil {
+		return sweep.Scenario{}, fmt.Errorf("scenario %q: %v", s, err)
+	}
+	return sweep.Scenario{Name: name, Params: params}, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// isValidation reports whether the sweep failed before any cell ran.
+func isValidation(err error) bool {
+	msg := err.Error()
+	return strings.Contains(msg, "unknown") || strings.Contains(msg, "outside") ||
+		strings.Contains(msg, "at least one") || strings.Contains(msg, "needs nodes")
+}
+
+func usageErr(msg string) {
+	fmt.Fprintln(os.Stderr, "utesweep:", msg)
+	flag.Usage()
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "utesweep:", err)
+	os.Exit(1)
+}

@@ -29,7 +29,13 @@ type Config struct {
 	Nodes       int
 	CPUsPerNode int
 	Quantum     clock.Time     // scheduler time slice (0 = 10ms)
-	Affinity    sched.Affinity // CPU placement policy
+	Affinity    sched.Affinity // CPU placement rule of the default policy
+
+	// Policy is the dispatch policy; nil selects sched.FIFO(Affinity),
+	// the historical behavior. Oversubscribing policies expose more
+	// dispatch slots than physical CPUs, and the node's trace facility
+	// is sized to the slot count so every dispatch record has a lane.
+	Policy sched.Policy
 
 	// Trace options; Prefix is used only by file-backed machines.
 	TraceOpts trace.Options
@@ -95,9 +101,69 @@ type Machine struct {
 	active int // workload threads still running
 }
 
+// Option configures machine construction, mirroring the interval.Open
+// options style: a sweep cell is an option list, and two cells diff as
+// the options that differ.
+type Option func(*Config)
+
+// FromConfig replaces the whole configuration — the escape hatch for
+// callers that already hold a Config. Options applied after it refine
+// that base.
+func FromConfig(cfg Config) Option { return func(c *Config) { *c = cfg } }
+
+// WithNodes sets the node count.
+func WithNodes(n int) Option { return func(c *Config) { c.Nodes = n } }
+
+// WithCPUs sets the physical CPUs per node.
+func WithCPUs(n int) Option { return func(c *Config) { c.CPUsPerNode = n } }
+
+// WithQuantum sets the scheduler time slice.
+func WithQuantum(q clock.Time) Option { return func(c *Config) { c.Quantum = q } }
+
+// WithAffinity sets the default policy's CPU placement rule.
+func WithAffinity(a sched.Affinity) Option { return func(c *Config) { c.Affinity = a } }
+
+// WithPolicy sets the dispatch policy (nil = the default FIFO).
+func WithPolicy(p sched.Policy) Option { return func(c *Config) { c.Policy = p } }
+
+// WithTraceOpts sets the trace facility options.
+func WithTraceOpts(o trace.Options) Option { return func(c *Config) { c.TraceOpts = o } }
+
+// WithClockInterval sets the global-clock sampling period.
+func WithClockInterval(d clock.Time) Option { return func(c *Config) { c.ClockInterval = d } }
+
+// WithDrifts sets explicit per-node clock drifts.
+func WithDrifts(d []float64) Option { return func(c *Config) { c.Drifts = d } }
+
+// WithOffsets sets explicit per-node clock offsets.
+func WithOffsets(o []clock.Time) Option { return func(c *Config) { c.Offsets = o } }
+
+// WithClockJitter sets read noise (ns) on clock-pair sampling.
+func WithClockJitter(ns float64) Option { return func(c *Config) { c.ClockJitterNS = ns } }
+
+// WithGranularity sets the local-timestamp quantization.
+func WithGranularity(g clock.Time) Option { return func(c *Config) { c.Granularity = g } }
+
+// WithOutliers sets the clock-pair de-schedule injection (probability
+// and extra delay; delay 0 keeps the 5ms default).
+func WithOutliers(prob float64, delay clock.Time) Option {
+	return func(c *Config) { c.OutlierProb, c.OutlierDelay = prob, delay }
+}
+
+// WithSeed sets the seed for every derived random quantity.
+func WithSeed(s uint64) Option { return func(c *Config) { c.Seed = s } }
+
 // New builds a machine whose trace facilities write to the given
 // writers, one per node (for tests and in-memory pipelines).
-func New(cfg Config, writers []io.Writer) (*Machine, error) {
+func New(writers []io.Writer, opts ...Option) (*Machine, error) {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return build(cfg, writers)
+}
+
+func build(cfg Config, writers []io.Writer) (*Machine, error) {
 	cfg.fill()
 	if len(writers) != cfg.Nodes {
 		return nil, fmt.Errorf("cluster: %d writers for %d nodes", len(writers), cfg.Nodes)
@@ -105,11 +171,11 @@ func New(cfg Config, writers []io.Writer) (*Machine, error) {
 	m := &Machine{cfg: cfg, rng: xrand.New(cfg.Seed ^ 0xfacade)}
 	m.Sim = sched.New(sched.Config{
 		Nodes: cfg.Nodes, CPUsPerNode: cfg.CPUsPerNode,
-		Quantum: cfg.Quantum, Affinity: cfg.Affinity,
+		Quantum: cfg.Quantum, Affinity: cfg.Affinity, Policy: cfg.Policy,
 	}, m)
 	for n := 0; n < cfg.Nodes; n++ {
 		m.Clocks = append(m.Clocks, clock.NewLocal(cfg.Offsets[n], cfg.Drifts[n], cfg.ClockJitterNS, 1, cfg.Seed+uint64(n)))
-		f, err := trace.NewFacility(cfg.TraceOpts, n, cfg.CPUsPerNode, writers[n])
+		f, err := trace.NewFacility(cfg.TraceOpts, n, m.Sim.CPUs(n), writers[n])
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +186,11 @@ func New(cfg Config, writers []io.Writer) (*Machine, error) {
 
 // NewFiles builds a machine writing raw trace files named
 // TraceOpts.Prefix.<node>.
-func NewFiles(cfg Config) (*Machine, error) {
+func NewFiles(opts ...Option) (*Machine, error) {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
 	cfg.fill()
 	writers := make([]io.Writer, cfg.Nodes)
 	files := make([]io.Closer, 0, cfg.Nodes)
@@ -135,7 +205,7 @@ func NewFiles(cfg Config) (*Machine, error) {
 		writers[n] = fp
 		files = append(files, fp)
 	}
-	return New(cfg, writers)
+	return build(cfg, writers)
 }
 
 // Config returns the (filled-in) machine configuration.

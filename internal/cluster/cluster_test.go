@@ -20,7 +20,7 @@ func memMachine(t *testing.T, cfg Config) (*Machine, []*bytes.Buffer) {
 		bufs[i] = &bytes.Buffer{}
 		ws[i] = bufs[i]
 	}
-	m, err := New(cfg, ws)
+	m, err := New(ws, FromConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +202,7 @@ func TestNewFilesWritesRawTraces(t *testing.T) {
 	dir := t.TempDir()
 	cfg := baseCfg(2)
 	cfg.TraceOpts.Prefix = filepath.Join(dir, "raw")
-	m, err := NewFiles(cfg)
+	m, err := NewFiles(FromConfig(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +232,7 @@ func TestNewFilesWritesRawTraces(t *testing.T) {
 }
 
 func TestWriterCountValidation(t *testing.T) {
-	if _, err := New(baseCfg(2), []io.Writer{&bytes.Buffer{}}); err == nil {
+	if _, err := New([]io.Writer{&bytes.Buffer{}}, FromConfig(baseCfg(2))); err == nil {
 		t.Fatal("mismatched writer count accepted")
 	}
 }

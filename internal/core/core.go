@@ -36,6 +36,9 @@ type Config struct {
 	TasksPerNode int
 	Quantum      clock.Time
 	Affinity     sched.Affinity
+	// Policy is the dispatch policy (nil = the default FIFO with
+	// Affinity placement).
+	Policy sched.Policy
 
 	// Clock environment.
 	Drifts        []float64
@@ -84,6 +87,7 @@ func (c Config) clusterConfig() cluster.Config {
 		CPUsPerNode:   c.CPUsPerNode,
 		Quantum:       c.Quantum,
 		Affinity:      c.Affinity,
+		Policy:        c.Policy,
 		ClockInterval: c.ClockInterval,
 		Drifts:        c.Drifts,
 		Offsets:       c.Offsets,

@@ -110,7 +110,7 @@ type Proc struct {
 // per node).
 func New(cfg Config, writers []io.Writer) (*World, error) {
 	cfg.fill()
-	m, err := cluster.New(cfg.Cluster, writers)
+	m, err := cluster.New(writers, cluster.FromConfig(cfg.Cluster))
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +121,7 @@ func New(cfg Config, writers []io.Writer) (*World, error) {
 // options prefix.
 func NewFiles(cfg Config) (*World, error) {
 	cfg.fill()
-	m, err := cluster.NewFiles(cfg.Cluster)
+	m, err := cluster.NewFiles(cluster.FromConfig(cfg.Cluster))
 	if err != nil {
 		return nil, err
 	}

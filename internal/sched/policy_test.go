@@ -1,0 +1,261 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/xrand"
+)
+
+func testPolicies() []Policy {
+	return []Policy{
+		FIFO(AffinityPreferLast),
+		FIFO(AffinityLowestFree),
+		BestFit(),
+		WorstFit(),
+		Oversub(2),
+		Oversub(4),
+	}
+}
+
+// TestPolicyInvariantsRandomWorkloads drives the invariant checker's
+// random workload mix through every policy: whatever the dispatch
+// order, a CPU never holds two threads, dispatch/undispatch pair up,
+// and time is monotone.
+func TestPolicyInvariantsRandomWorkloads(t *testing.T) {
+	for _, pol := range testPolicies() {
+		pol := pol
+		t.Run(pol.Name(), func(t *testing.T) {
+			for trial := 0; trial < 6; trial++ {
+				rng := xrand.New(uint64(trial)*127 + 9)
+				chk := newChecker(t)
+				s := New(Config{
+					Nodes:       1 + rng.Intn(3),
+					CPUsPerNode: 1 + rng.Intn(4),
+					Quantum:     clock.Time(1+rng.Intn(5)) * clock.Millisecond,
+					Policy:      pol,
+				}, chk)
+				nthreads := 2 + rng.Intn(8)
+				for i := 0; i < nthreads; i++ {
+					node := rng.Intn(s.NumNodes())
+					seed := rng.Uint64()
+					s.Spawn(node, func(th *Thread) {
+						r := xrand.New(seed)
+						for step := 0; step < 8; step++ {
+							switch r.Intn(3) {
+							case 0:
+								th.Compute(clock.Time(r.Intn(10)+1) * clock.Millisecond)
+							case 1:
+								th.Sleep(clock.Time(r.Intn(5)+1) * clock.Millisecond)
+							case 2:
+								me := th
+								th.Sim().After(clock.Time(r.Intn(4)+1)*clock.Millisecond, func() {
+									th.Sim().Unblock(me)
+								})
+								th.Block()
+							}
+						}
+					})
+				}
+				s.Run()
+				if chk.events == 0 {
+					t.Fatal("no scheduler events")
+				}
+				if len(chk.cpuOwner) != 0 || len(chk.onCPU) != 0 {
+					t.Fatalf("trial %d: CPUs still held at end (%v)", trial, chk.cpuOwner)
+				}
+			}
+		})
+	}
+}
+
+// TestPoliciesDeterministicAndDistinct runs one contended scenario under
+// every policy twice: each run must replay byte-identically, and the
+// non-FIFO policies must actually change the schedule.
+func TestPoliciesDeterministicAndDistinct(t *testing.T) {
+	run := func(pol Policy) string {
+		var log strings.Builder
+		rec := listenerFunc(func(s string) { log.WriteString(s) })
+		sim := New(Config{Nodes: 2, CPUsPerNode: 2, Quantum: clock.Millisecond, Policy: pol}, rec)
+		for i := 0; i < 6; i++ {
+			d := clock.Time(i+1) * clock.Millisecond
+			sim.Spawn(i%2, func(th *Thread) {
+				th.Compute(d)
+				th.Sleep(d)
+				th.Compute(2 * d)
+			})
+		}
+		sim.Run()
+		return log.String()
+	}
+	logs := map[string]string{}
+	for _, pol := range testPolicies() {
+		a, b := run(pol), run(pol)
+		if a != b {
+			t.Fatalf("policy %s not deterministic", pol.Name())
+		}
+		logs[pol.Name()] = a
+	}
+	for _, other := range []string{"bestfit", "worstfit", "oversub"} {
+		if logs[other] == logs["fifo"] {
+			t.Errorf("policy %s produced the same schedule as fifo on a contended run", other)
+		}
+	}
+}
+
+// TestDefaultPolicyMatchesLegacyConfig verifies the nil-Policy default is
+// exactly FIFO(Affinity): the old Config surface must keep its schedule.
+func TestDefaultPolicyMatchesLegacyConfig(t *testing.T) {
+	run := func(cfg Config) string {
+		var log strings.Builder
+		rec := listenerFunc(func(s string) { log.WriteString(s) })
+		sim := New(cfg, rec)
+		for i := 0; i < 5; i++ {
+			d := clock.Time(i+1) * clock.Millisecond
+			sim.Spawn(0, func(th *Thread) {
+				th.Compute(d)
+				th.Sleep(clock.Millisecond)
+				th.Compute(d)
+			})
+		}
+		sim.Run()
+		return log.String()
+	}
+	for _, aff := range []Affinity{AffinityPreferLast, AffinityLowestFree} {
+		bare := run(Config{Nodes: 1, CPUsPerNode: 2, Quantum: clock.Millisecond, Affinity: aff})
+		expl := run(Config{Nodes: 1, CPUsPerNode: 2, Quantum: clock.Millisecond, Affinity: aff, Policy: FIFO(aff)})
+		if bare != expl {
+			t.Fatalf("affinity %v: nil policy differs from explicit FIFO", aff)
+		}
+	}
+}
+
+// TestOversubSlotsAndStretch checks the oversubscription model: slots
+// multiply, and a node running more slices than physical CPUs dilates
+// them by ceil(busy/phys) while CPU-time accounting is unchanged.
+func TestOversubSlotsAndStretch(t *testing.T) {
+	p := Oversub(2)
+	if got := p.Slots(4); got != 8 {
+		t.Fatalf("Slots(4) = %d, want 8", got)
+	}
+	for _, c := range []struct {
+		busy, phys int
+		want       int64
+	}{{1, 4, 1}, {4, 4, 1}, {5, 4, 2}, {8, 4, 2}, {9, 4, 3}} {
+		if got := p.Stretch(c.busy, c.phys); got != c.want {
+			t.Errorf("Stretch(%d,%d) = %d, want %d", c.busy, c.phys, got, c.want)
+		}
+	}
+
+	// 1 physical CPU, oversub 2: two threads computing 4ms each run
+	// concurrently on 2 slots at half speed — both finish at 8ms, where
+	// FIFO would finish at 8ms too but serialized. Peak concurrency is
+	// the observable difference.
+	var peak, cur int
+	rec := dispatchCounter{cur: &cur, peak: &peak}
+	s := New(Config{Nodes: 1, CPUsPerNode: 1, Quantum: 10 * clock.Millisecond, Policy: p}, rec)
+	for i := 0; i < 2; i++ {
+		s.Spawn(0, func(th *Thread) { th.Compute(4 * clock.Millisecond) })
+	}
+	end := s.Run()
+	if peak != 2 {
+		t.Fatalf("peak concurrent dispatches = %d, want 2 (oversubscribed)", peak)
+	}
+	if want := 8 * clock.Millisecond; end != want {
+		t.Fatalf("end = %v, want %v (2 slices dilated 2x)", end, want)
+	}
+}
+
+type dispatchCounter struct{ cur, peak *int }
+
+func (d dispatchCounter) OnDispatch(int, int32, int, clock.Time) {
+	*d.cur++
+	if *d.cur > *d.peak {
+		*d.peak = *d.cur
+	}
+}
+func (d dispatchCounter) OnUndispatch(int, int32, int, UndispatchReason, clock.Time) { *d.cur-- }
+func (d dispatchCounter) OnThreadStart(int, int32, clock.Time)                       {}
+
+// TestBestWorstFitOrder pins the fit policies' dispatch order: with one
+// CPU and three preempted threads of distinct remaining bursts, bestfit
+// resumes the shortest first and worstfit the longest.
+func TestBestWorstFitOrder(t *testing.T) {
+	// Spawn threads with remaining bursts 3q, 1q, 2q (in spawn order) on
+	// one CPU, then watch who gets dispatched after each quantum expiry.
+	order := func(pol Policy) []int32 {
+		var got []int32
+		chk := listenerDispatchOrder{order: &got}
+		s := New(Config{Nodes: 1, CPUsPerNode: 1, Quantum: 4 * clock.Millisecond, Policy: pol}, chk)
+		for _, q := range []clock.Time{12, 5, 9} {
+			d := q * clock.Millisecond
+			s.Spawn(0, func(th *Thread) { th.Compute(d) })
+		}
+		s.Run()
+		return got
+	}
+	best := order(BestFit())
+	worst := order(WorstFit())
+	// First three dispatches are the initial FIFO fills (remain 0 at
+	// spawn); after the first preemption the queues diverge.
+	if len(best) < 4 || len(worst) < 4 {
+		t.Fatalf("too few dispatches: best %v worst %v", best, worst)
+	}
+	if same := func(a, b []int32) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}; same(best, worst) {
+		t.Fatalf("bestfit and worstfit produced identical dispatch order %v", best)
+	}
+}
+
+type listenerDispatchOrder struct{ order *[]int32 }
+
+func (l listenerDispatchOrder) OnDispatch(_ int, tid int32, _ int, _ clock.Time) {
+	*l.order = append(*l.order, tid)
+}
+func (l listenerDispatchOrder) OnUndispatch(int, int32, int, UndispatchReason, clock.Time) {}
+func (l listenerDispatchOrder) OnThreadStart(int, int32, clock.Time)                       {}
+
+func TestParsePolicy(t *testing.T) {
+	good := map[string]string{
+		"":          "fifo",
+		"fifo":      "fifo",
+		"bestfit":   "bestfit",
+		"worstfit":  "worstfit",
+		"oversub":   "oversub",
+		"oversub:2": "oversub",
+		"oversub:8": "oversub:8",
+	}
+	for in, want := range good {
+		p, err := ParsePolicy(in)
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", in, err)
+			continue
+		}
+		if p.Name() != want {
+			t.Errorf("ParsePolicy(%q).Name() = %q, want %q", in, p.Name(), want)
+		}
+	}
+	for _, in := range []string{"nope", "fifo:3", "bestfit:1", "oversub:1", "oversub:65", "oversub:x"} {
+		if _, err := ParsePolicy(in); err == nil {
+			t.Errorf("ParsePolicy(%q): no error", in)
+		}
+	}
+	if len(PolicyNames()) < 4 {
+		t.Fatalf("PolicyNames() = %v", PolicyNames())
+	}
+	for _, n := range PolicyNames() {
+		if PolicyDoc(n) == "" {
+			t.Errorf("policy %s has no doc", n)
+		}
+	}
+}

@@ -10,11 +10,20 @@
 //
 // Execution is strictly deterministic: a single virtual clock, a single
 // event queue ordered by (time, sequence), FIFO ready queues, and at
-// most one thread goroutine executing between scheduler steps.
+// most one thread goroutine executing between scheduler steps. The
+// dispatch decision itself — which ready thread gets which free CPU —
+// is a pluggable Policy (see policy.go), so cluster-scale scenario
+// sweeps can compare schedulers on one machine model.
+//
+// The event queue, ready queues, and slice bookkeeping are
+// allocation-free on the hot path: events are values in a hand-rolled
+// binary heap, and the recurring event kinds (slice end, timer wakeup)
+// are encoded in the event itself rather than as closures, so a
+// thousand-node simulation's steady state allocates nothing per
+// scheduler event.
 package sched
 
 import (
-	"container/heap"
 	"fmt"
 
 	"tracefw/internal/clock"
@@ -66,30 +75,124 @@ func (NopListener) OnUndispatch(int, int32, int, UndispatchReason, clock.Time) {
 // OnThreadStart implements Listener.
 func (NopListener) OnThreadStart(int, int32, clock.Time) {}
 
+// evKind discriminates the recurring event shapes so the hot path never
+// allocates a closure: slice expiry and timer wakeups carry their
+// payload in the event value itself; evFn covers everything else.
+type evKind uint8
+
+const (
+	evFn        evKind = iota // run e.fn
+	evSliceDone               // a compute slice of e.t expired (e.d of CPU time)
+	evUnblock                 // wake e.t from a Sleep
+)
+
 type event struct {
-	at  clock.Time
-	seq uint64
-	fn  func()
+	at   clock.Time
+	seq  uint64
+	kind evKind
+	t    *Thread
+	d    clock.Time
+	fn   func()
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return q[i].seq < q[j].seq
+	return e.seq < o.seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+
+// eventHeap is a hand-rolled binary min-heap of event values ordered by
+// (time, sequence). Storing values and avoiding container/heap keeps the
+// push/pop path free of interface boxing — zero allocations once the
+// backing array has grown to the simulation's steady-state size.
+type eventHeap []event
+
+func (h *eventHeap) push(e event) {
+	q := append(*h, e)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q[i].before(&q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+	*h = q
+}
+
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // drop fn/thread references
+	q = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && q[l].before(&q[s]) {
+			s = l
+		}
+		if r < n && q[r].before(&q[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		q[i], q[s] = q[s], q[i]
+		i = s
+	}
+	*h = q
+	return top
+}
+
+// threadQueue is a FIFO of threads with a head index instead of
+// re-slicing, so steady-state push/pop reuses one backing array. take
+// removes at an arbitrary index (policies may dispatch out of FIFO
+// order) while preserving the order of the rest.
+type threadQueue struct {
+	items []*Thread
+	head  int
+}
+
+func (q *threadQueue) size() int { return len(q.items) - q.head }
+
+func (q *threadQueue) at(i int) *Thread { return q.items[q.head+i] }
+
+func (q *threadQueue) push(t *Thread) {
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	} else if q.head > 32 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		for i := n; i < len(q.items); i++ {
+			q.items[i] = nil
+		}
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	q.items = append(q.items, t)
+}
+
+func (q *threadQueue) take(i int) *Thread {
+	j := q.head + i
+	t := q.items[j]
+	if i == 0 {
+		q.items[j] = nil
+		q.head++
+		if q.head == len(q.items) {
+			q.items = q.items[:0]
+			q.head = 0
+		}
+		return t
+	}
+	copy(q.items[j:], q.items[j+1:])
+	q.items[len(q.items)-1] = nil
+	q.items = q.items[:len(q.items)-1]
+	return t
 }
 
 type yieldKind uint8
@@ -119,7 +222,7 @@ type Thread struct {
 	ID int32
 
 	state   State
-	cpu     int // CPU currently held, -1 if none
+	cpu     int // dispatch slot currently held, -1 if none
 	lastCPU int // affinity hint
 	remain  clock.Time
 	resume  chan struct{}
@@ -131,27 +234,29 @@ type Thread struct {
 type Sim struct {
 	now      clock.Time
 	seq      uint64
-	events   eventQueue
+	events   eventHeap
 	nodes    []*node
 	listener Listener
-	affinity Affinity
+	policy   Policy
 	yieldCh  chan yieldMsg
 	// runnables holds threads whose goroutine must be given control
 	// (started, resumed after a completed compute, or after unblocking).
-	runnables []*Thread
+	runnables threadQueue
 	live      int // threads not yet exited
 	running   bool
 }
 
 type node struct {
 	id      int
+	phys    int // physical CPUs (slots may exceed this under oversubscription)
+	busy    int // occupied dispatch slots
 	quantum clock.Time
-	cpus    []*Thread // index = cpu id; nil = idle
-	readyQ  []*Thread
+	cpus    []*Thread // index = dispatch slot; nil = idle
+	readyQ  threadQueue
 	threads []*Thread
 }
 
-// Affinity selects the CPU-placement policy.
+// Affinity selects the CPU-placement rule of the default (FIFO) policy.
 type Affinity int
 
 // Affinity policies.
@@ -168,9 +273,12 @@ const (
 // Config describes the simulated machine.
 type Config struct {
 	Nodes       int        // number of SMP nodes
-	CPUsPerNode int        // processors per node
+	CPUsPerNode int        // physical processors per node
 	Quantum     clock.Time // scheduler time slice; zero selects 10ms
-	Affinity    Affinity   // CPU placement policy
+	Affinity    Affinity   // CPU placement rule of the default policy
+	// Policy is the dispatch policy; nil selects FIFO(Affinity), the
+	// scheduler's historical behavior.
+	Policy Policy
 }
 
 // New builds a simulator. The listener may be nil.
@@ -184,12 +292,21 @@ func New(cfg Config, l Listener) *Sim {
 	if l == nil {
 		l = NopListener{}
 	}
-	s := &Sim{listener: l, affinity: cfg.Affinity, yieldCh: make(chan yieldMsg)}
+	pol := cfg.Policy
+	if pol == nil {
+		pol = FIFO(cfg.Affinity)
+	}
+	slots := pol.Slots(cfg.CPUsPerNode)
+	if slots < 1 {
+		panic(fmt.Sprintf("sched: policy %s exposes %d slots", pol.Name(), slots))
+	}
+	s := &Sim{listener: l, policy: pol, yieldCh: make(chan yieldMsg)}
 	for n := 0; n < cfg.Nodes; n++ {
 		s.nodes = append(s.nodes, &node{
 			id:      n,
+			phys:    cfg.CPUsPerNode,
 			quantum: cfg.Quantum,
-			cpus:    make([]*Thread, cfg.CPUsPerNode),
+			cpus:    make([]*Thread, slots),
 		})
 	}
 	return s
@@ -201,8 +318,12 @@ func (s *Sim) Now() clock.Time { return s.now }
 // NumNodes returns the node count.
 func (s *Sim) NumNodes() int { return len(s.nodes) }
 
-// CPUs returns the CPU count of a node.
+// CPUs returns the dispatch-slot count of a node (equal to the physical
+// CPU count except under an oversubscribing policy).
 func (s *Sim) CPUs(nodeID int) int { return len(s.nodes[nodeID].cpus) }
+
+// Policy returns the active dispatch policy.
+func (s *Sim) Policy() Policy { return s.policy }
 
 // Spawn creates a thread on node running fn. It may be called before Run
 // or from inside a running thread. The thread starts Ready.
@@ -223,7 +344,7 @@ func (s *Sim) Spawn(nodeID int, fn func(*Thread)) *Thread {
 	s.listener.OnThreadStart(n.id, t.ID, s.now)
 	go t.run()
 	t.state = StateReady
-	n.readyQ = append(n.readyQ, t)
+	n.readyQ.push(t)
 	s.schedule(n)
 	return t
 }
@@ -243,14 +364,20 @@ func (t *Thread) run() {
 	t.fn(t)
 }
 
-// At schedules fn to run at virtual time at (simulator context, not a
-// thread). Events in the past run at the current time.
-func (s *Sim) At(at clock.Time, fn func()) {
+// push enqueues an event at virtual time at (clamped to now).
+func (s *Sim) push(at clock.Time, e event) {
 	if at < s.now {
 		at = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+	e.at, e.seq = at, s.seq
+	s.events.push(e)
+}
+
+// At schedules fn to run at virtual time at (simulator context, not a
+// thread). Events in the past run at the current time.
+func (s *Sim) At(at clock.Time, fn func()) {
+	s.push(at, event{kind: evFn, fn: fn})
 }
 
 // After schedules fn after a delay.
@@ -266,18 +393,24 @@ func (s *Sim) Run() clock.Time {
 	s.running = true
 	defer func() { s.running = false }()
 	for {
-		if len(s.runnables) > 0 {
-			t := s.runnables[0]
-			s.runnables = s.runnables[1:]
+		if s.runnables.size() > 0 {
+			t := s.runnables.take(0)
 			t.resume <- struct{}{}
 			msg := <-s.yieldCh
 			s.handleYield(msg)
 			continue
 		}
 		if len(s.events) > 0 {
-			e := heap.Pop(&s.events).(*event)
+			e := s.events.pop()
 			s.now = e.at
-			e.fn()
+			switch e.kind {
+			case evSliceDone:
+				s.sliceDone(e.t, e.d)
+			case evUnblock:
+				s.Unblock(e.t)
+			default:
+				e.fn()
+			}
 			continue
 		}
 		break
@@ -317,24 +450,31 @@ func (s *Sim) handleYield(m yieldMsg) {
 }
 
 // startSlice begins or continues a compute burst for a thread holding a
-// CPU, scheduling the slice-end event.
+// CPU, scheduling the slice-end event. Under an oversubscribing policy
+// the wall-clock duration of the slice dilates with the node's slot
+// occupancy at slice start (CPU-time accounting is unaffected).
 func (s *Sim) startSlice(t *Thread) {
+	n := t.node
 	slice := t.remain
-	if q := t.node.quantum; slice > q {
+	if q := n.quantum; slice > q {
 		slice = q
 	}
-	s.After(slice, func() { s.sliceDone(t, slice) })
+	wall := slice
+	if stretch := s.policy.Stretch(n.busy, n.phys); stretch > 1 {
+		wall = slice * clock.Time(stretch)
+	}
+	s.push(s.now+wall, event{kind: evSliceDone, t: t, d: slice})
 }
 
 func (s *Sim) sliceDone(t *Thread, slice clock.Time) {
 	t.remain -= slice
 	n := t.node
 	if t.remain > 0 {
-		if len(n.readyQ) > 0 {
+		if n.readyQ.size() > 0 {
 			// Preempt: someone is waiting and the quantum is used up.
 			s.releaseCPU(t, ReasonQuantum)
 			t.state = StateReady
-			n.readyQ = append(n.readyQ, t)
+			n.readyQ.push(t)
 			s.schedule(n)
 		} else {
 			s.startSlice(t)
@@ -342,7 +482,7 @@ func (s *Sim) sliceDone(t *Thread, slice clock.Time) {
 		return
 	}
 	// Compute finished; let the goroutine continue on its CPU.
-	s.runnables = append(s.runnables, t)
+	s.runnables.push(t)
 }
 
 func (s *Sim) releaseCPU(t *Thread, reason UndispatchReason) {
@@ -351,50 +491,39 @@ func (s *Sim) releaseCPU(t *Thread, reason UndispatchReason) {
 	}
 	cpu := t.cpu
 	t.node.cpus[cpu] = nil
+	t.node.busy--
 	t.cpu = -1
 	t.lastCPU = cpu
 	s.listener.OnUndispatch(t.node.id, t.ID, cpu, reason, s.now)
 }
 
-// schedule assigns ready threads to idle CPUs on a node.
+// schedule asks the policy to assign ready threads to free dispatch
+// slots on a node until it declines or the ready queue drains.
 func (s *Sim) schedule(n *node) {
-	for len(n.readyQ) > 0 {
-		cpu := s.pickCPU(n, n.readyQ[0])
-		if cpu < 0 {
+	for n.readyQ.size() > 0 {
+		ri, slot, ok := s.policy.Pick(NodeView{n})
+		if !ok {
 			return
 		}
-		t := n.readyQ[0]
-		n.readyQ = n.readyQ[1:]
-		n.cpus[cpu] = t
-		t.cpu = cpu
+		if ri < 0 || ri >= n.readyQ.size() || slot < 0 || slot >= len(n.cpus) || n.cpus[slot] != nil {
+			panic(fmt.Sprintf("sched: policy %s picked ready %d / slot %d (ready %d, slots %d)",
+				s.policy.Name(), ri, slot, n.readyQ.size(), len(n.cpus)))
+		}
+		t := n.readyQ.take(ri)
+		n.cpus[slot] = t
+		n.busy++
+		t.cpu = slot
 		t.state = StateRunning
-		s.listener.OnDispatch(n.id, t.ID, cpu, s.now)
+		s.listener.OnDispatch(n.id, t.ID, slot, s.now)
 		if t.remain > 0 {
 			// Mid-compute: resume the burst without waking the goroutine.
 			s.startSlice(t)
 		} else {
 			// The goroutine is waiting inside a primitive (or has never
 			// run); give it control.
-			s.runnables = append(s.runnables, t)
+			s.runnables.push(t)
 		}
 	}
-}
-
-// pickCPU applies the affinity policy: with AffinityPreferLast the
-// thread's previous CPU wins when free; otherwise (and always under
-// AffinityLowestFree) the lowest-numbered idle CPU is taken, so threads
-// migrate the way the paper's processor-activity view shows.
-func (s *Sim) pickCPU(n *node, t *Thread) int {
-	if s.affinity == AffinityPreferLast &&
-		t.lastCPU >= 0 && t.lastCPU < len(n.cpus) && n.cpus[t.lastCPU] == nil {
-		return t.lastCPU
-	}
-	for i, occ := range n.cpus {
-		if occ == nil {
-			return i
-		}
-	}
-	return -1
 }
 
 // --- Thread-side primitives (called from thread goroutines only) ---
@@ -435,14 +564,14 @@ func (s *Sim) Unblock(t *Thread) {
 		panic(fmt.Sprintf("sched: Unblock of thread %d/%d in state %d", t.node.id, t.ID, t.state))
 	}
 	t.state = StateReady
-	t.node.readyQ = append(t.node.readyQ, t)
+	t.node.readyQ.push(t)
 	s.schedule(t.node)
 }
 
 // Sleep suspends the thread for d of virtual time without consuming CPU.
 func (t *Thread) Sleep(d clock.Time) {
 	s := t.sim
-	s.After(d, func() { s.Unblock(t) })
+	s.push(s.now+d, event{kind: evUnblock, t: t})
 	t.Block()
 }
 

@@ -1,0 +1,289 @@
+// The workload registry: every shape registers a name, a doc line, and
+// a typed parameter spec, and callers construct task bodies with
+// Build(name, params). tracegen, utesweep, and cmd/experiments all go
+// through this API, so a new workload is one Register call away from
+// every tool — no per-workload flag switch anywhere.
+
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tracefw/internal/clock"
+	"tracefw/internal/mpisim"
+)
+
+// Params maps parameter name → value for Build. Durations are expressed
+// in microseconds (parameter names carry the _us suffix).
+type Params map[string]int64
+
+// ParamSpec is one typed workload parameter.
+type ParamSpec struct {
+	Name     string
+	Doc      string
+	Default  int64
+	Min, Max int64 // inclusive bounds; Max 0 means math.MaxInt64
+}
+
+func (p ParamSpec) max() int64 {
+	if p.Max == 0 {
+		return math.MaxInt64
+	}
+	return p.Max
+}
+
+// Spec describes one registered workload.
+type Spec struct {
+	Name   string
+	Doc    string
+	Params []ParamSpec
+	build  func(Params) func(*mpisim.Proc)
+}
+
+// Param returns the named parameter spec, if registered.
+func (s *Spec) Param(name string) (ParamSpec, bool) {
+	for _, p := range s.Params {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return ParamSpec{}, false
+}
+
+// Usage returns the workload's one-line signature for listings:
+// "name(param=default, ...)".
+func (s *Spec) Usage() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('(')
+	for i, p := range s.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%d", p.Name, p.Default)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+var registry = map[string]*Spec{}
+
+// Register adds a workload spec. It panics on duplicate names or
+// malformed parameter specs (registration is init-time wiring).
+func Register(s *Spec) {
+	if _, dup := registry[s.Name]; dup {
+		panic("workload: duplicate registration of " + s.Name)
+	}
+	for _, p := range s.Params {
+		if p.Default < p.Min || p.Default > p.max() {
+			panic(fmt.Sprintf("workload %s: default %d of %s outside [%d,%d]", s.Name, p.Default, p.Name, p.Min, p.max()))
+		}
+	}
+	registry[s.Name] = s
+}
+
+// Names returns the registered workload names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup returns the spec of a registered workload.
+func Lookup(name string) (*Spec, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Build constructs the named workload's task body. Unknown workload
+// names, unknown parameter names, and out-of-bounds values are errors
+// that name the valid choices — never silent defaults.
+func Build(name string, params Params) (func(*mpisim.Proc), error) {
+	s, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	filled := Params{}
+	for _, p := range s.Params {
+		filled[p.Name] = p.Default
+	}
+	for k, v := range params {
+		p, ok := s.Param(k)
+		if !ok {
+			return nil, fmt.Errorf("workload %s: unknown parameter %q (usage: %s)", name, k, s.Usage())
+		}
+		if v < p.Min || v > p.max() {
+			return nil, fmt.Errorf("workload %s: %s=%d outside [%d,%d]", name, k, v, p.Min, p.max())
+		}
+		filled[k] = v
+	}
+	return s.build(filled), nil
+}
+
+// ParseParams parses a comma-separated "k=v,k=v" parameter list (the
+// CLI surface of Params). Empty input is an empty map.
+func ParseParams(s string) (Params, error) {
+	out := Params{}
+	if s == "" {
+		return out, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("workload: bad parameter %q (want name=value)", kv)
+		}
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: bad value in %q: %v", kv, err)
+		}
+		out[k] = n
+	}
+	return out, nil
+}
+
+func us(v int64) clock.Time { return clock.Time(v) * clock.Microsecond }
+
+func init() {
+	Register(&Spec{
+		Name: "ring",
+		Doc:  "token ring exchange (the quickstart / Figure 5 workload)",
+		Params: []ParamSpec{
+			{Name: "iters", Doc: "ring round trips", Default: 5, Min: 1, Max: 1 << 20},
+			{Name: "bytes", Doc: "message size", Default: 4096, Min: 1, Max: 1 << 30},
+		},
+		build: func(p Params) func(*mpisim.Proc) {
+			return Ring{Iters: int(p["iters"]), Bytes: int(p["bytes"])}.Main()
+		},
+	})
+	Register(&Spec{
+		Name: "stencil",
+		Doc:  "1D halo exchange with nonblocking receives",
+		Params: []ParamSpec{
+			{Name: "steps", Doc: "time steps", Default: 10, Min: 1, Max: 1 << 20},
+			{Name: "bytes", Doc: "bytes per halo face", Default: 8192, Min: 1, Max: 1 << 30},
+			{Name: "work_us", Doc: "compute per step (µs)", Default: 2000, Min: 1, Max: 1 << 40},
+		},
+		build: func(p Params) func(*mpisim.Proc) {
+			return Stencil{Steps: int(p["steps"]), HaloBytes: int(p["bytes"]), Work: us(p["work_us"])}.Main()
+		},
+	})
+	Register(&Spec{
+		Name: "sppm",
+		Doc:  "sPPM-like multi-threaded hydro (the paper's Figures 8/9 run)",
+		Params: []ParamSpec{
+			{Name: "iters", Doc: "outer iterations", Default: 8, Min: 1, Max: 1 << 20},
+			{Name: "threads", Doc: "threads per task incl. main", Default: 4, Min: 1, Max: 64},
+			{Name: "bytes", Doc: "halo exchange size", Default: 128 << 10, Min: 1, Max: 1 << 30},
+			{Name: "work_us", Doc: "compute per thread per iteration (µs)", Default: 6000, Min: 1, Max: 1 << 40},
+			{Name: "no_idle", Doc: "1 = give the figure's idle thread real work", Default: 0, Min: 0, Max: 1},
+		},
+		build: func(p Params) func(*mpisim.Proc) {
+			return SPPM{
+				Iters: int(p["iters"]), ThreadsPerTask: int(p["threads"]),
+				HaloBytes: int(p["bytes"]), Work: us(p["work_us"]),
+				NoIdleThread: p["no_idle"] != 0,
+			}.Main()
+		},
+	})
+	Register(&Spec{
+		Name: "flash",
+		Doc:  "FLASH-like AMR phases: init / evolve+refine / terminate (Figure 7)",
+		Params: []ParamSpec{
+			{Name: "blocks", Doc: "AMR blocks per task", Default: 32, Min: 1, Max: 1 << 20},
+			{Name: "iters", Doc: "evolution steps", Default: 20, Min: 1, Max: 1 << 20},
+			{Name: "refine_each", Doc: "refinement every k steps", Default: 5, Min: 1, Max: 1 << 20},
+			{Name: "quiet_us", Doc: "quiet evolution compute per step (µs)", Default: 10000, Min: 1, Max: 1 << 40},
+			{Name: "bytes", Doc: "bytes per block surface", Default: 2048, Min: 1, Max: 1 << 30},
+		},
+		build: func(p Params) func(*mpisim.Proc) {
+			return Flash{
+				Blocks: int(p["blocks"]), Iters: int(p["iters"]), RefineEach: int(p["refine_each"]),
+				Quiet: us(p["quiet_us"]), BlockBytes: int(p["bytes"]),
+			}.Main()
+		},
+	})
+	Register(&Spec{
+		Name: "storm",
+		Doc:  "message storm scaling raw-event volume (the Table 1 load)",
+		Params: []ParamSpec{
+			{Name: "iters", Doc: "exchange rounds", Default: 100, Min: 1, Max: 1 << 24},
+			{Name: "bytes", Doc: "message size", Default: 512, Min: 1, Max: 1 << 30},
+			{Name: "threads", Doc: "extra worker threads per task (0 = none)", Default: 3, Min: 0, Max: 64},
+		},
+		build: func(p Params) func(*mpisim.Proc) {
+			threads := int(p["threads"])
+			if threads == 0 {
+				threads = -1 // Storm's "no workers" sentinel
+			}
+			return Storm{Iters: int(p["iters"]), Bytes: int(p["bytes"]), Threads: threads}.Main()
+		},
+	})
+	Register(&Spec{
+		Name: "random",
+		Doc:  "seeded pseudo-random SPMD phase mix (the property-test workhorse)",
+		Params: []ParamSpec{
+			{Name: "seed", Doc: "phase-script seed", Default: 0, Min: 0, Max: 0},
+			{Name: "steps", Doc: "phases to execute", Default: 12, Min: 1, Max: 1 << 20},
+		},
+		build: func(p Params) func(*mpisim.Proc) {
+			return Random{Seed: uint64(p["seed"]), Steps: int(p["steps"])}.Main()
+		},
+	})
+	Register(&Spec{
+		Name: "imbalance",
+		Doc:  "rank-skewed compute: per-step work grows linearly with rank",
+		Params: []ParamSpec{
+			{Name: "iters", Doc: "steps", Default: 10, Min: 1, Max: 1 << 20},
+			{Name: "work_us", Doc: "base compute per step (µs)", Default: 4000, Min: 1, Max: 1 << 40},
+			{Name: "skew_pct", Doc: "extra % of work on the highest rank", Default: 200, Min: 1, Max: 100000},
+			{Name: "bytes", Doc: "halo bytes per step", Default: 4096, Min: 1, Max: 1 << 30},
+		},
+		build: func(p Params) func(*mpisim.Proc) {
+			return Imbalance{
+				Iters: int(p["iters"]), Work: us(p["work_us"]),
+				SkewPct: int(p["skew_pct"]), Bytes: int(p["bytes"]),
+			}.Main()
+		},
+	})
+	Register(&Spec{
+		Name: "stragglers",
+		Doc:  "slow-node injection: tasks on the first k nodes compute factor× slower",
+		Params: []ParamSpec{
+			{Name: "iters", Doc: "steps", Default: 10, Min: 1, Max: 1 << 20},
+			{Name: "work_us", Doc: "compute per step on a healthy node (µs)", Default: 4000, Min: 1, Max: 1 << 40},
+			{Name: "slow_nodes", Doc: "straggler node count (from node 0)", Default: 1, Min: 1, Max: 1 << 20},
+			{Name: "slow_factor", Doc: "compute multiplier on stragglers", Default: 4, Min: 2, Max: 100},
+			{Name: "bytes", Doc: "halo bytes per step", Default: 8192, Min: 1, Max: 1 << 30},
+		},
+		build: func(p Params) func(*mpisim.Proc) {
+			return Straggler{
+				Iters: int(p["iters"]), Work: us(p["work_us"]),
+				Slow: int(p["slow_nodes"]), Factor: int(p["slow_factor"]), Bytes: int(p["bytes"]),
+			}.Main()
+		},
+	})
+	Register(&Spec{
+		Name: "bursty",
+		Doc:  "staggered task start: work arrives in waves, not all at once",
+		Params: []ParamSpec{
+			{Name: "waves", Doc: "arrival waves", Default: 4, Min: 1, Max: 1 << 16},
+			{Name: "gap_us", Doc: "inter-wave gap (µs)", Default: 20000, Min: 1, Max: 1 << 40},
+			{Name: "iters", Doc: "steps after arrival", Default: 6, Min: 1, Max: 1 << 20},
+			{Name: "work_us", Doc: "compute per step (µs)", Default: 2000, Min: 1, Max: 1 << 40},
+			{Name: "bytes", Doc: "message bytes per step", Default: 2048, Min: 1, Max: 1 << 30},
+		},
+		build: func(p Params) func(*mpisim.Proc) {
+			return Bursty{
+				Waves: int(p["waves"]), Gap: us(p["gap_us"]),
+				Iters: int(p["iters"]), Work: us(p["work_us"]), Bytes: int(p["bytes"]),
+			}.Main()
+		},
+	})
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"tracefw/internal/cluster"
+	"tracefw/internal/mpisim"
+)
+
+func TestRegistryNames(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"ring", "stencil", "sppm", "flash", "storm", "random", "imbalance", "stragglers", "bursty"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("registry missing %q (have %v)", want, names)
+		}
+	}
+	if !sortedStrings(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+}
+
+func sortedStrings(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] > s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		params Params
+		want   string // substring of the error
+	}{
+		{"nope", nil, "unknown workload"},
+		{"ring", Params{"wat": 1}, "unknown parameter"},
+		{"ring", Params{"iters": 0}, "outside"},
+		{"ring", Params{"iters": -3}, "outside"},
+		{"stragglers", Params{"slow_factor": 1}, "outside"},
+		{"sppm", Params{"threads": 65}, "outside"},
+	}
+	for _, c := range cases {
+		_, err := Build(c.name, c.params)
+		if err == nil {
+			t.Errorf("Build(%q, %v): no error", c.name, c.params)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Build(%q, %v): error %q lacks %q", c.name, c.params, err, c.want)
+		}
+	}
+}
+
+func TestBuildDefaultsMatchStructs(t *testing.T) {
+	// A registry build with no params must produce the same trace as the
+	// zero-value struct: the registry defaults ARE the struct defaults.
+	fromRegistry, err := Build("ring", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := runTrace(t, fromRegistry)
+	b := runTrace(t, Ring{}.Main())
+	if !bytes.Equal(a, b) {
+		t.Fatal("registry ring with defaults differs from Ring{}.Main()")
+	}
+}
+
+func TestParseParams(t *testing.T) {
+	p, err := ParseParams("iters=3, bytes=128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p["iters"] != 3 || p["bytes"] != 128 {
+		t.Fatalf("got %v", p)
+	}
+	if _, err := ParseParams("iters"); err == nil {
+		t.Fatal("missing value accepted")
+	}
+	if _, err := ParseParams("iters=x"); err == nil {
+		t.Fatal("non-integer accepted")
+	}
+}
+
+// TestShapesRun smoke-runs every registered workload at default
+// parameters on a small machine: the body must terminate and produce a
+// non-empty trace.
+func TestShapesRun(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			main, err := Build(name, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out := runTrace(t, main); len(out) == 0 {
+				t.Fatal("empty trace")
+			}
+		})
+	}
+}
+
+func runTrace(t *testing.T, main func(*mpisim.Proc)) []byte {
+	t.Helper()
+	const nodes = 2
+	bufs := make([]*bytes.Buffer, nodes)
+	ws := make([]io.Writer, nodes)
+	for i := range bufs {
+		bufs[i] = &bytes.Buffer{}
+		ws[i] = bufs[i]
+	}
+	w, err := mpisim.New(mpisim.Config{
+		Cluster:      cluster.Config{Nodes: nodes, CPUsPerNode: 2, Seed: 7},
+		TasksPerNode: 1,
+	}, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start(main)
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var all []byte
+	for _, b := range bufs {
+		all = append(all, b.Bytes()...)
+	}
+	return all
+}

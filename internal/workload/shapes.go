@@ -1,0 +1,185 @@
+// Scenario-sweep workload shapes: the pathologies a scheduler sweep
+// wants to compare policies against — rank-skewed compute (imbalance),
+// slow-node injection (stragglers), and staggered task start (bursty
+// arrivals). All three run on the plain mpisim substrate: skew is extra
+// Compute, a straggler is a per-node compute multiplier, and a burst
+// wave is a Sleep before the first iteration.
+
+package workload
+
+import (
+	"tracefw/internal/clock"
+	"tracefw/internal/events"
+	"tracefw/internal/mpisim"
+)
+
+// Imbalance is a bulk-synchronous loop whose per-rank compute grows
+// linearly with rank: rank 0 does Work per step, the highest rank does
+// Work × (1 + SkewPct/100). The allreduce at each step turns the skew
+// into wait time on the fast ranks — the canonical load-imbalance
+// signature in the load-balance stats table.
+type Imbalance struct {
+	Iters   int        // steps (default 10)
+	Work    clock.Time // base compute per step (default 4ms)
+	SkewPct int        // extra % of Work on the highest rank (default 200)
+	Bytes   int        // halo bytes per step (default 4096)
+}
+
+// Main returns the task body.
+func (w Imbalance) Main() func(*mpisim.Proc) {
+	iters, work, skew, bytes := w.Iters, w.Work, w.SkewPct, w.Bytes
+	if iters <= 0 {
+		iters = 10
+	}
+	if work <= 0 {
+		work = 4 * clock.Millisecond
+	}
+	if skew <= 0 {
+		skew = 200
+	}
+	if bytes <= 0 {
+		bytes = 4096
+	}
+	return func(p *mpisim.Proc) {
+		n := p.Size()
+		mine := work
+		if n > 1 {
+			mine += work * clock.Time(skew) * clock.Time(p.Rank()) / clock.Time(100*(n-1))
+		}
+		m := p.DefineMarker("Skewed Step")
+		for i := 0; i < iters; i++ {
+			p.MarkerBegin(m)
+			p.Compute(mine)
+			if n > 1 {
+				next := (p.Rank() + 1) % n
+				prev := (p.Rank() - 1 + n) % n
+				rr := p.Irecv(int32(prev), int32(i))
+				p.Send(next, int32(i), bytes)
+				p.Wait(rr)
+			}
+			p.MarkerEnd(m)
+			p.Allreduce(8)
+		}
+		p.Barrier()
+	}
+}
+
+// Straggler is a uniform bulk-synchronous loop where tasks on the first
+// Slow nodes compute Factor× slower — the slow-node injection scenario.
+// Every rank does identical logical work; the stragglers stretch each
+// step, and policies that overlap or oversubscribe can hide part of the
+// stall.
+type Straggler struct {
+	Iters  int        // steps (default 10)
+	Work   clock.Time // compute per step on a healthy node (default 4ms)
+	Slow   int        // number of straggler nodes, counted from node 0 (default 1)
+	Factor int        // compute multiplier on straggler nodes (default 4)
+	Bytes  int        // halo bytes per step (default 8192)
+}
+
+// Main returns the task body.
+func (w Straggler) Main() func(*mpisim.Proc) {
+	iters, work, slow, factor, bytes := w.Iters, w.Work, w.Slow, w.Factor, w.Bytes
+	if iters <= 0 {
+		iters = 10
+	}
+	if work <= 0 {
+		work = 4 * clock.Millisecond
+	}
+	if slow <= 0 {
+		slow = 1
+	}
+	if factor <= 1 {
+		factor = 4
+	}
+	if bytes <= 0 {
+		bytes = 8192
+	}
+	return func(p *mpisim.Proc) {
+		mine := work
+		if p.Node() < slow {
+			mine = work * clock.Time(factor)
+		}
+		n := p.Size()
+		m := p.DefineMarker("Straggler Step")
+		for i := 0; i < iters; i++ {
+			p.MarkerBegin(m)
+			p.Compute(mine)
+			if n > 1 {
+				next := (p.Rank() + 1) % n
+				prev := (p.Rank() - 1 + n) % n
+				rr := p.Irecv(int32(prev), int32(i))
+				p.Send(next, int32(i), bytes)
+				p.Wait(rr)
+			}
+			p.MarkerEnd(m)
+			if i%3 == 2 {
+				p.Allreduce(8)
+			}
+		}
+		p.Barrier()
+	}
+}
+
+// Bursty staggers task arrival: rank r sleeps (r mod Waves) × Gap before
+// its first iteration, so work arrives in Waves bursts instead of all at
+// once — the arrival pattern that separates queueing policies. Each task
+// then runs a compute/exchange loop with a helper thread to generate
+// dispatch pressure, and the ranks only synchronize at the end.
+type Bursty struct {
+	Waves int        // arrival waves (default 4)
+	Gap   clock.Time // inter-wave gap (default 20ms)
+	Iters int        // steps after arrival (default 6)
+	Work  clock.Time // compute per step (default 2ms)
+	Bytes int        // message bytes per step (default 2048)
+}
+
+// Main returns the task body.
+func (w Bursty) Main() func(*mpisim.Proc) {
+	waves, gap, iters, work, bytes := w.Waves, w.Gap, w.Iters, w.Work, w.Bytes
+	if waves <= 0 {
+		waves = 4
+	}
+	if gap <= 0 {
+		gap = 20 * clock.Millisecond
+	}
+	if iters <= 0 {
+		iters = 6
+	}
+	if work <= 0 {
+		work = 2 * clock.Millisecond
+	}
+	if bytes <= 0 {
+		bytes = 2048
+	}
+	return func(p *mpisim.Proc) {
+		n := p.Size()
+		wave := p.Rank() % waves
+		if wave > 0 {
+			p.Sleep(clock.Time(wave) * gap)
+		}
+		// A helper thread per task keeps the node's ready queue contended
+		// while the main thread is in MPI calls.
+		stop := make([]bool, 1)
+		p.Spawn(events.ThreadUser, func(q *mpisim.Proc) {
+			for !stop[0] {
+				q.Compute(work / 2)
+				q.Sleep(work / 4)
+			}
+		})
+		m := p.DefineMarker("Burst Work")
+		p.MarkerBegin(m)
+		for i := 0; i < iters; i++ {
+			p.Compute(work)
+			if n > 1 {
+				peer := p.Rank() ^ 1
+				if peer < n && peer != p.Rank() {
+					p.Sendrecv(peer, int32(i), bytes, int32(peer), int32(i))
+				}
+			}
+		}
+		p.MarkerEnd(m)
+		stop[0] = true
+		p.Barrier()
+	}
+}
